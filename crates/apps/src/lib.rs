@@ -1,0 +1,24 @@
+//! # nlrm-apps
+//!
+//! Proxy applications for the evaluation (paper §5): models of the two
+//! Mantevo mini-apps the paper runs, plus synthetic kernels for tests and
+//! ablations.
+//!
+//! * [`minimd`] — miniMD: spatial-decomposition molecular dynamics.
+//!   `4·s³` atoms on a 3D process grid, per-step Lennard-Jones force work,
+//!   six-face halo exchanges, and a thermo allreduce. Calibrated so the
+//!   communication fraction lands in the paper's measured 40–80% band.
+//! * [`minife`] — miniFE: implicit finite elements. `(nx+1)³` rows, CG
+//!   iterations of SpMV halo exchange plus two dot-product allreduces;
+//!   communication fraction 25–60% as measured in the paper.
+//! * [`decomp`] — `MPI_Dims_create`-style 3D process grids with periodic
+//!   neighbours, shared by both apps.
+//! * [`synthetic`] — compute-only, halo, and all-to-all kernels.
+
+pub mod decomp;
+pub mod minife;
+pub mod minimd;
+pub mod synthetic;
+
+pub use minife::MiniFe;
+pub use minimd::MiniMd;

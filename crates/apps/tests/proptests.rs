@@ -1,0 +1,93 @@
+//! Property-based tests for the proxy applications.
+
+use nlrm_apps::decomp::{dims_create, Grid3d};
+use nlrm_apps::{MiniFe, MiniMd};
+use nlrm_mpi::pattern::Workload;
+use nlrm_mpi::Communicator;
+use nlrm_topology::NodeId;
+use proptest::prelude::*;
+
+fn comm(p: usize, ppn: usize) -> Communicator {
+    Communicator::new((0..p).map(|i| NodeId((i / ppn) as u32)).collect())
+}
+
+proptest! {
+    /// `dims_create` always factors exactly and stays sorted.
+    #[test]
+    fn dims_always_factor(p in 1usize..512) {
+        let (a, b, c) = dims_create(p);
+        prop_assert_eq!(a * b * c, p);
+        prop_assert!(a >= b && b >= c && c >= 1);
+    }
+
+    /// Grid neighbours are mutual and coordinates round-trip for any p.
+    #[test]
+    fn grid_neighbors_mutual(p in 1usize..256) {
+        let g = Grid3d::for_ranks(p);
+        prop_assert_eq!(g.size(), p);
+        for r in 0..p {
+            let (x, y, z) = g.coords(r);
+            prop_assert_eq!(g.rank_of(x, y, z), r);
+            let nb = g.neighbors(r);
+            // ±x are mutual (same for y, z by symmetry of the construction)
+            prop_assert_eq!(g.neighbors(nb[1])[0], r);
+            prop_assert_eq!(g.neighbors(nb[3])[2], r);
+            prop_assert_eq!(g.neighbors(nb[5])[4], r);
+        }
+    }
+
+    /// Every miniMD phase is well-formed for arbitrary sizes and layouts:
+    /// work vector matches the communicator, message endpoints are valid,
+    /// all quantities positive and finite.
+    #[test]
+    fn minimd_phases_well_formed(
+        s in 1u32..64,
+        p in 1usize..80,
+        ppn in 1usize..8,
+        step_frac in 0.0f64..1.0,
+    ) {
+        let md = MiniMd::new(s).with_steps(10);
+        let c = comm(p, ppn);
+        let step = ((md.steps() - 1) as f64 * step_frac) as usize;
+        let phase = md.phase(step, &c);
+        prop_assert_eq!(phase.compute_gcycles.len(), p);
+        prop_assert!(phase.compute_gcycles.iter().all(|&w| w > 0.0 && w.is_finite()));
+        for m in &phase.messages {
+            prop_assert!(m.src < p && m.dst < p && m.src != m.dst);
+            prop_assert!(m.bytes > 0.0 && m.bytes.is_finite());
+        }
+        // at most 6 neighbours per rank
+        prop_assert!(phase.messages.len() <= 6 * p);
+    }
+
+    /// miniFE: assembly precedes iterations, every phase well-formed.
+    #[test]
+    fn minife_phases_well_formed(nx in 4u32..256, p in 1usize..64) {
+        let fe = MiniFe::new(nx).with_iterations(5);
+        let c = comm(p, 4);
+        prop_assert_eq!(fe.steps(), 6);
+        for step in 0..fe.steps() {
+            let phase = fe.phase(step, &c);
+            prop_assert_eq!(phase.compute_gcycles.len(), p);
+            prop_assert!(phase.compute_gcycles[0] > 0.0);
+            if step == 0 {
+                prop_assert!(phase.messages.is_empty());
+            } else {
+                prop_assert_eq!(phase.collectives.len(), 2);
+            }
+            for m in &phase.messages {
+                prop_assert!(m.src < p && m.dst < p);
+            }
+        }
+    }
+
+    /// Strong-scaling consistency: total work across ranks is independent
+    /// of the process count (work is divided, not duplicated).
+    #[test]
+    fn total_work_is_conserved(s in 4u32..48, p1 in 1usize..64, p2 in 1usize..64) {
+        let md = MiniMd::new(s);
+        let w1: f64 = md.phase(0, &comm(p1, 4)).compute_gcycles.iter().sum();
+        let w2: f64 = md.phase(0, &comm(p2, 4)).compute_gcycles.iter().sum();
+        prop_assert!((w1 - w2).abs() / w1 < 1e-9, "total work changed: {w1} vs {w2}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Simulator-throughput benchmarks: how fast virtual time advances, how
+//! expensive P2P queries are, and how the max-min contention solver scales
+//! with flow count. These bound the cost of every experiment in the suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nlrm_cluster::iitk::iitk_cluster;
+use nlrm_mpi::contention::{fair_share_rates, Flow};
+use nlrm_sim_core::time::Duration;
+use nlrm_topology::NodeId;
+use std::hint::black_box;
+
+/// Advance one hour of the 60-node cluster's dynamics (720 steps at 5 s).
+fn bench_advance(c: &mut Criterion) {
+    c.bench_function("cluster_advance_1h_v60", |b| {
+        b.iter_batched(
+            || iitk_cluster(5),
+            |mut cluster| {
+                cluster.advance(Duration::from_hours(1));
+                cluster
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+/// A full pairwise bandwidth probe sweep (the BandwidthD inner loop).
+fn bench_bandwidth_sweep(c: &mut Criterion) {
+    let mut cluster = iitk_cluster(5);
+    cluster.advance(Duration::from_secs(60));
+    c.bench_function("bandwidth_probe_sweep_v60", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..60u32 {
+                for j in (i + 1)..60 {
+                    acc += cluster.measure_bandwidth_bps(NodeId(i), NodeId(j));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Max-min fair rating for growing concurrent-flow counts.
+fn bench_contention(c: &mut Criterion) {
+    let mut cluster = iitk_cluster(5);
+    cluster.advance(Duration::from_secs(60));
+    let mut group = c.benchmark_group("fair_share_rates");
+    for &k in &[8usize, 32, 128, 512] {
+        let flows: Vec<Flow> = (0..k)
+            .map(|i| Flow {
+                src: NodeId((i % 60) as u32),
+                dst: NodeId(((i * 7 + 13) % 60) as u32),
+                bytes: 1e6,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &flows, |b, flows| {
+            b.iter(|| fair_share_rates(black_box(&cluster), black_box(flows)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_advance, bench_bandwidth_sweep, bench_contention);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! ASCII heatmaps for the bandwidth figures (Fig. 2a, Fig. 7).
+
+use nlrm_monitor::SymMatrix;
+use nlrm_topology::NodeId;
+
+/// Shade ramp from light (low value) to dark (high value).
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Render a symmetric matrix as an ASCII heatmap. `labels` supplies row
+/// headings (typically hostnames); values are min-max scaled over finite
+/// entries. Higher value → darker glyph, matching the paper's convention of
+/// darker = more *complement* bandwidth (i.e. less available).
+pub fn render(matrix: &SymMatrix<f64>, labels: &[String]) -> String {
+    let n = matrix.len();
+    assert_eq!(labels.len(), n, "one label per row required");
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, _, v) in matrix.pairs() {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    let span = (hi - lo).max(f64::EPSILON);
+    let width = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (u, label) in labels.iter().enumerate() {
+        out.push_str(&format!("{label:>width$} |"));
+        for v in 0..n {
+            if u == v {
+                out.push('\\');
+                continue;
+            }
+            let val = matrix.get(NodeId(u as u32), NodeId(v as u32));
+            let idx = if val.is_finite() {
+                (((val - lo) / span) * (RAMP.len() - 1) as f64).round() as usize
+            } else {
+                RAMP.len() - 1
+            };
+            out.push(RAMP[idx.min(RAMP.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>width$}  scale: '{}' = {:.3e} … '{}' = {:.3e}\n",
+        "", RAMP[0], lo, RAMP[RAMP.len() - 1], hi
+    ));
+    out
+}
+
+/// Render a one-line membership strip (Fig. 7's middle band): a `#` where
+/// the node is selected, `.` where it is not.
+pub fn selection_strip(n: usize, selected: &[NodeId]) -> String {
+    (0..n)
+        .map(|i| {
+            if selected.iter().any(|s| s.index() == i) {
+                '#'
+            } else {
+                '.'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("n{i}")).collect()
+    }
+
+    #[test]
+    fn render_shape() {
+        let mut m = SymMatrix::new(3, 0.0);
+        m.set(NodeId(0), NodeId(1), 1.0);
+        m.set(NodeId(0), NodeId(2), 5.0);
+        m.set(NodeId(1), NodeId(2), 10.0);
+        let art = render(&m, &labels(3));
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4); // 3 rows + scale
+        // diagonal marked
+        assert!(lines[0].contains('\\'));
+        assert!(art.contains("scale:"));
+    }
+
+    #[test]
+    fn extremes_use_ramp_ends() {
+        let mut m = SymMatrix::new(3, 0.0);
+        m.set(NodeId(0), NodeId(1), 0.0);
+        m.set(NodeId(0), NodeId(2), 100.0);
+        m.set(NodeId(1), NodeId(2), 50.0);
+        let art = render(&m, &labels(3));
+        assert!(art.contains('@'), "max value should be darkest");
+    }
+
+    #[test]
+    fn strip_marks_selection() {
+        let s = selection_strip(6, &[NodeId(1), NodeId(4)]);
+        assert_eq!(s, ".#..#.");
+    }
+
+    #[test]
+    fn constant_matrix_does_not_panic() {
+        let m = SymMatrix::new(4, 2.0);
+        let art = render(&m, &labels(4));
+        assert!(!art.is_empty());
+    }
+}

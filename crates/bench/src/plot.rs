@@ -1,0 +1,347 @@
+//! Minimal SVG plotting — enough to render the paper's figures from the
+//! reproduction data without any plotting dependency.
+//!
+//! Supports multi-series line charts ([`LinePlot`], used for Figs. 1, 2b,
+//! 4, 6) and matrix heatmaps ([`heatmap_svg`], used for Figs. 2a and 7).
+
+use nlrm_monitor::SymMatrix;
+use nlrm_topology::NodeId;
+use std::fmt::Write as _;
+
+/// Categorical series colors (colorblind-friendly).
+const COLORS: &[&str] = &[
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#f0e442", "#000000",
+];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+/// A multi-series line chart.
+#[derive(Debug, Clone, Default)]
+pub struct LinePlot {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LinePlot {
+    /// An empty chart with labels.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        LinePlot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add one named series of `(x, y)` points.
+    pub fn series(&mut self, name: &str, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no series have been added.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, pts) in &self.series {
+            for &(x, y) in pts {
+                if x.is_finite() && y.is_finite() {
+                    x0 = x0.min(x);
+                    x1 = x1.max(x);
+                    y0 = y0.min(y);
+                    y1 = y1.max(y);
+                }
+            }
+        }
+        if !x0.is_finite() {
+            return (0.0, 1.0, 0.0, 1.0);
+        }
+        // include zero on the y axis (the paper's plots all do) + headroom
+        y0 = y0.min(0.0);
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        (x0, x1, y0, y1 + (y1 - y0) * 0.05)
+    }
+
+    /// Render to an SVG document of the given pixel size.
+    pub fn to_svg(&self, width: u32, height: u32) -> String {
+        let (w, h) = (width as f64, height as f64);
+        let (x0, x1, y0, y1) = self.bounds();
+        let plot_w = w - MARGIN_L - MARGIN_R;
+        let plot_h = h - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+        let sy = |y: f64| MARGIN_T + (1.0 - (y - y0) / (y1 - y0)) * plot_h;
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="11">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+            w / 2.0,
+            xml_escape(&self.title)
+        );
+
+        // grid + ticks: 5 divisions each axis
+        for i in 0..=5 {
+            let fx = x0 + (x1 - x0) * i as f64 / 5.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 5.0;
+            let px = sx(fx);
+            let py = sy(fy);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{px:.1}" y1="{MARGIN_T}" x2="{px:.1}" y2="{:.1}" stroke="#eee"/>"##,
+                MARGIN_T + plot_h
+            );
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{py:.1}" x2="{:.1}" y2="{py:.1}" stroke="#eee"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{px:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h + 16.0,
+                fmt_tick(fx)
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+                MARGIN_L - 6.0,
+                py + 4.0,
+                fmt_tick(fy)
+            );
+        }
+        // axes
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333"/>"##
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            h - 10.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // series
+        for (i, (name, pts)) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let mut path = String::new();
+            for &(x, y) in pts {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let _ = write!(path, "{:.1},{:.1} ", sx(x), sy(y));
+            }
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.6"/>"#,
+                path.trim_end()
+            );
+            // legend
+            let ly = MARGIN_T + 14.0 * i as f64 + 8.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+                MARGIN_L + plot_w - 118.0,
+                MARGIN_L + plot_w - 100.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+                MARGIN_L + plot_w - 96.0,
+                ly + 4.0,
+                xml_escape(name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render a symmetric matrix as an SVG heatmap. Higher value → darker cell
+/// (the paper's complement-bandwidth shading).
+pub fn heatmap_svg(matrix: &SymMatrix<f64>, labels: &[String], title: &str) -> String {
+    let n = matrix.len();
+    assert_eq!(labels.len(), n);
+    let cell = 12.0f64;
+    let label_w = 70.0f64;
+    let w = label_w + n as f64 * cell + 20.0;
+    let h = 40.0 + n as f64 * cell + 10.0;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, _, v) in matrix.pairs() {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    let span = (hi - lo).max(f64::EPSILON);
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" font-family="sans-serif" font-size="8">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{w:.0}" height="{h:.0}" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{:.0}" y="18" text-anchor="middle" font-size="12">{}</text>"#,
+        w / 2.0,
+        xml_escape(title)
+    );
+    for (u, label) in labels.iter().enumerate() {
+        let y = 32.0 + u as f64 * cell;
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.0}" y="{:.1}" text-anchor="end">{}</text>"#,
+            label_w - 4.0,
+            y + cell - 3.0,
+            xml_escape(label)
+        );
+        for v in 0..n {
+            let x = label_w + v as f64 * cell;
+            let fill = if u == v {
+                "#ffffff".to_string()
+            } else {
+                let val = matrix.get(NodeId(u as u32), NodeId(v as u32));
+                let t = if val.is_finite() {
+                    ((val - lo) / span).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                // light (low) → dark blue (high)
+                let shade = (235.0 - t * 205.0) as u8;
+                format!("#{0:02x}{0:02x}ff", shade)
+            };
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{x:.1}" y="{:.1}" width="{cell:.1}" height="{cell:.1}" fill="{fill}" stroke="#f8f8f8" stroke-width="0.3"/>"##,
+                32.0 + u as f64 * cell
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plot() -> LinePlot {
+        let mut p = LinePlot::new("test", "x", "y");
+        p.series("a", vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]);
+        p.series("b", vec![(0.0, 0.5), (1.0, 0.7)]);
+        p
+    }
+
+    #[test]
+    fn svg_contains_structure() {
+        let svg = sample_plot().to_svg(640, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+        assert!(svg.contains("test"));
+    }
+
+    #[test]
+    fn points_land_inside_the_plot_area() {
+        let svg = sample_plot().to_svg(640, 400);
+        let line = svg
+            .lines()
+            .find(|l| l.contains("<polyline"))
+            .expect("has a polyline");
+        let points = line.split('"').nth(1).unwrap();
+        for pair in points.split_whitespace() {
+            let mut it = pair.split(',');
+            let x: f64 = it.next().unwrap().parse().unwrap();
+            let y: f64 = it.next().unwrap().parse().unwrap();
+            assert!((MARGIN_L - 0.5..=640.0 - MARGIN_R + 0.5).contains(&x), "x={x}");
+            assert!((MARGIN_T - 0.5..=400.0 - MARGIN_B + 0.5).contains(&y), "y={y}");
+        }
+    }
+
+    #[test]
+    fn empty_plot_renders_without_panic() {
+        let svg = LinePlot::new("empty", "x", "y").to_svg(320, 200);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let mut p = LinePlot::new("nan", "x", "y");
+        p.series("a", vec![(0.0, 1.0), (1.0, f64::NAN), (2.0, 2.0)]);
+        let svg = p.to_svg(320, 200);
+        let line = svg.lines().find(|l| l.contains("<polyline")).unwrap();
+        let points = line.split('"').nth(1).unwrap();
+        assert_eq!(points.split_whitespace().count(), 2);
+    }
+
+    #[test]
+    fn escapes_xml_in_labels() {
+        let svg = LinePlot::new("a<b & c", "x", "y").to_svg(320, 200);
+        assert!(svg.contains("a&lt;b &amp; c"));
+    }
+
+    #[test]
+    fn heatmap_svg_renders_all_cells() {
+        let mut m = SymMatrix::new(3, 0.0);
+        m.set(NodeId(0), NodeId(1), 1.0);
+        m.set(NodeId(0), NodeId(2), 5.0);
+        m.set(NodeId(1), NodeId(2), 9.0);
+        let labels: Vec<String> = (0..3).map(|i| format!("n{i}")).collect();
+        let svg = heatmap_svg(&m, &labels, "hm");
+        assert_eq!(svg.matches("<rect").count(), 1 + 9); // background + cells
+        assert!(svg.contains(">n2</text>"));
+    }
+}

@@ -1,0 +1,164 @@
+//! The trial protocol shared by all experiments.
+
+use nlrm_cluster::ClusterSim;
+use nlrm_core::{AllocError, Allocation, AllocationRequest, Policy};
+use nlrm_monitor::{ClusterSnapshot, MonitorRuntime};
+use nlrm_mpi::{execute, Communicator, JobTiming};
+use nlrm_mpi::pattern::Workload;
+use nlrm_sim_core::time::Duration;
+
+/// A monitored cluster ready to take allocation trials.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The master cluster timeline.
+    pub cluster: ClusterSim,
+    /// The monitoring stack bound to it.
+    pub monitor: MonitorRuntime,
+}
+
+/// One policy's outcome on one trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Policy display name.
+    pub policy: String,
+    /// The allocation it chose.
+    pub allocation: Allocation,
+    /// Execution timing of the workload on that allocation.
+    pub timing: JobTiming,
+}
+
+impl Experiment {
+    /// Wrap `cluster` with a default monitoring stack.
+    pub fn new(cluster: ClusterSim) -> Self {
+        let monitor = MonitorRuntime::new(&cluster);
+        Experiment { cluster, monitor }
+    }
+
+    /// Advance cluster + monitoring by `d` (warm-up / between repetitions).
+    pub fn advance(&mut self, d: Duration) {
+        let target = self.cluster.now() + d;
+        self.monitor.run_until(&mut self.cluster, target);
+    }
+
+    /// Current snapshot from the monitor's store.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        self.monitor
+            .snapshot(self.cluster.now())
+            .expect("monitor must be warmed before snapshotting")
+    }
+
+    /// Run one policy on the given workload.
+    ///
+    /// The policy allocates from `snap`; the job executes on a **clone** of
+    /// the master cluster, leaving the master timeline untouched so every
+    /// policy in a comparison faces the same conditions.
+    pub fn run_policy(
+        &self,
+        policy: &mut dyn Policy,
+        snap: &ClusterSnapshot,
+        req: &AllocationRequest,
+        workload: &dyn Workload,
+    ) -> Result<TrialResult, AllocError> {
+        let allocation = policy.allocate(snap, req)?;
+        let comm = Communicator::new(allocation.rank_map.clone());
+        let mut cluster = self.cluster.clone();
+        let timing = execute(&mut cluster, &comm, workload);
+        Ok(TrialResult {
+            policy: policy.name().to_string(),
+            allocation,
+            timing,
+        })
+    }
+
+    /// Run a whole policy set on one snapshot (one repetition of the
+    /// paper's "all four approaches in sequence").
+    pub fn compare(
+        &self,
+        policies: &mut [Box<dyn Policy>],
+        req: &AllocationRequest,
+        workload: &dyn Workload,
+    ) -> Result<Vec<TrialResult>, AllocError> {
+        let snap = self.snapshot();
+        policies
+            .iter_mut()
+            .map(|p| self.run_policy(p.as_mut(), &snap, req, workload))
+            .collect()
+    }
+}
+
+/// The paper's four policies, freshly constructed. `seed` feeds the random
+/// and sequential baselines.
+pub fn paper_policies(seed: u64) -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(nlrm_core::RandomPolicy::new(seed)),
+        Box::new(nlrm_core::SequentialPolicy::new(seed)),
+        Box::new(nlrm_core::LoadAwarePolicy::new()),
+        Box::new(nlrm_core::NetworkLoadAwarePolicy::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlrm_apps::MiniMd;
+    use nlrm_cluster::iitk::small_cluster;
+
+    #[test]
+    fn compare_runs_all_policies_on_same_snapshot() {
+        let mut env = Experiment::new(small_cluster(8, 3));
+        env.advance(Duration::from_secs(360));
+        let req = AllocationRequest::minimd(16);
+        let workload = MiniMd::new(8).with_steps(5);
+        let results = env
+            .compare(&mut paper_policies(1), &req, &workload)
+            .unwrap();
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(r.allocation.total_procs(), 16);
+            assert!(r.timing.total_s > 0.0, "{} ran for 0 s", r.policy);
+            assert_eq!(r.timing.steps, 5);
+        }
+        // policy names distinct
+        let names: std::collections::HashSet<_> =
+            results.iter().map(|r| r.policy.clone()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn master_timeline_is_untouched_by_trials() {
+        let mut env = Experiment::new(small_cluster(6, 5));
+        env.advance(Duration::from_secs(360));
+        let before = env.cluster.now();
+        let req = AllocationRequest::minimd(8);
+        let workload = MiniMd::new(8).with_steps(3);
+        env.compare(&mut paper_policies(2), &req, &workload)
+            .unwrap();
+        assert_eq!(env.cluster.now(), before, "trials leaked into master");
+    }
+
+    #[test]
+    fn identical_policies_get_identical_timings() {
+        let mut env = Experiment::new(small_cluster(8, 7));
+        env.advance(Duration::from_secs(360));
+        let req = AllocationRequest::minimd(16);
+        let workload = MiniMd::new(8).with_steps(3);
+        let snap = env.snapshot();
+        let a = env
+            .run_policy(
+                &mut nlrm_core::NetworkLoadAwarePolicy::new(),
+                &snap,
+                &req,
+                &workload,
+            )
+            .unwrap();
+        let b = env
+            .run_policy(
+                &mut nlrm_core::NetworkLoadAwarePolicy::new(),
+                &snap,
+                &req,
+                &workload,
+            )
+            .unwrap();
+        assert_eq!(a.timing, b.timing, "same policy, same clone, same time");
+    }
+}

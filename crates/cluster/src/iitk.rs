@@ -1,0 +1,166 @@
+//! Reference clusters, including the paper's IIT Kanpur testbed.
+
+use crate::cluster::ClusterSim;
+use crate::node::NodeSpec;
+use crate::profiles::ClusterProfile;
+use nlrm_topology::{LinkParams, Topology};
+
+/// The paper's evaluation cluster (§5): 60 nodes — 40 × 12-core Intel Core
+/// @ 4.6 GHz and 20 × 8-core @ 2.8 GHz — on a tree of 4 Gigabit-Ethernet
+/// switches with 15 nodes each. Hostnames follow the paper's `csewsN`
+/// scheme. The two node classes are interleaved (every third node is an
+/// 8-core box) so that heterogeneity is spread across switches.
+pub fn iitk_cluster(seed: u64) -> ClusterSim {
+    iitk_cluster_with_profile(ClusterProfile::shared_lab(), seed)
+}
+
+/// [`iitk_cluster`] with a custom background profile.
+pub fn iitk_cluster_with_profile(profile: ClusterProfile, seed: u64) -> ClusterSim {
+    let topo = Topology::star_of_switches(
+        &[15, 15, 15, 15],
+        LinkParams::gigabit(),
+        LinkParams::gigabit(),
+    );
+    let specs = (0..60).map(iitk_spec).collect();
+    ClusterSim::new(topo, specs, profile, seed)
+}
+
+/// The 30-node subset used for the paper's Fig. 2(a) bandwidth heatmap:
+/// three switches of ten, node numbering following physical proximity.
+pub fn iitk30(seed: u64) -> ClusterSim {
+    let topo = Topology::star_of_switches(
+        &[10, 10, 10],
+        LinkParams::gigabit(),
+        LinkParams::gigabit(),
+    );
+    let specs = (0..30).map(iitk_spec).collect();
+    ClusterSim::new(topo, specs, ClusterProfile::shared_lab(), seed)
+}
+
+/// Hardware spec of node `i` in the IIT-K inventory: every third node is one
+/// of the twenty 8-core 2.8 GHz machines, the rest are 12-core 4.6 GHz.
+fn iitk_spec(i: usize) -> NodeSpec {
+    let eight_core = i % 3 == 2;
+    NodeSpec {
+        hostname: format!("csews{}", i + 1),
+        cores: if eight_core { 8 } else { 12 },
+        freq_ghz: if eight_core { 2.8 } else { 4.6 },
+        total_mem_gb: 16.0,
+    }
+}
+
+/// A department "campus" spanning multiple clusters (the paper's §6 future
+/// work: "a large department/institute that may span over multiple
+/// clusters … large overheads between nodes from different clusters").
+///
+/// Each cluster is a switch of `nodes_per_cluster` IIT-K-style nodes; the
+/// clusters hang off a campus router over links with full GigE capacity
+/// but **millisecond-class latency** and heavier background traffic, so
+/// spanning clusters is expensive exactly the way the paper warns.
+pub fn campus(clusters: usize, nodes_per_cluster: usize, seed: u64) -> ClusterSim {
+    assert!(clusters >= 1 && nodes_per_cluster >= 1);
+    // switch 0 = campus router (no nodes); switches 1..=clusters = clusters
+    let mut parents: Vec<Option<usize>> = vec![None];
+    parents.extend((0..clusters).map(|_| Some(0)));
+    let mut node_switches = Vec::new();
+    for c in 0..clusters {
+        node_switches.extend(std::iter::repeat_n(c + 1, nodes_per_cluster));
+    }
+    let campus_link = nlrm_topology::LinkParams {
+        capacity_bps: 1e9,
+        latency_s: 1e-3, // campus routing: ~20× a LAN hop
+    };
+    let topo = Topology::tree(
+        &parents,
+        &node_switches,
+        LinkParams::gigabit(),
+        campus_link,
+    );
+    let specs = (0..clusters * nodes_per_cluster).map(iitk_spec).collect();
+    ClusterSim::new(topo, specs, ClusterProfile::shared_lab(), seed)
+}
+
+/// A small homogeneous single-switch cluster for unit tests: `n` nodes of
+/// 8 cores @ 3 GHz.
+pub fn small_cluster(n: usize, seed: u64) -> ClusterSim {
+    small_cluster_with_profile(n, ClusterProfile::shared_lab(), seed)
+}
+
+/// [`small_cluster`] with a custom profile.
+pub fn small_cluster_with_profile(n: usize, profile: ClusterProfile, seed: u64) -> ClusterSim {
+    let topo = Topology::single_switch(n, LinkParams::gigabit());
+    let specs = (0..n)
+        .map(|i| NodeSpec {
+            hostname: format!("test{i}"),
+            cores: 8,
+            freq_ghz: 3.0,
+            total_mem_gb: 16.0,
+        })
+        .collect();
+    ClusterSim::new(topo, specs, profile, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlrm_topology::NodeId;
+
+    #[test]
+    fn iitk_inventory_matches_paper() {
+        let c = iitk_cluster(1);
+        assert_eq!(c.num_nodes(), 60);
+        let twelve = (0..60).filter(|&i| c.spec(NodeId(i)).cores == 12).count();
+        let eight = (0..60).filter(|&i| c.spec(NodeId(i)).cores == 8).count();
+        assert_eq!(twelve, 40);
+        assert_eq!(eight, 20);
+        assert_eq!(c.topology().num_switches(), 4);
+        assert_eq!(c.spec(NodeId(0)).hostname, "csews1");
+        assert_eq!(c.spec(NodeId(59)).hostname, "csews60");
+    }
+
+    #[test]
+    fn iitk_speeds_match_classes() {
+        let c = iitk_cluster(1);
+        for i in 0..60 {
+            let s = c.spec(NodeId(i));
+            if s.cores == 12 {
+                assert_eq!(s.freq_ghz, 4.6);
+            } else {
+                assert_eq!(s.freq_ghz, 2.8);
+            }
+        }
+    }
+
+    #[test]
+    fn iitk30_has_three_switches_of_ten() {
+        let c = iitk30(1);
+        assert_eq!(c.num_nodes(), 30);
+        assert_eq!(c.topology().num_switches(), 3);
+    }
+
+    #[test]
+    fn campus_spanning_is_expensive() {
+        let mut c = campus(2, 10, 5);
+        c.advance(nlrm_sim_core::time::Duration::from_secs(60));
+        // intra-cluster: nodes 0,1 (cluster 1); cross: node 0 and node 10
+        let intra = c.latency_s(NodeId(0), NodeId(1));
+        let cross = c.latency_s(NodeId(0), NodeId(10));
+        assert!(
+            cross > intra * 5.0,
+            "campus hop should dominate: intra {intra}, cross {cross}"
+        );
+        assert_eq!(c.num_nodes(), 20);
+        assert_eq!(c.topology().num_switches(), 3);
+    }
+
+    #[test]
+    fn heterogeneity_spread_across_switches() {
+        let c = iitk_cluster(1);
+        let topo = c.topology();
+        for sw in 0..4u32 {
+            let nodes = topo.nodes_of_switch(nlrm_topology::SwitchId(sw));
+            let eight = nodes.iter().filter(|&&n| c.spec(n).cores == 8).count();
+            assert!(eight >= 3, "switch {sw} has too few 8-core nodes: {eight}");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Per-node static attributes and simulated dynamic state.
+//!
+//! The attribute set mirrors Table 1 of the paper: static attributes
+//! (core count, CPU frequency, total memory) and dynamic ones (CPU load,
+//! CPU utilization, memory usage, logged-in users, NIC data-flow rate).
+
+use nlrm_sim_core::process::{
+    BoundedWalk, Diurnal, MarkovChain, OrnsteinUhlenbeck, PoissonSpikes, Process,
+};
+use nlrm_sim_core::time::SimTime;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Static hardware description of a node (the `lscpu`-style facts the
+/// paper's NodeStateD queries once).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Hostname, e.g. `csews12`.
+    pub hostname: String,
+    /// Logical core count (hyperthreads included, as in the paper).
+    pub cores: u32,
+    /// Nominal clock in GHz.
+    pub freq_ghz: f64,
+    /// Total physical memory in GB.
+    pub total_mem_gb: f64,
+}
+
+impl NodeSpec {
+    /// Relative compute speed of one core (GHz as the proxy, like the paper's
+    /// "CPU frequency: maximize" attribute).
+    pub fn core_speed(&self) -> f64 {
+        self.freq_ghz
+    }
+}
+
+/// Instantaneous dynamic state of a node as the OS utilities would report it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeState {
+    /// CPU load: number of runnable processes waiting/executing (like
+    /// `uptime` load, aggregated across cores).
+    pub cpu_load: f64,
+    /// CPU utilization in `[0, 1]` across all logical cores.
+    pub cpu_util: f64,
+    /// Fraction of physical memory in use, `[0, 1]`.
+    pub mem_used_frac: f64,
+    /// Count of logged-in users.
+    pub users: u32,
+    /// NIC data-flow rate (bytes in+out per second), in Mbit/s.
+    pub flow_rate_mbps: f64,
+    /// Whether the node answers pings.
+    pub up: bool,
+}
+
+impl NodeState {
+    /// A freshly booted idle node.
+    pub fn idle() -> Self {
+        NodeState {
+            cpu_load: 0.0,
+            cpu_util: 0.0,
+            mem_used_frac: 0.1,
+            users: 0,
+            flow_rate_mbps: 0.0,
+            up: true,
+        }
+    }
+}
+
+/// Parameters of the stochastic processes driving one node's background
+/// activity. See [`crate::profiles`] for calibrated presets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeDynamicsParams {
+    /// Long-run mean of the baseline CPU load (runnable processes).
+    pub load_mean: f64,
+    /// OU volatility of the baseline load.
+    pub load_sigma: f64,
+    /// OU reversion rate of the baseline load (1/s).
+    pub load_rate: f64,
+    /// Load-spike arrival rate (events/s): a user launching a job.
+    pub spike_rate: f64,
+    /// Mean spike amplitude (runnable processes added).
+    pub spike_amp: f64,
+    /// Spike decay rate (1/s).
+    pub spike_decay: f64,
+    /// Band of baseline CPU utilization contributed by non-load activity.
+    pub util_base: (f64, f64),
+    /// Band of memory usage fraction.
+    pub mem_band: (f64, f64),
+    /// Mean number of logged-in users.
+    pub users_mean: f64,
+    /// Baseline NIC flow in Mbit/s.
+    pub flow_base_mbps: f64,
+    /// Flow-burst arrival rate (events/s).
+    pub flow_burst_rate: f64,
+    /// Mean burst amplitude in Mbit/s.
+    pub flow_burst_amp: f64,
+    /// Burst decay rate (1/s).
+    pub flow_burst_decay: f64,
+    /// Diurnal amplitude applied to load and flow, `[0, 1]`.
+    pub diurnal_amplitude: f64,
+    /// Hour of day (0–24) at which activity peaks.
+    pub diurnal_peak_hour: f64,
+}
+
+/// The live stochastic state of one node's background activity.
+#[derive(Debug, Clone)]
+pub struct NodeDynamics {
+    params: NodeDynamicsParams,
+    cores: u32,
+    load_base: OrnsteinUhlenbeck,
+    load_spikes: PoissonSpikes,
+    util_base: BoundedWalk,
+    mem: BoundedWalk,
+    users: MarkovChain,
+    flow_base: OrnsteinUhlenbeck,
+    flow_bursts: PoissonSpikes,
+    diurnal: Diurnal,
+    rng: StdRng,
+}
+
+impl NodeDynamics {
+    /// Build dynamics for a node with `cores` logical cores.
+    pub fn new(params: NodeDynamicsParams, cores: u32, rng: StdRng) -> Self {
+        let users_levels: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        // Dwell longer near the mean user count; uniform jumps otherwise.
+        let n = users_levels.len();
+        let dwell: Vec<f64> = users_levels
+            .iter()
+            .map(|&u| {
+                let d = (u - params.users_mean).abs();
+                (1800.0 / (1.0 + d)).max(120.0)
+            })
+            .collect();
+        let transition: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                // jump to a neighbouring level with high probability
+                let mut row = vec![0.0; n];
+                let lo = i.saturating_sub(1);
+                let hi = (i + 1).min(n - 1);
+                let choices: Vec<usize> = (lo..=hi).filter(|&j| j != i).collect();
+                let p = 1.0 / choices.len() as f64;
+                for j in choices {
+                    row[j] = p;
+                }
+                row
+            })
+            .collect();
+        let start_state = (params.users_mean.round() as usize).min(n - 1);
+        NodeDynamics {
+            cores,
+            load_base: OrnsteinUhlenbeck::with_stationary_std(
+                params.load_mean,
+                params.load_rate,
+                params.load_sigma,
+                0.0,
+            ),
+            load_spikes: PoissonSpikes::new(params.spike_rate, params.spike_amp, params.spike_decay),
+            util_base: BoundedWalk::new(
+                params.util_base.0,
+                params.util_base.1,
+                0.02,
+                (params.util_base.0 + params.util_base.1) / 2.0,
+            ),
+            mem: BoundedWalk::new(
+                params.mem_band.0,
+                params.mem_band.1,
+                0.005,
+                (params.mem_band.0 + params.mem_band.1) / 2.0,
+            ),
+            users: MarkovChain::new(users_levels, dwell, transition, start_state),
+            flow_base: OrnsteinUhlenbeck::with_stationary_std(
+                params.flow_base_mbps,
+                0.01,
+                params.flow_base_mbps * 0.5,
+                0.0,
+            ),
+            flow_bursts: PoissonSpikes::new(
+                params.flow_burst_rate,
+                params.flow_burst_amp,
+                params.flow_burst_decay,
+            ),
+            diurnal: Diurnal::daily(params.diurnal_amplitude, params.diurnal_peak_hour),
+            params,
+            rng,
+        }
+    }
+
+    /// Advance all processes by `dt` seconds ending at absolute time `t`,
+    /// and return the resulting instantaneous state (without job load —
+    /// the cluster adds that on top).
+    pub fn step(&mut self, dt: f64, t: SimTime) -> NodeState {
+        let day = self.diurnal.multiplier(t);
+        let load =
+            (self.load_base.step(dt, &mut self.rng) + self.load_spikes.step(dt, &mut self.rng))
+                * day;
+        let util_base = self.util_base.step(dt, &mut self.rng);
+        // Runnable processes occupy cores: utilization follows load, saturating at 1.
+        let cpu_util = (util_base * day + load / self.cores as f64).clamp(0.0, 1.0);
+        let mem = self.mem.step(dt, &mut self.rng);
+        let users = self.users.step(dt, &mut self.rng) as u32;
+        let flow = (self.flow_base.step(dt, &mut self.rng)
+            + self.flow_bursts.step(dt, &mut self.rng))
+            * day;
+        NodeState {
+            cpu_load: load,
+            cpu_util,
+            mem_used_frac: mem,
+            users,
+            flow_rate_mbps: flow.max(0.0),
+            up: true,
+        }
+    }
+
+    /// Parameters this node was configured with.
+    pub fn params(&self) -> &NodeDynamicsParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ClusterProfile;
+    use nlrm_sim_core::rng::RngFactory;
+
+    fn dynamics() -> NodeDynamics {
+        // a typical (non-hot) node: hot nodes are tested via the profile
+        let mut prof = ClusterProfile::shared_lab();
+        prof.hot_node_fraction = 0.0;
+        let p = prof.sample_node_params(&mut RngFactory::new(5).named("p"));
+        NodeDynamics::new(p, 12, RngFactory::new(5).named("d"))
+    }
+
+    #[test]
+    fn state_fields_stay_in_valid_ranges() {
+        let mut d = dynamics();
+        for i in 0..5000 {
+            let t = SimTime::from_secs(i * 5);
+            let s = d.step(5.0, t);
+            assert!(s.cpu_load >= 0.0, "load {}", s.cpu_load);
+            assert!((0.0..=1.0).contains(&s.cpu_util));
+            assert!((0.0..=1.0).contains(&s.mem_used_frac));
+            assert!(s.users <= 5);
+            assert!(s.flow_rate_mbps >= 0.0);
+        }
+    }
+
+    #[test]
+    fn calibration_matches_paper_bands() {
+        // Fig. 1c: average CPU utilization 20–35%, memory ~25%.
+        let mut d = dynamics();
+        let mut util = 0.0;
+        let mut mem = 0.0;
+        let n = 17_280; // 24 h at 5 s
+        for i in 0..n {
+            let s = d.step(5.0, SimTime::from_secs(i * 5));
+            util += s.cpu_util;
+            mem += s.mem_used_frac;
+        }
+        let util = util / n as f64;
+        let mem = mem / n as f64;
+        assert!((0.10..=0.45).contains(&util), "mean util {util}");
+        assert!((0.15..=0.40).contains(&mem), "mean mem {mem}");
+    }
+
+    #[test]
+    fn load_spikes_exist_but_are_rare() {
+        // Fig. 1a: load mostly low with occasional spikes.
+        let mut d = dynamics();
+        let mut above2 = 0usize;
+        let mut peak: f64 = 0.0;
+        let n = 17_280;
+        for i in 0..n {
+            let s = d.step(5.0, SimTime::from_secs(i * 5));
+            if s.cpu_load > 2.0 {
+                above2 += 1;
+            }
+            peak = peak.max(s.cpu_load);
+        }
+        let frac = above2 as f64 / n as f64;
+        assert!(frac < 0.35, "loaded fraction {frac}");
+        assert!(peak > 1.0, "no spikes at all, peak {peak}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = dynamics();
+        let mut b = dynamics();
+        for i in 0..100 {
+            let t = SimTime::from_secs(i * 5);
+            assert_eq!(a.step(5.0, t), b.step(5.0, t));
+        }
+    }
+}

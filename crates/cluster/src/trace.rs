@@ -1,0 +1,343 @@
+//! Trace recording and replay.
+//!
+//! The paper's Figures 1–2 come from *recorded* monitoring data of the real
+//! cluster. This module closes that loop for the reproduction: any cluster
+//! run can be recorded to a portable CSV trace, and a recorded trace can be
+//! replayed into a [`ClusterSim`] so the whole pipeline (daemons, allocator,
+//! executor) runs against captured data instead of live stochastics —
+//! including data captured from a *real* cluster, if a user exports their
+//! own monitoring in this format.
+
+use crate::cluster::ClusterSim;
+use crate::node::NodeState;
+use nlrm_sim_core::time::{Duration, SimTime};
+use nlrm_topology::{LinkId, NodeId};
+use std::fmt::Write as _;
+
+/// One recorded instant of the whole cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFrame {
+    /// Capture time.
+    pub t: SimTime,
+    /// Per-node states, indexed by node id.
+    pub node_states: Vec<NodeState>,
+    /// Per-link background utilization, indexed by link id.
+    pub link_utils: Vec<f64>,
+}
+
+/// A recorded cluster history: frames in strictly increasing time order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterTrace {
+    frames: Vec<TraceFrame>,
+}
+
+impl ClusterTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no frames are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// All frames.
+    pub fn frames(&self) -> &[TraceFrame] {
+        &self.frames
+    }
+
+    /// Capture the cluster's current state as a frame.
+    pub fn record(&mut self, cluster: &ClusterSim) {
+        let t = cluster.now();
+        if let Some(last) = self.frames.last() {
+            assert!(t > last.t, "frames must advance in time");
+        }
+        let node_states = cluster
+            .topology()
+            .node_ids()
+            .map(|n| cluster.node_state(n))
+            .collect();
+        let link_utils = (0..cluster.topology().num_links())
+            .map(|l| cluster.network().total_util(LinkId(l as u32)))
+            .collect();
+        self.frames.push(TraceFrame {
+            t,
+            node_states,
+            link_utils,
+        });
+    }
+
+    /// The latest frame at or before `t`, if any.
+    pub fn frame_at(&self, t: SimTime) -> Option<&TraceFrame> {
+        match self.frames.binary_search_by(|f| f.t.cmp(&t)) {
+            Ok(i) => Some(&self.frames[i]),
+            Err(0) => None,
+            Err(i) => Some(&self.frames[i - 1]),
+        }
+    }
+
+    /// Serialize to CSV (`t_us,kind,index,fields…`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "t_us,kind,index,cpu_load,cpu_util,mem_used,users,flow_mbps,up,link_util\n",
+        );
+        for f in &self.frames {
+            for (i, s) in f.node_states.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{},node,{},{:.6},{:.6},{:.6},{},{:.6},{},",
+                    f.t.as_micros(),
+                    i,
+                    s.cpu_load,
+                    s.cpu_util,
+                    s.mem_used_frac,
+                    s.users,
+                    s.flow_rate_mbps,
+                    s.up as u8
+                );
+            }
+            for (i, u) in f.link_utils.iter().enumerate() {
+                let _ = writeln!(out, "{},link,{},,,,,,,{u:.6}", f.t.as_micros(), i);
+            }
+        }
+        out
+    }
+
+    /// Parse a trace from CSV produced by [`to_csv`](Self::to_csv).
+    pub fn from_csv(csv: &str) -> Result<ClusterTrace, String> {
+        let mut trace = ClusterTrace::new();
+        let mut current: Option<TraceFrame> = None;
+        for (lineno, line) in csv.lines().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() != 10 {
+                return Err(format!("line {}: expected 10 columns", lineno + 1));
+            }
+            let t = SimTime::from_micros(
+                cols[0]
+                    .parse()
+                    .map_err(|_| format!("line {}: bad timestamp", lineno + 1))?,
+            );
+            if current.as_ref().map(|f| f.t) != Some(t) {
+                if let Some(f) = current.take() {
+                    trace.frames.push(f);
+                }
+                current = Some(TraceFrame {
+                    t,
+                    node_states: Vec::new(),
+                    link_utils: Vec::new(),
+                });
+            }
+            let frame = current.as_mut().expect("just set");
+            let idx: usize = cols[2]
+                .parse()
+                .map_err(|_| format!("line {}: bad index", lineno + 1))?;
+            let parse = |s: &str, what: &str| -> Result<f64, String> {
+                s.parse()
+                    .map_err(|_| format!("line {}: bad {what}", lineno + 1))
+            };
+            match cols[1] {
+                "node" => {
+                    if idx != frame.node_states.len() {
+                        return Err(format!("line {}: node rows out of order", lineno + 1));
+                    }
+                    frame.node_states.push(NodeState {
+                        cpu_load: parse(cols[3], "cpu_load")?,
+                        cpu_util: parse(cols[4], "cpu_util")?,
+                        mem_used_frac: parse(cols[5], "mem_used")?,
+                        users: cols[6]
+                            .parse()
+                            .map_err(|_| format!("line {}: bad users", lineno + 1))?,
+                        flow_rate_mbps: parse(cols[7], "flow")?,
+                        up: cols[8] == "1",
+                    });
+                }
+                "link" => {
+                    if idx != frame.link_utils.len() {
+                        return Err(format!("line {}: link rows out of order", lineno + 1));
+                    }
+                    frame.link_utils.push(parse(cols[9], "link_util")?);
+                }
+                other => return Err(format!("line {}: unknown kind '{other}'", lineno + 1)),
+            }
+        }
+        if let Some(f) = current.take() {
+            trace.frames.push(f);
+        }
+        Ok(trace)
+    }
+}
+
+/// Replays a trace into a live [`ClusterSim`], overriding its stochastic
+/// state with the recorded frames.
+#[derive(Debug, Clone)]
+pub struct TracePlayer {
+    trace: ClusterTrace,
+}
+
+impl TracePlayer {
+    /// A player over `trace`.
+    pub fn new(trace: ClusterTrace) -> Self {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        TracePlayer { trace }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &ClusterTrace {
+        &self.trace
+    }
+
+    /// Advance `cluster` to `t` and pin its state to the trace's latest
+    /// frame at or before `t`. Call after every time jump you make.
+    pub fn seek(&self, cluster: &mut ClusterSim, t: SimTime) {
+        cluster.advance_to(t);
+        self.apply(cluster, t);
+    }
+
+    /// Apply the frame for time `t` without advancing.
+    pub fn apply(&self, cluster: &mut ClusterSim, t: SimTime) {
+        let Some(frame) = self.trace.frame_at(t) else {
+            return; // before the first frame: leave the simulation as-is
+        };
+        assert_eq!(
+            frame.node_states.len(),
+            cluster.num_nodes(),
+            "trace/cluster node count mismatch"
+        );
+        assert_eq!(
+            frame.link_utils.len(),
+            cluster.topology().num_links(),
+            "trace/cluster link count mismatch"
+        );
+        for (i, &s) in frame.node_states.iter().enumerate() {
+            cluster.override_node_state(NodeId(i as u32), s);
+        }
+        for (i, &u) in frame.link_utils.iter().enumerate() {
+            cluster.override_link_background(LinkId(i as u32), u);
+        }
+    }
+
+    /// Drive the cluster across `[cluster.now(), until]` in `step`-sized
+    /// seeks (the common replay loop).
+    pub fn replay_until(&self, cluster: &mut ClusterSim, until: SimTime, step: Duration) {
+        while cluster.now() < until {
+            let next = (cluster.now() + step).min(until);
+            self.seek(cluster, next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iitk::small_cluster;
+
+    fn recorded(n: usize, seed: u64, frames: usize) -> (ClusterSim, ClusterTrace) {
+        let mut cluster = small_cluster(n, seed);
+        let mut trace = ClusterTrace::new();
+        for _ in 0..frames {
+            cluster.advance(Duration::from_secs(30));
+            trace.record(&cluster);
+        }
+        (cluster, trace)
+    }
+
+    #[test]
+    fn record_captures_cluster_state() {
+        let (cluster, trace) = recorded(4, 3, 5);
+        assert_eq!(trace.len(), 5);
+        let last = trace.frames().last().unwrap();
+        assert_eq!(last.t, cluster.now());
+        for (i, s) in last.node_states.iter().enumerate() {
+            assert_eq!(*s, cluster.node_state(NodeId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_is_exact_enough() {
+        let (_, trace) = recorded(3, 7, 4);
+        let parsed = ClusterTrace::from_csv(&trace.to_csv()).unwrap();
+        assert_eq!(parsed.len(), trace.len());
+        for (a, b) in parsed.frames().iter().zip(trace.frames()) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.node_states.len(), b.node_states.len());
+            for (x, y) in a.node_states.iter().zip(&b.node_states) {
+                assert!((x.cpu_load - y.cpu_load).abs() < 1e-5);
+                assert_eq!(x.users, y.users);
+                assert_eq!(x.up, y.up);
+            }
+            for (x, y) in a.link_utils.iter().zip(&b.link_utils) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected() {
+        assert!(ClusterTrace::from_csv("header\n1,bogus,0,,,,,,,\n").is_err());
+        assert!(ClusterTrace::from_csv("header\nnot-a-number,node,0,1,1,1,1,1,1,\n").is_err());
+        // wrong column count
+        assert!(ClusterTrace::from_csv("header\n1,node,0,1\n").is_err());
+    }
+
+    #[test]
+    fn replay_pins_state_to_frames() {
+        let (_, trace) = recorded(4, 11, 6);
+        let frame_times: Vec<SimTime> = trace.frames().iter().map(|f| f.t).collect();
+        let expect: Vec<Vec<NodeState>> =
+            trace.frames().iter().map(|f| f.node_states.clone()).collect();
+        // replay into a cluster with a *different* seed: recorded data wins
+        let mut replayed = small_cluster(4, 999);
+        let player = TracePlayer::new(trace);
+        for (k, &t) in frame_times.iter().enumerate() {
+            player.seek(&mut replayed, t);
+            for i in 0..4u32 {
+                assert_eq!(
+                    replayed.node_state(NodeId(i)),
+                    expect[k][i as usize],
+                    "frame {k} node {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_at_picks_latest_not_after() {
+        let (_, trace) = recorded(2, 5, 3);
+        let t1 = trace.frames()[1].t;
+        assert_eq!(trace.frame_at(t1).unwrap().t, t1);
+        assert_eq!(
+            trace.frame_at(t1 + Duration::from_secs(10)).unwrap().t,
+            t1
+        );
+        assert!(trace.frame_at(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn replayed_pipeline_is_reproducible() {
+        // monitoring over a replayed cluster gives identical snapshots on
+        // repeated replays, even with different puppet seeds
+        let (_, trace) = recorded(4, 13, 10);
+        let run = |seed: u64| {
+            let mut cluster = small_cluster(4, seed);
+            let player = TracePlayer::new(trace.clone());
+            player.replay_until(
+                &mut cluster,
+                trace.frames().last().unwrap().t,
+                Duration::from_secs(30),
+            );
+            (0..4u32)
+                .map(|i| cluster.node_state(NodeId(i)).cpu_load)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(2));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the cluster simulator's physical invariants.
+
+use nlrm_cluster::iitk::{small_cluster, small_cluster_with_profile};
+use nlrm_cluster::ClusterProfile;
+use nlrm_sim_core::time::Duration;
+use nlrm_topology::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Physical ranges hold at every instant for any seed and horizon.
+    #[test]
+    fn state_stays_physical(seed in 0u64..500, hours in 1u64..12) {
+        let mut c = small_cluster(4, seed);
+        c.advance(Duration::from_hours(hours));
+        for i in 0..4u32 {
+            let s = c.node_state(NodeId(i));
+            prop_assert!(s.cpu_load >= 0.0 && s.cpu_load.is_finite());
+            prop_assert!((0.0..=1.0).contains(&s.cpu_util));
+            prop_assert!((0.0..=1.0).contains(&s.mem_used_frac));
+            prop_assert!(s.flow_rate_mbps >= 0.0 && s.flow_rate_mbps.is_finite());
+        }
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                let bw = c.available_bandwidth_bps(NodeId(u), NodeId(v));
+                let peak = c.peak_bandwidth_bps(NodeId(u), NodeId(v));
+                prop_assert!(bw > 0.0 && bw <= peak);
+                let lat = c.latency_s(NodeId(u), NodeId(v));
+                prop_assert!(lat > 0.0 && lat < 1.0, "latency {lat}");
+            }
+        }
+    }
+
+    /// Cloning at any point forks identical futures.
+    #[test]
+    fn clone_forks_identical_futures(
+        seed in 0u64..200,
+        before_s in 1u64..7200,
+        after_s in 1u64..7200,
+    ) {
+        let mut a = small_cluster(3, seed);
+        a.advance(Duration::from_secs(before_s));
+        let mut b = a.clone();
+        a.advance(Duration::from_secs(after_s));
+        b.advance(Duration::from_secs(after_s));
+        for i in 0..3u32 {
+            prop_assert_eq!(a.node_state(NodeId(i)), b.node_state(NodeId(i)));
+        }
+        prop_assert_eq!(
+            a.available_bandwidth_bps(NodeId(0), NodeId(2)),
+            b.available_bandwidth_bps(NodeId(0), NodeId(2))
+        );
+    }
+
+    /// Job load add/remove is exactly reversible at any magnitude.
+    #[test]
+    fn job_load_is_reversible(
+        seed in 0u64..100,
+        procs in 0.0f64..64.0,
+    ) {
+        let mut c = small_cluster(2, seed);
+        c.advance(Duration::from_secs(60));
+        let before = c.node_state(NodeId(0));
+        c.add_job_load(NodeId(0), procs);
+        let during = c.node_state(NodeId(0));
+        prop_assert!((during.cpu_load - before.cpu_load - procs).abs() < 1e-9);
+        c.add_job_load(NodeId(0), -procs);
+        let after = c.node_state(NodeId(0));
+        prop_assert!((after.cpu_load - before.cpu_load).abs() < 1e-9);
+    }
+
+    /// Measurement noise never produces unphysical values.
+    #[test]
+    fn measurements_stay_physical(seed in 0u64..100, probes in 1usize..50) {
+        let mut c = small_cluster(3, seed);
+        c.advance(Duration::from_secs(120));
+        for _ in 0..probes {
+            let bw = c.measure_bandwidth_bps(NodeId(0), NodeId(1));
+            prop_assert!(bw > 0.0 && bw <= 1e9 + 1.0);
+            let lat = c.measure_latency_s(NodeId(0), NodeId(1));
+            prop_assert!(lat > 0.0 && lat.is_finite());
+        }
+    }
+
+    /// The quiet profile really is quieter than the overloaded one, for any
+    /// seed (profile ordering is preserved through all the stochastics).
+    #[test]
+    fn profile_ordering_holds(seed in 0u64..50) {
+        let mut quiet = small_cluster_with_profile(4, ClusterProfile::quiet(), seed);
+        let mut busy = small_cluster_with_profile(4, ClusterProfile::overloaded(), seed);
+        quiet.advance(Duration::from_hours(1));
+        busy.advance(Duration::from_hours(1));
+        let load = |c: &nlrm_cluster::ClusterSim| -> f64 {
+            (0..4).map(|i| c.node_state(NodeId(i)).cpu_load).sum()
+        };
+        prop_assert!(load(&quiet) < load(&busy));
+    }
+}

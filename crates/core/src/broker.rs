@@ -1,0 +1,416 @@
+//! A multi-job resource broker on top of the allocator.
+//!
+//! The paper deploys its allocator as a *resource broker* users submit MPI
+//! jobs to (abstract, §1). One job at a time is what the evaluation runs;
+//! this module supplies the broker around it for continuous operation:
+//! a FIFO queue with optional backfill, **reservation accounting** so that
+//! concurrently running jobs never double-book the effective processor
+//! count, and wait-deferral via the §6 advisor thresholds.
+
+use crate::candidate::generate_all_candidates;
+use crate::loads::Loads;
+use crate::request::{AllocError, Allocation, AllocationRequest, Diagnostics};
+use crate::select::{group_mean_network_load, select_best};
+use nlrm_monitor::ClusterSnapshot;
+use nlrm_topology::NodeId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Broker-assigned job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// Broker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerConfig {
+    /// Try jobs behind a blocked queue head (conservative backfill: a later
+    /// job may start only if the head still cannot).
+    pub backfill: bool,
+    /// Defer jobs whose best group's mean CPU load per core exceeds this
+    /// (§6's "recommend waiting"); `None` disables deferral.
+    pub max_load_per_core: Option<f64>,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            backfill: true,
+            max_load_per_core: Some(1.5),
+        }
+    }
+}
+
+/// A queued job.
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    id: JobId,
+    name: String,
+    request: AllocationRequest,
+}
+
+/// A running job's lease.
+#[derive(Debug, Clone)]
+pub struct Lease {
+    /// The job.
+    pub id: JobId,
+    /// Job display name.
+    pub name: String,
+    /// The allocation it holds.
+    pub allocation: Allocation,
+}
+
+/// What happened during one scheduling pass.
+#[derive(Debug, Clone)]
+pub enum BrokerEvent {
+    /// A job was granted nodes.
+    Started(Lease),
+    /// A job stayed queued.
+    Deferred {
+        /// The job.
+        id: JobId,
+        /// Why it did not start.
+        reason: String,
+    },
+}
+
+/// The resource broker.
+#[derive(Debug, Clone, Default)]
+pub struct Broker {
+    config: BrokerConfig,
+    queue: VecDeque<QueuedJob>,
+    running: BTreeMap<JobId, Lease>,
+    /// Processes reserved per node by running jobs.
+    reserved: BTreeMap<NodeId, u32>,
+    next_id: u64,
+}
+
+impl Broker {
+    /// A broker with the given configuration.
+    pub fn new(config: BrokerConfig) -> Self {
+        Broker {
+            config,
+            ..Broker::default()
+        }
+    }
+
+    /// Enqueue a job; returns its id. The request is validated on submit.
+    pub fn submit(
+        &mut self,
+        name: impl Into<String>,
+        request: AllocationRequest,
+    ) -> Result<JobId, AllocError> {
+        request.validate()?;
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.queue.push_back(QueuedJob {
+            id,
+            name: name.into(),
+            request,
+        });
+        Ok(id)
+    }
+
+    /// Jobs waiting, in queue order.
+    pub fn queued(&self) -> Vec<JobId> {
+        self.queue.iter().map(|j| j.id).collect()
+    }
+
+    /// Currently running leases.
+    pub fn running(&self) -> Vec<&Lease> {
+        self.running.values().collect()
+    }
+
+    /// Processes reserved on a node by running jobs.
+    pub fn reserved_on(&self, node: NodeId) -> u32 {
+        self.reserved.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Install an externally-constructed lease into the broker's books
+    /// (reserving its nodes). Lets callers plug alternative placement
+    /// strategies into the same reservation accounting — the baseline
+    /// brokers in the `multi_job_broker` experiment use this.
+    pub fn adopt_lease(&mut self, lease: Lease) {
+        for &(node, procs) in &lease.allocation.nodes {
+            *self.reserved.entry(node).or_insert(0) += procs;
+        }
+        self.running.insert(lease.id, lease);
+    }
+
+    /// Release a finished job's nodes. Returns the lease, or `None` if the
+    /// id is unknown (already completed or never started).
+    pub fn complete(&mut self, id: JobId) -> Option<Lease> {
+        let lease = self.running.remove(&id)?;
+        for &(node, procs) in &lease.allocation.nodes {
+            let r = self.reserved.get_mut(&node).expect("reservation exists");
+            *r -= procs.min(*r);
+            if *r == 0 {
+                self.reserved.remove(&node);
+            }
+        }
+        Some(lease)
+    }
+
+    /// Cancel a queued job. Returns whether it was found in the queue.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|j| j.id != id);
+        self.queue.len() != before
+    }
+
+    /// One scheduling pass against a fresh snapshot: starts whatever fits
+    /// (FIFO, with conservative backfill if configured) and reports what
+    /// happened to every queued job it looked at.
+    pub fn tick(&mut self, snap: &ClusterSnapshot) -> Vec<BrokerEvent> {
+        let mut events = Vec::new();
+        let mut still_queued: VecDeque<QueuedJob> = VecDeque::new();
+        let mut head_blocked = false;
+        while let Some(job) = self.queue.pop_front() {
+            if head_blocked && !self.config.backfill {
+                still_queued.push_back(job);
+                continue;
+            }
+            match self.try_start(&job, snap) {
+                Ok(lease) => {
+                    events.push(BrokerEvent::Started(lease.clone()));
+                    for &(node, procs) in &lease.allocation.nodes {
+                        *self.reserved.entry(node).or_insert(0) += procs;
+                    }
+                    self.running.insert(job.id, lease);
+                }
+                Err(reason) => {
+                    events.push(BrokerEvent::Deferred {
+                        id: job.id,
+                        reason,
+                    });
+                    head_blocked = true;
+                    still_queued.push_back(job);
+                }
+            }
+        }
+        self.queue = still_queued;
+        events
+    }
+
+    /// Attempt to place one job, respecting current reservations.
+    fn try_start(&self, job: &QueuedJob, snap: &ClusterSnapshot) -> Result<Lease, String> {
+        let req = &job.request;
+        let loads = Loads::derive(snap, &req.compute_weights, &req.network_weights, req.ppn)
+            .map_err(|e| e.to_string())?;
+        // shrink capacities by reservations; drop fully-booked nodes
+        let mut usable = Vec::new();
+        let mut cl = Vec::new();
+        let mut pc = Vec::new();
+        for (i, &node) in loads.usable.iter().enumerate() {
+            let free = loads.pc[i].saturating_sub(self.reserved_on(node));
+            if free > 0 {
+                usable.push(node);
+                cl.push(loads.cl[i]);
+                pc.push(free);
+            }
+        }
+        if usable.is_empty() {
+            return Err("all nodes fully reserved".into());
+        }
+        let free_capacity: u64 = pc.iter().map(|&p| p as u64).sum();
+        if free_capacity < req.procs as u64 {
+            return Err(format!(
+                "insufficient free capacity: {free_capacity} < {}",
+                req.procs
+            ));
+        }
+        let adjusted = Loads::from_parts(usable, cl, loads.nl.clone(), pc);
+        let candidates = generate_all_candidates(&adjusted, req.procs, req.alpha, req.beta);
+        let selection = select_best(&adjusted, &candidates, req.alpha, req.beta);
+        let winner = &candidates[selection.best];
+
+        // §6 deferral: is even the best group too loaded?
+        if let Some(limit) = self.config.max_load_per_core {
+            let mut load = 0.0;
+            let mut cores = 0.0;
+            for &node in &winner.nodes {
+                let info = snap.info(node).expect("usable node has sample");
+                load += info.sample.cpu_load.m1;
+                cores += info.sample.spec.cores as f64;
+            }
+            let per_core = if cores > 0.0 { load / cores } else { 0.0 };
+            if per_core > limit {
+                return Err(format!(
+                    "cluster too loaded: best group at {per_core:.2} load/core (> {limit})"
+                ));
+            }
+        }
+
+        let selected = winner.nodes.clone();
+        let mean_cl =
+            selected.iter().map(|&u| adjusted.cl_of(u)).sum::<f64>() / selected.len() as f64;
+        Ok(Lease {
+            id: job.id,
+            name: job.name.clone(),
+            allocation: Allocation {
+                policy: "network-load-aware/broker".into(),
+                rank_map: Allocation::block_rank_map(&winner.assignment()),
+                nodes: winner.assignment(),
+                diagnostics: Diagnostics {
+                    total_cost: selection.best_cost,
+                    mean_compute_load: mean_cl,
+                    mean_network_load: group_mean_network_load(&adjusted, &selected),
+                    candidate_costs: selection.costs,
+                },
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlrm_cluster::iitk::small_cluster;
+    use nlrm_monitor::MonitorRuntime;
+    use nlrm_sim_core::time::Duration;
+
+    fn snapshot(n: usize, seed: u64) -> ClusterSnapshot {
+        let mut cluster = small_cluster(n, seed);
+        let mut rt = MonitorRuntime::new(&cluster);
+        rt.warm_snapshot(&mut cluster, Duration::from_secs(360))
+            .unwrap()
+    }
+
+    fn req(procs: u32) -> AllocationRequest {
+        AllocationRequest::new(procs, Some(4), 0.3, 0.7)
+    }
+
+    fn no_defer() -> BrokerConfig {
+        BrokerConfig {
+            backfill: true,
+            max_load_per_core: None,
+        }
+    }
+
+    #[test]
+    fn jobs_start_and_complete() {
+        let snap = snapshot(8, 3);
+        let mut broker = Broker::new(no_defer());
+        let a = broker.submit("job-a", req(16)).unwrap();
+        let events = broker.tick(&snap);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], BrokerEvent::Started(l) if l.id == a));
+        assert_eq!(broker.running().len(), 1);
+        assert!(broker.queued().is_empty());
+        let lease = broker.complete(a).unwrap();
+        assert_eq!(lease.allocation.total_procs(), 16);
+        assert!(broker.running().is_empty());
+        // reservations cleared
+        for node in lease.allocation.node_list() {
+            assert_eq!(broker.reserved_on(node), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_never_double_book() {
+        // 8 nodes × 4 ppn = 32 capacity; two 16-proc jobs fill it exactly
+        let snap = snapshot(8, 3);
+        let mut broker = Broker::new(no_defer());
+        broker.submit("a", req(16)).unwrap();
+        broker.submit("b", req(16)).unwrap();
+        broker.submit("c", req(16)).unwrap();
+        let events = broker.tick(&snap);
+        let started: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, BrokerEvent::Started(_)))
+            .collect();
+        assert_eq!(started.len(), 2, "only two jobs fit");
+        assert_eq!(broker.queued().len(), 1);
+        // per-node reservations never exceed ppn
+        for i in 0..8u32 {
+            assert!(broker.reserved_on(NodeId(i)) <= 4);
+        }
+        // total reserved == 32
+        let total: u32 = (0..8u32).map(|i| broker.reserved_on(NodeId(i))).sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn queued_job_starts_after_completion() {
+        let snap = snapshot(4, 5); // 16 capacity
+        let mut broker = Broker::new(no_defer());
+        let a = broker.submit("a", req(16)).unwrap();
+        let b = broker.submit("b", req(16)).unwrap();
+        broker.tick(&snap);
+        assert_eq!(broker.queued(), vec![b]);
+        broker.complete(a);
+        let events = broker.tick(&snap);
+        assert!(matches!(&events[0], BrokerEvent::Started(l) if l.id == b));
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_jump_a_blocked_head() {
+        let snap = snapshot(4, 5); // 16 capacity
+        let mut broker = Broker::new(no_defer());
+        broker.submit("big-running", req(12)).unwrap();
+        broker.tick(&snap); // 12 reserved, 4 free
+        let big = broker.submit("big-blocked", req(16)).unwrap();
+        let small = broker.submit("small", req(4)).unwrap();
+        let events = broker.tick(&snap);
+        // head deferred, small started via backfill
+        assert!(matches!(&events[0], BrokerEvent::Deferred { id, .. } if *id == big));
+        assert!(matches!(&events[1], BrokerEvent::Started(l) if l.id == small));
+        assert_eq!(broker.queued(), vec![big]);
+    }
+
+    #[test]
+    fn no_backfill_preserves_strict_fifo() {
+        let snap = snapshot(4, 5);
+        let mut broker = Broker::new(BrokerConfig {
+            backfill: false,
+            max_load_per_core: None,
+        });
+        broker.submit("running", req(12)).unwrap();
+        broker.tick(&snap);
+        let big = broker.submit("big", req(16)).unwrap();
+        let small = broker.submit("small", req(4)).unwrap();
+        let events = broker.tick(&snap);
+        assert_eq!(events.len(), 1, "only the head is examined");
+        assert!(matches!(&events[0], BrokerEvent::Deferred { id, .. } if *id == big));
+        assert_eq!(broker.queued(), vec![big, small]);
+    }
+
+    #[test]
+    fn overloaded_cluster_defers_jobs() {
+        let mut cluster = nlrm_cluster::iitk::small_cluster_with_profile(
+            6,
+            nlrm_cluster::ClusterProfile::overloaded(),
+            7,
+        );
+        let mut rt = MonitorRuntime::new(&cluster);
+        let snap = rt
+            .warm_snapshot(&mut cluster, Duration::from_secs(600))
+            .unwrap();
+        let mut broker = Broker::new(BrokerConfig {
+            backfill: true,
+            max_load_per_core: Some(0.9),
+        });
+        broker.submit("urgent", req(8)).unwrap();
+        let events = broker.tick(&snap);
+        assert!(
+            matches!(&events[0], BrokerEvent::Deferred { reason, .. } if reason.contains("too loaded")),
+            "expected load deferral, got {events:?}"
+        );
+    }
+
+    #[test]
+    fn cancel_removes_from_queue() {
+        let snap = snapshot(4, 5);
+        let mut broker = Broker::new(no_defer());
+        broker.submit("running", req(16)).unwrap();
+        broker.tick(&snap);
+        let z = broker.submit("doomed", req(8)).unwrap();
+        assert!(broker.cancel(z));
+        assert!(!broker.cancel(z));
+        assert!(broker.queued().is_empty());
+    }
+
+    #[test]
+    fn invalid_submission_rejected() {
+        let mut broker = Broker::new(no_defer());
+        assert!(broker.submit("bad", AllocationRequest::new(0, None, 0.5, 0.5)).is_err());
+    }
+}

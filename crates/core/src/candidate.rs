@@ -1,0 +1,205 @@
+//! Algorithm 1: greedy candidate sub-graph generation.
+//!
+//! For a start node `v`, every other node `u` gets an addition cost
+//! `A_v(u) = α·CL(u) + β·NL(v,u)`; nodes are added in increasing `A_v`
+//! order until the requested process count is covered. If the whole cluster
+//! cannot cover it, the remainder is assigned round-robin over the selected
+//! nodes (paper Algorithm 1, lines 12–13).
+
+use crate::loads::Loads;
+use nlrm_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A candidate sub-graph: the greedy result for one start node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The start node `v` this candidate grew from.
+    pub start: NodeId,
+    /// Selected nodes in addition order (start node first).
+    pub nodes: Vec<NodeId>,
+    /// Processes assigned per node, parallel to `nodes`.
+    pub procs: Vec<u32>,
+}
+
+impl Candidate {
+    /// Total processes assigned.
+    pub fn total_procs(&self) -> u32 {
+        self.procs.iter().sum()
+    }
+
+    /// Nodes and process counts zipped.
+    pub fn assignment(&self) -> Vec<(NodeId, u32)> {
+        self.nodes
+            .iter()
+            .copied()
+            .zip(self.procs.iter().copied())
+            .collect()
+    }
+}
+
+/// Generate the candidate sub-graph for start node `v` (Algorithm 1).
+///
+/// `n` is the requested process count. Ties in `A_v(u)` break by node id so
+/// candidate generation is deterministic.
+pub fn generate_candidate(loads: &Loads, v: NodeId, n: u32, alpha: f64, beta: f64) -> Candidate {
+    debug_assert!(loads.index(v).is_some(), "start node must be usable");
+    // addition cost per usable node; A_v(v) = 0 so v always joins first
+    let mut order: Vec<(f64, NodeId)> = loads
+        .usable
+        .iter()
+        .map(|&u| {
+            let cost = if u == v {
+                0.0
+            } else {
+                alpha * loads.cl_of(u) + beta * loads.nl_between(v, u)
+            };
+            (cost, u)
+        })
+        .collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut nodes = Vec::new();
+    let mut procs: Vec<u32> = Vec::new();
+    let mut allocated: u64 = 0;
+    for &(_, u) in &order {
+        if allocated >= n as u64 {
+            break;
+        }
+        let pc = loads.pc_of(u);
+        // never hand a node more processes than still needed
+        let take = (pc as u64).min(n as u64 - allocated) as u32;
+        if take == 0 {
+            continue;
+        }
+        nodes.push(u);
+        procs.push(take);
+        allocated += take as u64;
+    }
+    // cluster exhausted: distribute the remainder round-robin (lines 12–13)
+    if allocated < n as u64 && !nodes.is_empty() {
+        let mut i = 0usize;
+        while allocated < n as u64 {
+            procs[i] += 1;
+            allocated += 1;
+            i = (i + 1) % nodes.len();
+        }
+    }
+    Candidate {
+        start: v,
+        nodes,
+        procs,
+    }
+}
+
+/// All `|V|` candidates, one per usable start node (§3.3.2: "we find
+/// candidate sub-graph corresponding to each node in the graph").
+pub fn generate_all_candidates(loads: &Loads, n: u32, alpha: f64, beta: f64) -> Vec<Candidate> {
+    loads
+        .usable
+        .iter()
+        .map(|&v| generate_candidate(loads, v, n, alpha, beta))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loads::Loads;
+    use crate::weights::{ComputeWeights, NetworkWeights};
+    use nlrm_cluster::iitk::small_cluster;
+    use nlrm_monitor::MonitorRuntime;
+    use nlrm_sim_core::time::Duration;
+
+    fn loads(n_nodes: usize, seed: u64, ppn: Option<u32>) -> Loads {
+        let mut cluster = small_cluster(n_nodes, seed);
+        let mut rt = MonitorRuntime::new(&cluster);
+        let snap = rt
+            .warm_snapshot(&mut cluster, Duration::from_secs(360))
+            .unwrap();
+        Loads::derive(
+            &snap,
+            &ComputeWeights::paper_default(),
+            &NetworkWeights::paper_default(),
+            ppn,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn candidate_satisfies_request_exactly() {
+        let l = loads(8, 3, Some(4));
+        let c = generate_candidate(&l, l.usable[0], 16, 0.3, 0.7);
+        assert_eq!(c.total_procs(), 16);
+        assert_eq!(c.nodes.len(), 4); // 16 procs / 4 ppn
+        assert_eq!(c.start, l.usable[0]);
+        assert_eq!(c.nodes[0], c.start, "start node joins first");
+    }
+
+    #[test]
+    fn last_node_gets_partial_count() {
+        let l = loads(8, 3, Some(4));
+        let c = generate_candidate(&l, l.usable[0], 10, 0.3, 0.7);
+        assert_eq!(c.total_procs(), 10);
+        assert_eq!(c.procs, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn oversubscription_round_robins() {
+        // 4 nodes × 4 ppn = 16 capacity, ask for 21
+        let l = loads(4, 3, Some(4));
+        let c = generate_candidate(&l, l.usable[0], 21, 0.3, 0.7);
+        assert_eq!(c.total_procs(), 21);
+        assert_eq!(c.nodes.len(), 4);
+        // round-robin: first gets 2 extra... 16 + 5 → procs [6, 6, 5, 4]? No:
+        // base [4,4,4,4], remainder 5 distributed 0,1,2,3,0 → [6,5,5,5]
+        assert_eq!(c.procs, vec![6, 5, 5, 5]);
+    }
+
+    #[test]
+    fn nodes_are_distinct() {
+        let l = loads(10, 9, Some(4));
+        for &v in &l.usable {
+            let c = generate_candidate(&l, v, 24, 0.5, 0.5);
+            let mut seen = c.nodes.clone();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), c.nodes.len());
+        }
+    }
+
+    #[test]
+    fn alpha_one_ignores_network() {
+        // with β = 0, order after the start node is purely by CL
+        let l = loads(8, 5, Some(4));
+        let c = generate_candidate(&l, l.usable[0], 32, 1.0, 0.0);
+        let tail = &c.nodes[1..];
+        for w in tail.windows(2) {
+            let a = l.cl_of(w[0]);
+            let b = l.cl_of(w[1]);
+            assert!(
+                a <= b + 1e-12,
+                "CL must be non-decreasing after start: {a} > {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_candidates_cover_every_start() {
+        let l = loads(6, 5, Some(4));
+        let cands = generate_all_candidates(&l, 8, 0.3, 0.7);
+        assert_eq!(cands.len(), 6);
+        for (i, c) in cands.iter().enumerate() {
+            assert_eq!(c.start, l.usable[i]);
+            assert_eq!(c.total_procs(), 8);
+        }
+    }
+
+    #[test]
+    fn effective_pc_limits_without_ppn() {
+        let l = loads(8, 3, None);
+        let c = generate_candidate(&l, l.usable[0], 16, 0.3, 0.7);
+        for (&node, &p) in c.nodes.iter().zip(&c.procs) {
+            assert!(p <= l.pc_of(node), "node {node} got {p} > pc");
+        }
+    }
+}

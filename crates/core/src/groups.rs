@@ -1,0 +1,259 @@
+//! Switch-group scaling extension (paper §3.3.2).
+//!
+//! "Our solution may need to be adapted for larger scale by grouping the
+//! nodes based on cluster topology and calculating inter-group bandwidth/
+//! latency so that P2P bandwidth/latency calculation requires less amount
+//! of communication."
+//!
+//! [`ScalableAllocator`] implements that adaptation: nodes are grouped by
+//! the switch they attach to (static topology knowledge), aggregate group
+//! statistics replace the O(V²) pair matrix for a coarse first pass, and the
+//! exact Algorithms 1–2 run only on the nodes of the shortlisted groups.
+
+use crate::loads::Loads;
+use crate::policies::Policy;
+use crate::request::{AllocError, Allocation, AllocationRequest, Diagnostics};
+use crate::select::{group_mean_network_load, select_best};
+use nlrm_monitor::ClusterSnapshot;
+use nlrm_topology::{NodeId, Topology};
+use std::collections::BTreeMap;
+
+/// A topology-derived node group (one per switch in practice).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeGroup {
+    /// Group index.
+    pub id: usize,
+    /// Member nodes.
+    pub nodes: Vec<NodeId>,
+    /// Mean compute load of the members.
+    pub mean_cl: f64,
+    /// Mean *intra-group* pairwise network load.
+    pub mean_intra_nl: f64,
+}
+
+/// Group usable nodes by the switch they attach to. The paper's scaling
+/// note groups "based on cluster topology", which is static administrative
+/// knowledge — no measurement needed.
+pub fn infer_groups(topo: &Topology, loads: &Loads) -> Vec<NodeGroup> {
+    let mut by_switch: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    for &u in &loads.usable {
+        by_switch.entry(topo.switch_of(u).0).or_default().push(u);
+    }
+    by_switch
+        .into_values()
+        .enumerate()
+        .map(|(id, nodes)| {
+            let mean_cl =
+                nodes.iter().map(|&n| loads.cl_of(n)).sum::<f64>() / nodes.len() as f64;
+            let mean_intra_nl = group_mean_network_load(loads, &nodes);
+            NodeGroup {
+                id,
+                nodes,
+                mean_cl,
+                mean_intra_nl,
+            }
+        })
+        .collect()
+}
+
+/// Mean network load between two groups (aggregate inter-group statistic).
+pub fn inter_group_nl(loads: &Loads, a: &NodeGroup, b: &NodeGroup) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for &u in &a.nodes {
+        for &v in &b.nodes {
+            sum += loads.nl_between(u, v);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Two-level allocator: coarse group shortlist, then exact Algorithms 1–2
+/// on the shortlisted nodes only.
+#[derive(Debug, Clone)]
+pub struct ScalableAllocator {
+    /// Run the plain (flat) algorithm when the usable universe is at most
+    /// this large.
+    pub flat_threshold: usize,
+}
+
+impl Default for ScalableAllocator {
+    fn default() -> Self {
+        ScalableAllocator {
+            flat_threshold: 128,
+        }
+    }
+}
+
+impl ScalableAllocator {
+    /// An allocator that switches to two-level mode above the default
+    /// 128-node threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate with the two-level strategy. The topology is used only for
+    /// static switch membership (the coarse grouping level).
+    pub fn allocate(
+        &self,
+        topo: &Topology,
+        snap: &ClusterSnapshot,
+        req: &AllocationRequest,
+    ) -> Result<Allocation, AllocError> {
+        req.validate()?;
+        let loads = Loads::derive(snap, &req.compute_weights, &req.network_weights, req.ppn)?;
+        if loads.usable.len() <= self.flat_threshold {
+            return crate::policies::NetworkLoadAwarePolicy::new().allocate(snap, req);
+        }
+
+        // --- coarse pass over groups ---
+        let groups = infer_groups(topo, &loads);
+        // order groups by a group-level analogue of A_v: compute + intra-network
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ca = req.alpha * groups[a].mean_cl + req.beta * groups[a].mean_intra_nl;
+            let cb = req.alpha * groups[b].mean_cl + req.beta * groups[b].mean_intra_nl;
+            ca.total_cmp(&cb).then(a.cmp(&b))
+        });
+        // shortlist enough groups to cover the request with headroom
+        let mut shortlist: Vec<NodeId> = Vec::new();
+        let mut capacity: u64 = 0;
+        for &gi in &order {
+            for &n in &groups[gi].nodes {
+                shortlist.push(n);
+                capacity += loads.pc_of(n) as u64;
+            }
+            if capacity >= 2 * req.procs as u64 && shortlist.len() >= 2 {
+                break;
+            }
+        }
+        shortlist.sort();
+
+        // --- exact pass on the shortlist ---
+        let sub_loads = loads_restricted(&loads, &shortlist);
+        let candidates =
+            crate::candidate::generate_all_candidates(&sub_loads, req.procs, req.alpha, req.beta);
+        let selection = select_best(&sub_loads, &candidates, req.alpha, req.beta);
+        let winner = &candidates[selection.best];
+        let selected = winner.nodes.clone();
+        let mean_cl =
+            selected.iter().map(|&u| sub_loads.cl_of(u)).sum::<f64>() / selected.len() as f64;
+        Ok(Allocation {
+            policy: "network-load-aware/scalable".into(),
+            rank_map: Allocation::block_rank_map(&winner.assignment()),
+            nodes: winner.assignment(),
+            diagnostics: Diagnostics {
+                total_cost: selection.best_cost,
+                mean_compute_load: mean_cl,
+                mean_network_load: group_mean_network_load(&sub_loads, &selected),
+                candidate_costs: selection.costs,
+            },
+        })
+    }
+}
+
+/// Restrict a `Loads` to a subset of its usable nodes (network-load matrix
+/// is shared; per-node arrays are filtered).
+fn loads_restricted(loads: &Loads, subset: &[NodeId]) -> Loads {
+    let keep: Vec<usize> = subset
+        .iter()
+        .map(|&n| loads.index(n).expect("subset must be usable"))
+        .collect();
+    let usable: Vec<NodeId> = subset.to_vec();
+    let cl: Vec<f64> = keep.iter().map(|&i| loads.cl[i]).collect();
+    let pc: Vec<u32> = keep.iter().map(|&i| loads.pc[i]).collect();
+    Loads::from_parts(usable, cl, loads.nl.clone(), pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{NetworkLoadAwarePolicy, Policy};
+    use nlrm_cluster::iitk::{iitk_cluster, small_cluster};
+    use nlrm_cluster::{ClusterProfile, ClusterSim, NodeSpec};
+    use nlrm_monitor::MonitorRuntime;
+    use nlrm_sim_core::time::Duration;
+    use nlrm_topology::{LinkParams, Topology};
+
+    fn snapshot_of(mut cluster: ClusterSim) -> (Topology, ClusterSnapshot) {
+        let mut rt = MonitorRuntime::new(&cluster);
+        let snap = rt
+            .warm_snapshot(&mut cluster, Duration::from_secs(360))
+            .unwrap();
+        (cluster.topology().clone(), snap)
+    }
+
+    fn big_cluster(nodes_per_switch: usize, switches: usize, seed: u64) -> ClusterSim {
+        let counts = vec![nodes_per_switch; switches];
+        let topo =
+            Topology::star_of_switches(&counts, LinkParams::gigabit(), LinkParams::gigabit());
+        let n = nodes_per_switch * switches;
+        let specs = (0..n)
+            .map(|i| NodeSpec {
+                hostname: format!("big{i}"),
+                cores: 8,
+                freq_ghz: 3.0,
+                total_mem_gb: 16.0,
+            })
+            .collect();
+        ClusterSim::new(topo, specs, ClusterProfile::shared_lab(), seed)
+    }
+
+    #[test]
+    fn groups_follow_switches() {
+        let (topo, snap) = snapshot_of(iitk_cluster(3));
+        let loads = Loads::derive(
+            &snap,
+            &crate::weights::ComputeWeights::paper_default(),
+            &crate::weights::NetworkWeights::paper_default(),
+            Some(4),
+        )
+        .unwrap();
+        let groups = infer_groups(&topo, &loads);
+        assert_eq!(groups.len(), 4, "one group per switch");
+        let sizes: Vec<usize> = groups.iter().map(|g| g.nodes.len()).collect();
+        assert!(sizes.iter().all(|&s| s == 15), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn small_cluster_uses_flat_path() {
+        let (topo, snap) = snapshot_of(small_cluster(8, 5));
+        let req = AllocationRequest::minimd(16);
+        let scalable = ScalableAllocator::new().allocate(&topo, &snap, &req).unwrap();
+        let flat = NetworkLoadAwarePolicy::new().allocate(&snap, &req).unwrap();
+        assert_eq!(scalable.nodes, flat.nodes);
+    }
+
+    #[test]
+    fn two_level_handles_large_cluster() {
+        // 10 switches × 20 nodes = 200 > flat_threshold
+        let (topo, snap) = snapshot_of(big_cluster(20, 10, 11));
+        let req = AllocationRequest::minimd(32);
+        let alloc = ScalableAllocator::new().allocate(&topo, &snap, &req).unwrap();
+        assert_eq!(alloc.total_procs(), 32);
+        assert_eq!(alloc.node_list().len(), 8);
+        assert!(alloc.policy.contains("scalable"));
+    }
+
+    #[test]
+    fn inter_group_nl_is_symmetric() {
+        let (topo, snap) = snapshot_of(iitk_cluster(3));
+        let loads = Loads::derive(
+            &snap,
+            &crate::weights::ComputeWeights::paper_default(),
+            &crate::weights::NetworkWeights::paper_default(),
+            Some(4),
+        )
+        .unwrap();
+        let groups = infer_groups(&topo, &loads);
+        let ab = inter_group_nl(&loads, &groups[0], &groups[1]);
+        let ba = inter_group_nl(&loads, &groups[1], &groups[0]);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab >= 0.0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Deriving the allocator's inputs from a monitoring snapshot:
+//! compute load `CL_v` (Eq. 1), network load `NL_(u,v)` (Eq. 2), and
+//! effective processor count `pc_v` (Eq. 3).
+
+use crate::request::AllocError;
+use crate::saw::{saw_scores, Column, Criterion};
+use crate::weights::{ComputeWeights, NetworkWeights};
+use nlrm_monitor::{ClusterSnapshot, SymMatrix};
+use nlrm_sim_core::window::WindowedValue;
+use nlrm_topology::NodeId;
+use std::collections::HashMap;
+
+/// Everything Algorithms 1–2 need, derived once per allocation.
+#[derive(Debug, Clone)]
+pub struct Loads {
+    /// Usable nodes (live, with fresh samples), ascending id order.
+    pub usable: Vec<NodeId>,
+    /// Compute load per usable node (parallel to `usable`). Lower is better.
+    pub cl: Vec<f64>,
+    /// Pairwise network load over the full node-id space; only entries
+    /// between usable nodes are meaningful. Lower is better.
+    pub nl: SymMatrix<f64>,
+    /// Effective processor count per usable node (parallel to `usable`).
+    pub pc: Vec<u32>,
+    index_of: HashMap<NodeId, usize>,
+}
+
+/// Representative value of a windowed attribute: the mean of the 1/5/15-min
+/// running means. Folding the windows keeps the paper's per-group weights
+/// intact while still using all three histories.
+fn windowed_rep(w: &WindowedValue) -> f64 {
+    (w.m1 + w.m5 + w.m15) / 3.0
+}
+
+impl Loads {
+    /// Derive loads from a snapshot.
+    ///
+    /// * `ppn` — when given, overrides `pc_v` for every node (paper §3.3.1).
+    pub fn derive(
+        snap: &ClusterSnapshot,
+        compute_weights: &ComputeWeights,
+        network_weights: &NetworkWeights,
+        ppn: Option<u32>,
+    ) -> Result<Loads, AllocError> {
+        compute_weights
+            .validate()
+            .map_err(AllocError::InvalidRequest)?;
+        network_weights
+            .validate()
+            .map_err(AllocError::InvalidRequest)?;
+        let usable = snap.usable_nodes();
+        if usable.is_empty() {
+            return Err(AllocError::NoUsableNodes);
+        }
+        let infos: Vec<_> = usable
+            .iter()
+            .map(|&n| snap.info(n).expect("usable implies sample"))
+            .collect();
+
+        // --- Eq. 1: compute load via SAW over Table 1 attributes ---
+        let w = compute_weights;
+        let columns = vec![
+            Column {
+                values: infos.iter().map(|i| windowed_rep(&i.sample.cpu_load)).collect(),
+                criterion: Criterion::Minimize,
+                weight: w.cpu_load,
+            },
+            Column {
+                values: infos.iter().map(|i| windowed_rep(&i.sample.cpu_util)).collect(),
+                criterion: Criterion::Minimize,
+                weight: w.cpu_util,
+            },
+            Column {
+                values: infos
+                    .iter()
+                    .map(|i| windowed_rep(&i.sample.flow_rate_mbps))
+                    .collect(),
+                criterion: Criterion::Minimize,
+                weight: w.flow_rate,
+            },
+            Column {
+                values: infos
+                    .iter()
+                    .map(|i| {
+                        i.sample
+                            .available_mem_gb(windowed_rep(&i.sample.mem_used_frac))
+                    })
+                    .collect(),
+                criterion: Criterion::Maximize,
+                weight: w.memory,
+            },
+            Column {
+                values: infos.iter().map(|i| i.sample.spec.cores as f64).collect(),
+                criterion: Criterion::Maximize,
+                weight: w.core_count,
+            },
+            Column {
+                values: infos.iter().map(|i| i.sample.spec.freq_ghz).collect(),
+                criterion: Criterion::Maximize,
+                weight: w.cpu_freq,
+            },
+            Column {
+                values: infos
+                    .iter()
+                    .map(|i| i.sample.spec.total_mem_gb)
+                    .collect(),
+                criterion: Criterion::Maximize,
+                weight: w.total_mem,
+            },
+            Column {
+                values: infos.iter().map(|i| i.sample.users as f64).collect(),
+                criterion: Criterion::Minimize,
+                weight: w.users,
+            },
+        ];
+        let mut cl = saw_scores(&columns);
+
+        // --- Eq. 2: pairwise network load ---
+        let mut nl = derive_network_load(snap, &usable, network_weights);
+
+        // Rescale both loads to mean 1 over their own domains. Sum
+        // normalization alone leaves CL ~ 1/V and NL ~ 1/V², so in
+        // `A_v(u) = α·CL(u) + β·NL(v,u)` (Algorithm 1) the network term
+        // would be a factor V smaller than α/β intends. Rescaling is
+        // invariant for every ranking that normalizes per-term anyway
+        // (Algorithm 2, group_cost, load-aware ordering) but makes the
+        // candidate-generation trade-off mean what the paper's α/β say.
+        rescale_to_unit_mean(&mut cl);
+        let mut pair_vals: Vec<f64> = Vec::new();
+        for (i, &u) in usable.iter().enumerate() {
+            for &v in &usable[i + 1..] {
+                pair_vals.push(nl.get(u, v));
+            }
+        }
+        let pair_mean = if pair_vals.is_empty() {
+            0.0
+        } else {
+            pair_vals.iter().sum::<f64>() / pair_vals.len() as f64
+        };
+        if pair_mean > 0.0 {
+            for (i, &u) in usable.iter().enumerate() {
+                for &v in usable[i + 1..].iter() {
+                    let scaled = nl.get(u, v) / pair_mean;
+                    nl.set(u, v, scaled);
+                }
+            }
+        }
+
+        // --- Eq. 3: effective processor count ---
+        let pc: Vec<u32> = infos
+            .iter()
+            .map(|i| match ppn {
+                Some(p) => p,
+                None => effective_pc(i.sample.spec.cores, i.sample.cpu_load.m1),
+            })
+            .collect();
+
+        let index_of = usable.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        Ok(Loads {
+            usable,
+            cl,
+            nl,
+            pc,
+            index_of,
+        })
+    }
+
+    /// Assemble a `Loads` from precomputed parts (used by the two-level
+    /// scalable allocator to restrict the universe to a shortlist).
+    pub fn from_parts(
+        usable: Vec<NodeId>,
+        cl: Vec<f64>,
+        nl: SymMatrix<f64>,
+        pc: Vec<u32>,
+    ) -> Loads {
+        assert_eq!(usable.len(), cl.len());
+        assert_eq!(usable.len(), pc.len());
+        let index_of = usable.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        Loads {
+            usable,
+            cl,
+            nl,
+            pc,
+            index_of,
+        }
+    }
+
+    /// Index of `node` in the usable arrays.
+    pub fn index(&self, node: NodeId) -> Option<usize> {
+        self.index_of.get(&node).copied()
+    }
+
+    /// Compute load of a usable node.
+    pub fn cl_of(&self, node: NodeId) -> f64 {
+        self.cl[self.index_of[&node]]
+    }
+
+    /// Network load between two usable nodes (0 for `u == v`).
+    pub fn nl_between(&self, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            0.0
+        } else {
+            self.nl.get(u, v)
+        }
+    }
+
+    /// Effective processor count of a usable node.
+    pub fn pc_of(&self, node: NodeId) -> u32 {
+        self.pc[self.index_of[&node]]
+    }
+
+    /// Total processes the usable universe can host.
+    pub fn total_capacity(&self) -> u64 {
+        self.pc.iter().map(|&p| p as u64).sum()
+    }
+}
+
+/// Scale a vector so its mean is 1 (no-op for all-zero input).
+fn rescale_to_unit_mean(values: &mut [f64]) {
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    if mean > 0.0 {
+        for v in values.iter_mut() {
+            *v /= mean;
+        }
+    }
+}
+
+/// Eq. 3: `pc_v = coreCount_v − ⌈Load_v⌉ % coreCount_v`, using the 1-minute
+/// mean load. The modulo keeps `pc_v` in `[1, coreCount]` even on heavily
+/// loaded nodes, exactly as the paper writes it.
+pub fn effective_pc(core_count: u32, load_m1: f64) -> u32 {
+    assert!(core_count > 0);
+    let load = load_m1.max(0.0).ceil() as u32;
+    core_count - load % core_count
+}
+
+/// Eq. 2 over all usable pairs: normalized latency and normalized complement
+/// of available bandwidth, combined with `w_lt`/`w_bw`.
+fn derive_network_load(
+    snap: &ClusterSnapshot,
+    usable: &[NodeId],
+    weights: &NetworkWeights,
+) -> SymMatrix<f64> {
+    let n = snap.latency.len();
+    let mut out = SymMatrix::new(n, 0.0);
+    let pairs: Vec<(NodeId, NodeId)> = usable
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &u)| usable[i + 1..].iter().map(move |&v| (u, v)))
+        .collect();
+    if pairs.is_empty() {
+        return out;
+    }
+
+    // Latency column: prefer the 1-minute mean, fall back to the instant.
+    let mut lat: Vec<f64> = pairs
+        .iter()
+        .map(|&(u, v)| {
+            let st = snap.latency.get(u, v);
+            if st.m1.is_finite() {
+                st.m1
+            } else {
+                st.instant
+            }
+        })
+        .collect();
+    // Unmeasured pairs (∞) are clamped to a strong finite penalty so
+    // normalization stays meaningful: 10× the worst measured latency.
+    let max_finite = lat
+        .iter()
+        .cloned()
+        .filter(|l| l.is_finite())
+        .fold(0.0f64, f64::max);
+    let penalty = if max_finite > 0.0 { max_finite * 10.0 } else { 1.0 };
+    for l in &mut lat {
+        if !l.is_finite() {
+            *l = penalty;
+        }
+    }
+
+    // Complement-of-available-bandwidth column: peak − available.
+    let cbw: Vec<f64> = pairs
+        .iter()
+        .map(|&(u, v)| {
+            let peak = snap.peak_bandwidth_bps.get(u, v);
+            let avail = snap.bandwidth_bps.get(u, v);
+            if !peak.is_finite() || peak <= 0.0 {
+                // never measured: assume the worst (everything unavailable)
+                return 1e9;
+            }
+            (peak - avail).max(0.0)
+        })
+        .collect();
+
+    let lat_n = crate::saw::normalize_sum(&lat);
+    let cbw_n = crate::saw::normalize_sum(&cbw);
+    for (k, &(u, v)) in pairs.iter().enumerate() {
+        out.set(u, v, weights.latency * lat_n[k] + weights.bandwidth * cbw_n[k]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlrm_cluster::iitk::small_cluster;
+    use nlrm_monitor::MonitorRuntime;
+    use nlrm_sim_core::time::Duration;
+
+    fn snapshot(n: usize, seed: u64) -> ClusterSnapshot {
+        let mut cluster = small_cluster(n, seed);
+        let mut rt = MonitorRuntime::new(&cluster);
+        rt.warm_snapshot(&mut cluster, Duration::from_secs(360))
+            .unwrap()
+    }
+
+    fn derive(snap: &ClusterSnapshot) -> Loads {
+        Loads::derive(
+            snap,
+            &ComputeWeights::paper_default(),
+            &NetworkWeights::paper_default(),
+            Some(4),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn effective_pc_matches_equation3() {
+        // zero load: all cores
+        assert_eq!(effective_pc(8, 0.0), 8);
+        // load 1 → 8 − 1 = 7
+        assert_eq!(effective_pc(8, 0.2), 7);
+        // load 8 → 8 − (8 % 8) = 8 (the paper's modulo wraps)
+        assert_eq!(effective_pc(8, 7.5), 8);
+        // load 9 → 8 − 1 = 7
+        assert_eq!(effective_pc(8, 8.5), 7);
+        // 12-core node under load 3
+        assert_eq!(effective_pc(12, 2.4), 9);
+    }
+
+    #[test]
+    fn derive_produces_consistent_shapes() {
+        let snap = snapshot(6, 3);
+        let loads = derive(&snap);
+        assert_eq!(loads.usable.len(), 6);
+        assert_eq!(loads.cl.len(), 6);
+        assert_eq!(loads.pc, vec![4; 6]);
+        assert_eq!(loads.total_capacity(), 24);
+    }
+
+    #[test]
+    fn compute_load_is_nonnegative_and_discriminates() {
+        let snap = snapshot(8, 5);
+        let loads = derive(&snap);
+        assert!(loads.cl.iter().all(|&c| c >= 0.0 && c.is_finite()));
+        // a shared-lab cluster is heterogeneous: loads must differ
+        let min = loads.cl.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = loads.cl.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min, "all CL equal: {:?}", loads.cl);
+    }
+
+    #[test]
+    fn network_load_is_symmetric_and_nonnegative() {
+        let snap = snapshot(6, 7);
+        let loads = derive(&snap);
+        for (u, v, nl) in loads.nl.pairs() {
+            assert!(nl >= 0.0, "nl({u},{v}) = {nl}");
+            assert_eq!(loads.nl_between(u, v), loads.nl_between(v, u));
+        }
+        assert_eq!(loads.nl_between(NodeId(2), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn without_ppn_pc_follows_load() {
+        let snap = snapshot(6, 3);
+        let loads = Loads::derive(
+            &snap,
+            &ComputeWeights::paper_default(),
+            &NetworkWeights::paper_default(),
+            None,
+        )
+        .unwrap();
+        for (i, &node) in loads.usable.iter().enumerate() {
+            let info = snap.info(node).unwrap();
+            assert_eq!(
+                loads.pc[i],
+                effective_pc(info.sample.spec.cores, info.sample.cpu_load.m1)
+            );
+        }
+    }
+
+    #[test]
+    fn congested_pair_has_higher_network_load() {
+        let snap = snapshot(6, 11);
+        let loads = derive(&snap);
+        // find the pair with min available bandwidth and compare with max
+        let mut worst = (NodeId(0), NodeId(1));
+        let mut best = (NodeId(0), NodeId(1));
+        for (u, v, bw) in snap.bandwidth_bps.pairs() {
+            if bw < snap.bandwidth_bps.get(worst.0, worst.1) {
+                worst = (u, v);
+            }
+            if bw > snap.bandwidth_bps.get(best.0, best.1) {
+                best = (u, v);
+            }
+        }
+        assert!(
+            loads.nl_between(worst.0, worst.1) >= loads.nl_between(best.0, best.1),
+            "NL should rank congested pairs worse"
+        );
+    }
+
+    #[test]
+    fn bad_weights_rejected() {
+        let snap = snapshot(4, 3);
+        let mut w = ComputeWeights::paper_default();
+        w.cpu_load = 0.9;
+        assert!(matches!(
+            Loads::derive(&snap, &w, &NetworkWeights::paper_default(), Some(4)),
+            Err(AllocError::InvalidRequest(_))
+        ));
+    }
+}

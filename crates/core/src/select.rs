@@ -1,0 +1,196 @@
+//! Algorithm 2: best-candidate selection via Eq. 4.
+//!
+//! Each candidate's total compute load `C_G = Σ CL_u` and total network load
+//! `N_G = Σ NL over sub-graph edges` are normalized by the respective sums
+//! over all candidates, then combined as `T_G = α·C_norm + β·N_norm`; the
+//! minimum wins.
+
+use crate::candidate::Candidate;
+use crate::loads::Loads;
+use nlrm_topology::NodeId;
+
+/// Total compute load of a group: `C_G = Σ_{u ∈ G} CL_u`.
+pub fn group_compute_load(loads: &Loads, nodes: &[NodeId]) -> f64 {
+    nodes.iter().map(|&u| loads.cl_of(u)).sum()
+}
+
+/// Total network load of a group: `N_G = Σ_{(x,y) ∈ E_G} NL_(x,y)` over all
+/// node pairs of the (complete) sub-graph.
+pub fn group_network_load(loads: &Loads, nodes: &[NodeId]) -> f64 {
+    let mut sum = 0.0;
+    for (i, &x) in nodes.iter().enumerate() {
+        for &y in &nodes[i + 1..] {
+            sum += loads.nl_between(x, y);
+        }
+    }
+    sum
+}
+
+/// Mean pairwise network load of a group (paper §3.2.2: "we take the average
+/// of network load between all pairs of nodes to compute the network load of
+/// a group").
+pub fn group_mean_network_load(loads: &Loads, nodes: &[NodeId]) -> f64 {
+    let pairs = nodes.len() * nodes.len().saturating_sub(1) / 2;
+    if pairs == 0 {
+        0.0
+    } else {
+        group_network_load(loads, nodes) / pairs as f64
+    }
+}
+
+/// A group's cost under a *globally* normalized variant of Eq. 4:
+/// `α·C_G/C_all + β·N_G/N_all`, where the denominators are the totals over
+/// the whole usable universe. Ranking-compatible with Algorithm 2 (which
+/// divides by per-candidate-set constants) but well-defined for *any* group,
+/// so the brute-force validator and ablations can score arbitrary subsets.
+pub fn group_cost(loads: &Loads, nodes: &[NodeId], alpha: f64, beta: f64) -> f64 {
+    let c_all: f64 = loads.cl.iter().sum();
+    let n_all: f64 = {
+        let mut s = 0.0;
+        for (i, &x) in loads.usable.iter().enumerate() {
+            for &y in &loads.usable[i + 1..] {
+                s += loads.nl_between(x, y);
+            }
+        }
+        s
+    };
+    let c = group_compute_load(loads, nodes);
+    let n = group_network_load(loads, nodes);
+    let c_norm = if c_all > 0.0 { c / c_all } else { 0.0 };
+    let n_norm = if n_all > 0.0 { n / n_all } else { 0.0 };
+    alpha * c_norm + beta * n_norm
+}
+
+/// Outcome of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Index of the winning candidate.
+    pub best: usize,
+    /// Eq. 4 cost of the winner.
+    pub best_cost: f64,
+    /// `(start node, T_G)` for every candidate, in input order.
+    pub costs: Vec<(NodeId, f64)>,
+}
+
+/// Select the candidate minimizing `T_G` (Algorithm 2). Ties break by the
+/// candidate's start-node id (deterministic).
+pub fn select_best(loads: &Loads, candidates: &[Candidate], alpha: f64, beta: f64) -> Selection {
+    assert!(!candidates.is_empty(), "no candidates to select from");
+    let c: Vec<f64> = candidates
+        .iter()
+        .map(|cand| group_compute_load(loads, &cand.nodes))
+        .collect();
+    let n: Vec<f64> = candidates
+        .iter()
+        .map(|cand| group_network_load(loads, &cand.nodes))
+        .collect();
+    let c_sum: f64 = c.iter().sum();
+    let n_sum: f64 = n.iter().sum();
+    let costs: Vec<(NodeId, f64)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, cand)| {
+            let c_norm = if c_sum > 0.0 { c[i] / c_sum } else { 0.0 };
+            let n_norm = if n_sum > 0.0 { n[i] / n_sum } else { 0.0 };
+            (cand.start, alpha * c_norm + beta * n_norm)
+        })
+        .collect();
+    let best = costs
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    Selection {
+        best,
+        best_cost: costs[best].1,
+        costs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::generate_all_candidates;
+    use crate::loads::Loads;
+    use crate::weights::{ComputeWeights, NetworkWeights};
+    use nlrm_cluster::iitk::small_cluster;
+    use nlrm_monitor::MonitorRuntime;
+    use nlrm_sim_core::time::Duration;
+
+    fn loads(n_nodes: usize, seed: u64) -> Loads {
+        let mut cluster = small_cluster(n_nodes, seed);
+        let mut rt = MonitorRuntime::new(&cluster);
+        let snap = rt
+            .warm_snapshot(&mut cluster, Duration::from_secs(360))
+            .unwrap();
+        Loads::derive(
+            &snap,
+            &ComputeWeights::paper_default(),
+            &NetworkWeights::paper_default(),
+            Some(4),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn group_loads_accumulate() {
+        let l = loads(6, 3);
+        let nodes = [l.usable[0], l.usable[1], l.usable[2]];
+        let c = group_compute_load(&l, &nodes);
+        assert!(
+            (c - (l.cl_of(nodes[0]) + l.cl_of(nodes[1]) + l.cl_of(nodes[2]))).abs() < 1e-12
+        );
+        let n = group_network_load(&l, &nodes);
+        let manual = l.nl_between(nodes[0], nodes[1])
+            + l.nl_between(nodes[0], nodes[2])
+            + l.nl_between(nodes[1], nodes[2]);
+        assert!((n - manual).abs() < 1e-12);
+        // mean = sum / 3 pairs
+        assert!((group_mean_network_load(&l, &nodes) - manual / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_group_has_zero_network_load() {
+        let l = loads(4, 3);
+        assert_eq!(group_network_load(&l, &[l.usable[0]]), 0.0);
+        assert_eq!(group_mean_network_load(&l, &[l.usable[0]]), 0.0);
+    }
+
+    #[test]
+    fn selection_minimizes_t() {
+        let l = loads(8, 5);
+        let cands = generate_all_candidates(&l, 12, 0.3, 0.7);
+        let sel = select_best(&l, &cands, 0.3, 0.7);
+        for (i, &(_, t)) in sel.costs.iter().enumerate() {
+            assert!(sel.best_cost <= t + 1e-12, "candidate {i} beats winner");
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let l = loads(8, 5);
+        let cands = generate_all_candidates(&l, 12, 0.3, 0.7);
+        let a = select_best(&l, &cands, 0.3, 0.7);
+        let b = select_best(&l, &cands, 0.3, 0.7);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn global_cost_is_bounded_and_monotone() {
+        let l = loads(8, 7);
+        // whole universe costs exactly α + β = 1
+        let all = l.usable.clone();
+        assert!((group_cost(&l, &all, 0.3, 0.7) - 1.0).abs() < 1e-9);
+        // growing a group never decreases its cost
+        let mut prefix = Vec::new();
+        let mut prev = 0.0;
+        for &n in &l.usable {
+            prefix.push(n);
+            let cost = group_cost(&l, &prefix, 0.3, 0.7);
+            assert!(cost + 1e-12 >= prev, "cost decreased when adding {n}");
+            assert!((0.0..=1.0 + 1e-9).contains(&cost));
+            prev = cost;
+        }
+    }
+}

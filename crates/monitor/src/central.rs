@@ -1,0 +1,328 @@
+//! The Central Monitor: master/slave supervision of the daemons (§4).
+//!
+//! "Central Monitor launches, supervises and removes … daemons. If any
+//! daemon crashes, it is relaunched. We keep one master and one slave
+//! instance to avoid single point of failure. If the master process dies,
+//! the slave will detect that the process is dead, become new master and
+//! launch a new slave on another node. If slave dies, master launches a new
+//! slave. If both stop, all other daemons still continue to perform their
+//! job but won't be restarted on failure."
+
+use crate::codec::{decode, encode, MonitorRecord};
+use crate::daemons::{BandwidthD, DaemonConfig, LatencyD, LivehostsD, NodeStateD};
+use crate::store::{paths, SharedStore};
+use nlrm_cluster::ClusterSim;
+use nlrm_sim_core::time::Duration;
+use nlrm_topology::NodeId;
+
+/// All supervised daemons, owned together so the central monitor can sweep
+/// them uniformly.
+#[derive(Debug, Clone)]
+pub struct DaemonSet {
+    /// The ping-sweep daemon.
+    pub livehosts: LivehostsD,
+    /// One state sampler per node.
+    pub nodestate: Vec<NodeStateD>,
+    /// The latency prober.
+    pub latency: LatencyD,
+    /// The bandwidth prober.
+    pub bandwidth: BandwidthD,
+}
+
+impl DaemonSet {
+    /// Fresh daemons for an `n`-node cluster.
+    pub fn new(n: usize) -> Self {
+        DaemonSet {
+            livehosts: LivehostsD::new(),
+            nodestate: (0..n).map(|i| NodeStateD::new(NodeId(i as u32))).collect(),
+            latency: LatencyD::new(n),
+            bandwidth: BandwidthD::new(n),
+        }
+    }
+
+    /// Count of currently dead daemons.
+    pub fn dead_count(&self) -> usize {
+        let mut dead = 0;
+        if !self.livehosts.is_alive() {
+            dead += 1;
+        }
+        dead += self.nodestate.iter().filter(|d| !d.is_alive()).count();
+        if !self.latency.is_alive() {
+            dead += 1;
+        }
+        if !self.bandwidth.is_alive() {
+            dead += 1;
+        }
+        dead
+    }
+
+    fn relaunch_dead(&mut self) -> usize {
+        let mut relaunched = 0;
+        if !self.livehosts.is_alive() {
+            self.livehosts.relaunch();
+            relaunched += 1;
+        }
+        for d in &mut self.nodestate {
+            if !d.is_alive() {
+                d.relaunch();
+                relaunched += 1;
+            }
+        }
+        if !self.latency.is_alive() {
+            self.latency.relaunch();
+            relaunched += 1;
+        }
+        if !self.bandwidth.is_alive() {
+            self.bandwidth.relaunch();
+            relaunched += 1;
+        }
+        relaunched
+    }
+}
+
+/// One central-monitor instance (master or slave).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instance {
+    /// Node the instance runs on.
+    pub host: NodeId,
+    /// Whether the process is running.
+    pub alive: bool,
+    /// Incarnation number, bumped every (re)spawn.
+    pub incarnation: u32,
+}
+
+/// The redundant central monitor.
+#[derive(Debug, Clone)]
+pub struct CentralMonitor {
+    master: Instance,
+    slave: Instance,
+    /// A heartbeat older than this is treated as a dead master.
+    pub heartbeat_timeout: Duration,
+    /// Total daemon relaunches performed.
+    pub relaunch_count: usize,
+    /// Total master failovers performed.
+    pub failover_count: usize,
+    next_incarnation: u32,
+}
+
+impl CentralMonitor {
+    /// A master on `master_host` and slave on `slave_host`.
+    pub fn new(master_host: NodeId, slave_host: NodeId, config: &DaemonConfig) -> Self {
+        assert_ne!(master_host, slave_host, "master and slave must differ");
+        CentralMonitor {
+            master: Instance {
+                host: master_host,
+                alive: true,
+                incarnation: 0,
+            },
+            slave: Instance {
+                host: slave_host,
+                alive: true,
+                incarnation: 1,
+            },
+            // allow missing ~3 heartbeats before declaring death
+            heartbeat_timeout: config.central_period.mul_f64(3.5),
+            relaunch_count: 0,
+            failover_count: 0,
+            next_incarnation: 2,
+        }
+    }
+
+    /// The current master instance.
+    pub fn master(&self) -> Instance {
+        self.master
+    }
+
+    /// The current slave instance.
+    pub fn slave(&self) -> Instance {
+        self.slave
+    }
+
+    /// Failure injection: kill the master process.
+    pub fn kill_master(&mut self) {
+        self.master.alive = false;
+    }
+
+    /// Failure injection: kill the slave process.
+    pub fn kill_slave(&mut self) {
+        self.slave.alive = false;
+    }
+
+    /// True when neither instance is running (no supervision, daemons
+    /// continue but will not be relaunched).
+    pub fn is_headless(&self) -> bool {
+        !self.master.alive && !self.slave.alive
+    }
+
+    /// Pick a live node other than `exclude` to host a new instance.
+    fn pick_host(cluster: &ClusterSim, exclude: NodeId) -> Option<NodeId> {
+        cluster
+            .topology()
+            .node_ids()
+            .find(|&n| n != exclude && cluster.is_up(n))
+    }
+
+    /// One supervision tick.
+    pub fn tick(&mut self, cluster: &ClusterSim, store: &SharedStore, daemons: &mut DaemonSet) {
+        let now = cluster.now();
+        // instances die with their hosts
+        if self.master.alive && !cluster.is_up(self.master.host) {
+            self.master.alive = false;
+        }
+        if self.slave.alive && !cluster.is_up(self.slave.host) {
+            self.slave.alive = false;
+        }
+
+        if self.master.alive {
+            // master duties: heartbeat, supervise daemons, keep a slave alive
+            store.put(
+                paths::heartbeat("master"),
+                now,
+                encode(&MonitorRecord::Heartbeat {
+                    role: "master".into(),
+                    incarnation: self.master.incarnation,
+                    at: now,
+                }),
+            );
+            self.relaunch_count += daemons.relaunch_dead();
+            if !self.slave.alive {
+                if let Some(host) = Self::pick_host(cluster, self.master.host) {
+                    self.slave = Instance {
+                        host,
+                        alive: true,
+                        incarnation: self.next_incarnation,
+                    };
+                    self.next_incarnation += 1;
+                }
+            }
+        } else if self.slave.alive {
+            // slave duties: watch the master heartbeat; promote on staleness
+            let master_stale = match store.get(&paths::heartbeat("master")) {
+                None => true,
+                Some(rec) => match decode(&rec.data) {
+                    Ok(MonitorRecord::Heartbeat { at, .. }) => {
+                        now.since(at) > self.heartbeat_timeout
+                    }
+                    _ => true,
+                },
+            };
+            if master_stale {
+                // promote self to master, then spawn a fresh slave
+                self.failover_count += 1;
+                self.master = self.slave;
+                self.slave.alive = false;
+                if let Some(host) = Self::pick_host(cluster, self.master.host) {
+                    self.slave = Instance {
+                        host,
+                        alive: true,
+                        incarnation: self.next_incarnation,
+                    };
+                    self.next_incarnation += 1;
+                }
+            }
+        }
+        // both dead: nothing happens — daemons run unsupervised (paper §4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlrm_cluster::iitk::small_cluster;
+
+    fn setup() -> (ClusterSim, SharedStore, DaemonSet, CentralMonitor) {
+        let cluster = small_cluster(6, 3);
+        let store = SharedStore::new();
+        let daemons = DaemonSet::new(6);
+        let cm = CentralMonitor::new(NodeId(0), NodeId(1), &DaemonConfig::default());
+        (cluster, store, daemons, cm)
+    }
+
+    fn advance_and_tick(
+        cluster: &mut ClusterSim,
+        store: &SharedStore,
+        daemons: &mut DaemonSet,
+        cm: &mut CentralMonitor,
+        ticks: usize,
+    ) {
+        for _ in 0..ticks {
+            cluster.advance(Duration::from_secs(10));
+            cm.tick(cluster, store, daemons);
+        }
+    }
+
+    #[test]
+    fn master_relaunches_dead_daemons() {
+        let (mut cluster, store, mut daemons, mut cm) = setup();
+        daemons.latency.kill();
+        daemons.nodestate[2].kill();
+        assert_eq!(daemons.dead_count(), 2);
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 1);
+        assert_eq!(daemons.dead_count(), 0);
+        assert_eq!(cm.relaunch_count, 2);
+    }
+
+    #[test]
+    fn slave_promotes_after_master_death() {
+        let (mut cluster, store, mut daemons, mut cm) = setup();
+        // establish a heartbeat first
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 1);
+        cm.kill_master();
+        // within timeout: no failover yet
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 2);
+        assert_eq!(cm.failover_count, 0);
+        // past timeout (3.5 × 10 s): slave takes over
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 3);
+        assert_eq!(cm.failover_count, 1);
+        assert!(cm.master().alive);
+        assert_eq!(cm.master().host, NodeId(1));
+        // and a fresh slave was spawned elsewhere
+        assert!(cm.slave().alive);
+        assert_ne!(cm.slave().host, NodeId(1));
+    }
+
+    #[test]
+    fn new_master_supervises_daemons() {
+        let (mut cluster, store, mut daemons, mut cm) = setup();
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 1);
+        cm.kill_master();
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 6);
+        daemons.bandwidth.kill();
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 1);
+        assert!(daemons.bandwidth.is_alive());
+    }
+
+    #[test]
+    fn master_respawns_dead_slave() {
+        let (mut cluster, store, mut daemons, mut cm) = setup();
+        let before = cm.slave().incarnation;
+        cm.kill_slave();
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 1);
+        assert!(cm.slave().alive);
+        assert!(cm.slave().incarnation > before);
+    }
+
+    #[test]
+    fn headless_monitor_stops_relaunching() {
+        let (mut cluster, store, mut daemons, mut cm) = setup();
+        cm.kill_master();
+        cm.kill_slave();
+        assert!(cm.is_headless());
+        daemons.latency.kill();
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 10);
+        // nobody relaunched it
+        assert!(!daemons.latency.is_alive());
+        assert_eq!(cm.relaunch_count, 0);
+    }
+
+    #[test]
+    fn instance_dies_with_its_host() {
+        let (mut cluster, store, mut daemons, mut cm) = setup();
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 1);
+        cluster.set_node_up(NodeId(0), false);
+        // master host down → death detected, slave eventually promotes
+        advance_and_tick(&mut cluster, &store, &mut daemons, &mut cm, 6);
+        assert_eq!(cm.failover_count, 1);
+        assert_ne!(cm.master().host, NodeId(0));
+    }
+}

@@ -1,0 +1,391 @@
+//! Binary record format for the shared store.
+//!
+//! The paper's daemons write small files to NFS; ours write small byte
+//! records to the [`SharedStore`](crate::store::SharedStore). The format is
+//! a hand-rolled little-endian encoding: one version byte, one tag byte,
+//! then the fields. Hand-rolled because the records are tiny, fixed, and
+//! must stay readable by the threaded runtime without pulling in a
+//! serialization framework.
+
+use crate::sample::{LatencyStat, NodeSample};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nlrm_cluster::NodeSpec;
+use nlrm_sim_core::time::SimTime;
+use nlrm_sim_core::window::WindowedValue;
+use nlrm_topology::NodeId;
+use std::fmt;
+
+/// Format version; bump on incompatible change.
+const VERSION: u8 = 1;
+
+const TAG_LIVEHOSTS: u8 = 1;
+const TAG_SAMPLE: u8 = 2;
+const TAG_LATENCY_ROW: u8 = 3;
+const TAG_BANDWIDTH_ROW: u8 = 4;
+const TAG_HEARTBEAT: u8 = 5;
+
+/// Everything the monitoring system persists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorRecord {
+    /// The list of nodes that answered the last ping sweep.
+    Livehosts(Vec<NodeId>),
+    /// One node's state sample.
+    Sample(NodeSample),
+    /// One node's latency to every node (index = peer id; self entry 0).
+    LatencyRow {
+        /// Measuring node.
+        node: NodeId,
+        /// Per-peer latency statistics.
+        stats: Vec<LatencyStat>,
+    },
+    /// One node's bandwidth to every node.
+    BandwidthRow {
+        /// Measuring node.
+        node: NodeId,
+        /// Instantaneous effective available bandwidth, bits/s.
+        avail_bps: Vec<f64>,
+        /// Peak (zero-load) bandwidth, bits/s.
+        peak_bps: Vec<f64>,
+    },
+    /// A central-monitor liveness beacon.
+    Heartbeat {
+        /// `"master"` or `"slave"`.
+        role: String,
+        /// Monotonic incarnation number (bumped on failover/restart).
+        incarnation: u32,
+        /// When the beacon was written.
+        at: SimTime,
+    },
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Record ended before all fields were read.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// Hostname was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "record truncated"),
+            CodecError::BadVersion(v) => write!(f, "unsupported record version {v}"),
+            CodecError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in record"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode a record to bytes.
+pub fn encode(record: &MonitorRecord) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u8(VERSION);
+    match record {
+        MonitorRecord::Livehosts(hosts) => {
+            buf.put_u8(TAG_LIVEHOSTS);
+            buf.put_u32_le(hosts.len() as u32);
+            for h in hosts {
+                buf.put_u32_le(h.0);
+            }
+        }
+        MonitorRecord::Sample(s) => {
+            buf.put_u8(TAG_SAMPLE);
+            buf.put_u32_le(s.node.0);
+            buf.put_u64_le(s.taken_at.as_micros());
+            put_spec(&mut buf, &s.spec);
+            put_windowed(&mut buf, &s.cpu_load);
+            put_windowed(&mut buf, &s.cpu_util);
+            put_windowed(&mut buf, &s.mem_used_frac);
+            put_windowed(&mut buf, &s.flow_rate_mbps);
+            buf.put_u32_le(s.users);
+        }
+        MonitorRecord::LatencyRow { node, stats } => {
+            buf.put_u8(TAG_LATENCY_ROW);
+            buf.put_u32_le(node.0);
+            buf.put_u32_le(stats.len() as u32);
+            for st in stats {
+                buf.put_f64_le(st.instant);
+                buf.put_f64_le(st.m1);
+                buf.put_f64_le(st.m5);
+            }
+        }
+        MonitorRecord::BandwidthRow {
+            node,
+            avail_bps,
+            peak_bps,
+        } => {
+            buf.put_u8(TAG_BANDWIDTH_ROW);
+            buf.put_u32_le(node.0);
+            buf.put_u32_le(avail_bps.len() as u32);
+            for &b in avail_bps {
+                buf.put_f64_le(b);
+            }
+            debug_assert_eq!(avail_bps.len(), peak_bps.len());
+            for &b in peak_bps {
+                buf.put_f64_le(b);
+            }
+        }
+        MonitorRecord::Heartbeat {
+            role,
+            incarnation,
+            at,
+        } => {
+            buf.put_u8(TAG_HEARTBEAT);
+            buf.put_u32_le(role.len() as u32);
+            buf.put_slice(role.as_bytes());
+            buf.put_u32_le(*incarnation);
+            buf.put_u64_le(at.as_micros());
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a record from bytes.
+pub fn decode(mut data: &[u8]) -> Result<MonitorRecord, CodecError> {
+    let version = get_u8(&mut data)?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let tag = get_u8(&mut data)?;
+    match tag {
+        TAG_LIVEHOSTS => {
+            let n = get_u32(&mut data)? as usize;
+            let mut hosts = Vec::with_capacity(n);
+            for _ in 0..n {
+                hosts.push(NodeId(get_u32(&mut data)?));
+            }
+            Ok(MonitorRecord::Livehosts(hosts))
+        }
+        TAG_SAMPLE => {
+            let node = NodeId(get_u32(&mut data)?);
+            let taken_at = SimTime::from_micros(get_u64(&mut data)?);
+            let spec = get_spec(&mut data)?;
+            let cpu_load = get_windowed(&mut data)?;
+            let cpu_util = get_windowed(&mut data)?;
+            let mem_used_frac = get_windowed(&mut data)?;
+            let flow_rate_mbps = get_windowed(&mut data)?;
+            let users = get_u32(&mut data)?;
+            Ok(MonitorRecord::Sample(NodeSample {
+                node,
+                taken_at,
+                spec,
+                cpu_load,
+                cpu_util,
+                mem_used_frac,
+                flow_rate_mbps,
+                users,
+            }))
+        }
+        TAG_LATENCY_ROW => {
+            let node = NodeId(get_u32(&mut data)?);
+            let n = get_u32(&mut data)? as usize;
+            let mut stats = Vec::with_capacity(n);
+            for _ in 0..n {
+                stats.push(LatencyStat {
+                    instant: get_f64(&mut data)?,
+                    m1: get_f64(&mut data)?,
+                    m5: get_f64(&mut data)?,
+                });
+            }
+            Ok(MonitorRecord::LatencyRow { node, stats })
+        }
+        TAG_BANDWIDTH_ROW => {
+            let node = NodeId(get_u32(&mut data)?);
+            let n = get_u32(&mut data)? as usize;
+            let mut avail_bps = Vec::with_capacity(n);
+            for _ in 0..n {
+                avail_bps.push(get_f64(&mut data)?);
+            }
+            let mut peak_bps = Vec::with_capacity(n);
+            for _ in 0..n {
+                peak_bps.push(get_f64(&mut data)?);
+            }
+            Ok(MonitorRecord::BandwidthRow {
+                node,
+                avail_bps,
+                peak_bps,
+            })
+        }
+        TAG_HEARTBEAT => {
+            let len = get_u32(&mut data)? as usize;
+            if data.remaining() < len {
+                return Err(CodecError::Truncated);
+            }
+            let role = std::str::from_utf8(&data[..len])
+                .map_err(|_| CodecError::BadUtf8)?
+                .to_string();
+            data.advance(len);
+            let incarnation = get_u32(&mut data)?;
+            let at = SimTime::from_micros(get_u64(&mut data)?);
+            Ok(MonitorRecord::Heartbeat {
+                role,
+                incarnation,
+                at,
+            })
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+fn put_spec(buf: &mut BytesMut, spec: &NodeSpec) {
+    buf.put_u32_le(spec.hostname.len() as u32);
+    buf.put_slice(spec.hostname.as_bytes());
+    buf.put_u32_le(spec.cores);
+    buf.put_f64_le(spec.freq_ghz);
+    buf.put_f64_le(spec.total_mem_gb);
+}
+
+fn get_spec(data: &mut &[u8]) -> Result<NodeSpec, CodecError> {
+    let len = get_u32(data)? as usize;
+    if data.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    let hostname = std::str::from_utf8(&data[..len])
+        .map_err(|_| CodecError::BadUtf8)?
+        .to_string();
+    data.advance(len);
+    Ok(NodeSpec {
+        hostname,
+        cores: get_u32(data)?,
+        freq_ghz: get_f64(data)?,
+        total_mem_gb: get_f64(data)?,
+    })
+}
+
+fn put_windowed(buf: &mut BytesMut, w: &WindowedValue) {
+    buf.put_f64_le(w.instant);
+    buf.put_f64_le(w.m1);
+    buf.put_f64_le(w.m5);
+    buf.put_f64_le(w.m15);
+}
+
+fn get_windowed(data: &mut &[u8]) -> Result<WindowedValue, CodecError> {
+    Ok(WindowedValue {
+        instant: get_f64(data)?,
+        m1: get_f64(data)?,
+        m5: get_f64(data)?,
+        m15: get_f64(data)?,
+    })
+}
+
+fn get_u8(data: &mut &[u8]) -> Result<u8, CodecError> {
+    if data.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(data.get_u8())
+}
+
+fn get_u32(data: &mut &[u8]) -> Result<u32, CodecError> {
+    if data.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(data.get_u32_le())
+}
+
+fn get_u64(data: &mut &[u8]) -> Result<u64, CodecError> {
+    if data.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(data.get_u64_le())
+}
+
+fn get_f64(data: &mut &[u8]) -> Result<f64, CodecError> {
+    if data.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(data.get_f64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NodeSample {
+        NodeSample {
+            node: NodeId(7),
+            taken_at: SimTime::from_secs(123),
+            spec: NodeSpec {
+                hostname: "csews8".into(),
+                cores: 12,
+                freq_ghz: 4.6,
+                total_mem_gb: 16.0,
+            },
+            cpu_load: WindowedValue {
+                instant: 0.5,
+                m1: 0.4,
+                m5: 0.3,
+                m15: 0.2,
+            },
+            cpu_util: WindowedValue::constant(0.25),
+            mem_used_frac: WindowedValue::constant(0.3),
+            flow_rate_mbps: WindowedValue::constant(12.0),
+            users: 3,
+        }
+    }
+
+    #[test]
+    fn livehosts_roundtrip() {
+        let r = MonitorRecord::Livehosts(vec![NodeId(0), NodeId(5), NodeId(59)]);
+        assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn sample_roundtrip() {
+        let r = MonitorRecord::Sample(sample());
+        assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn latency_row_roundtrip() {
+        let r = MonitorRecord::LatencyRow {
+            node: NodeId(2),
+            stats: vec![LatencyStat::constant(0.0), LatencyStat::constant(1e-4)],
+        };
+        assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn bandwidth_row_roundtrip() {
+        let r = MonitorRecord::BandwidthRow {
+            node: NodeId(2),
+            avail_bps: vec![0.0, 9e8],
+            peak_bps: vec![0.0, 1e9],
+        };
+        assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn heartbeat_roundtrip() {
+        let r = MonitorRecord::Heartbeat {
+            role: "master".into(),
+            incarnation: 4,
+            at: SimTime::from_secs(99),
+        };
+        assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn truncated_records_error() {
+        let full = encode(&MonitorRecord::Sample(sample()));
+        for cut in [0, 1, 2, 5, full.len() - 1] {
+            assert!(
+                matches!(decode(&full[..cut]), Err(CodecError::Truncated)),
+                "cut {cut} did not fail as truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_version_detected() {
+        assert_eq!(decode(&[9, 1]), Err(CodecError::BadVersion(9)));
+        assert_eq!(decode(&[VERSION, 200]), Err(CodecError::BadTag(200)));
+    }
+}

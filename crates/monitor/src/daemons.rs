@@ -1,0 +1,498 @@
+//! The four monitoring daemons (§4 of the paper).
+//!
+//! * [`LivehostsD`] pings every node and publishes the set that answered.
+//! * [`NodeStateD`] runs *on each node*, samples the local OS counters every
+//!   few seconds and publishes instantaneous values plus 1/5/15-minute
+//!   running means. If its node is down, the daemon is down.
+//! * [`LatencyD`] and [`BandwidthD`] sweep all node pairs with the
+//!   round-robin tournament schedule (disjoint pairs per round) and publish
+//!   per-node measurement rows.
+//!
+//! Daemons can be killed (failure injection) and relaunched by the
+//! [`CentralMonitor`](crate::central::CentralMonitor).
+
+use crate::codec::{encode, MonitorRecord};
+use crate::matrix::SymMatrix;
+use crate::rounds::round_robin_rounds;
+use crate::sample::{LatencyStat, NodeSample};
+use crate::store::{paths, SharedStore};
+use nlrm_cluster::ClusterSim;
+use nlrm_sim_core::time::Duration;
+use nlrm_sim_core::window::{MultiWindowMean, WindowedMean};
+use nlrm_topology::NodeId;
+
+/// Sampling/probing periods for all daemons. Defaults follow the paper:
+/// node state every 5 s (the paper says 3–10 s), latency sweeps every
+/// minute, bandwidth sweeps every 5 minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// Ping-sweep period of `LivehostsD`.
+    pub livehosts_period: Duration,
+    /// Sampling period of `NodeStateD`.
+    pub nodestate_period: Duration,
+    /// Sweep period of `LatencyD`.
+    pub latency_period: Duration,
+    /// Sweep period of `BandwidthD`.
+    pub bandwidth_period: Duration,
+    /// Heartbeat period of the central monitor.
+    pub central_period: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            livehosts_period: Duration::from_secs(10),
+            nodestate_period: Duration::from_secs(5),
+            latency_period: Duration::from_secs(60),
+            bandwidth_period: Duration::from_secs(300),
+            central_period: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Ping-sweep daemon maintaining the livehosts list.
+#[derive(Debug, Clone)]
+pub struct LivehostsD {
+    alive: bool,
+}
+
+impl Default for LivehostsD {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LivehostsD {
+    /// A running daemon.
+    pub fn new() -> Self {
+        LivehostsD { alive: true }
+    }
+
+    /// Whether the daemon is running.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Failure injection: stop the daemon.
+    pub fn kill(&mut self) {
+        self.alive = false;
+    }
+
+    /// Restart after a crash (idempotent).
+    pub fn relaunch(&mut self) {
+        self.alive = true;
+    }
+
+    /// Ping every node; publish those that answered.
+    pub fn tick(&mut self, cluster: &ClusterSim, store: &SharedStore) {
+        if !self.alive {
+            return;
+        }
+        let hosts: Vec<NodeId> = cluster
+            .topology()
+            .node_ids()
+            .filter(|&n| cluster.is_up(n))
+            .collect();
+        store.put(
+            paths::LIVEHOSTS,
+            cluster.now(),
+            encode(&MonitorRecord::Livehosts(hosts)),
+        );
+    }
+}
+
+/// Per-node state sampler with 1/5/15-minute windows.
+#[derive(Debug, Clone)]
+pub struct NodeStateD {
+    node: NodeId,
+    alive: bool,
+    cpu_load: MultiWindowMean,
+    cpu_util: MultiWindowMean,
+    mem_used: MultiWindowMean,
+    flow_rate: MultiWindowMean,
+}
+
+impl NodeStateD {
+    /// A running sampler for `node`.
+    pub fn new(node: NodeId) -> Self {
+        NodeStateD {
+            node,
+            alive: true,
+            cpu_load: MultiWindowMean::new(),
+            cpu_util: MultiWindowMean::new(),
+            mem_used: MultiWindowMean::new(),
+            flow_rate: MultiWindowMean::new(),
+        }
+    }
+
+    /// The node this daemon runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether the daemon is running.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Failure injection: stop the daemon.
+    pub fn kill(&mut self) {
+        self.alive = false;
+    }
+
+    /// Restart after a crash. History windows restart empty, exactly as a
+    /// freshly exec'd daemon's would.
+    pub fn relaunch(&mut self) {
+        *self = NodeStateD::new(self.node);
+    }
+
+    /// Sample the local node and publish. A daemon on a down node cannot run.
+    pub fn tick(&mut self, cluster: &ClusterSim, store: &SharedStore) {
+        if !self.alive || !cluster.is_up(self.node) {
+            return;
+        }
+        let t = cluster.now();
+        let state = cluster.node_state(self.node);
+        self.cpu_load.push(t, state.cpu_load);
+        self.cpu_util.push(t, state.cpu_util);
+        self.mem_used.push(t, state.mem_used_frac);
+        self.flow_rate.push(t, state.flow_rate_mbps);
+        let sample = NodeSample {
+            node: self.node,
+            taken_at: t,
+            spec: cluster.spec(self.node).clone(),
+            cpu_load: self.cpu_load.value().expect("just pushed"),
+            cpu_util: self.cpu_util.value().expect("just pushed"),
+            mem_used_frac: self.mem_used.value().expect("just pushed"),
+            flow_rate_mbps: self.flow_rate.value().expect("just pushed"),
+            users: state.users,
+        };
+        store.put(
+            paths::node_state(self.node),
+            t,
+            encode(&MonitorRecord::Sample(sample)),
+        );
+    }
+}
+
+/// Pairwise latency prober with 1/5-minute windows per pair.
+#[derive(Debug, Clone)]
+pub struct LatencyD {
+    alive: bool,
+    n: usize,
+    /// Per-pair (upper-triangle) windows: (1-min, 5-min).
+    windows: Vec<(WindowedMean, WindowedMean)>,
+    latest: SymMatrix<f64>,
+}
+
+impl LatencyD {
+    /// A prober for an `n`-node cluster.
+    pub fn new(n: usize) -> Self {
+        LatencyD {
+            alive: true,
+            n,
+            windows: (0..n * n)
+                .map(|_| {
+                    (
+                        WindowedMean::new(Duration::from_mins(1)),
+                        WindowedMean::new(Duration::from_mins(5)),
+                    )
+                })
+                .collect(),
+            latest: SymMatrix::new(n, f64::NAN),
+        }
+    }
+
+    /// Whether the daemon is running.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Failure injection: stop the daemon.
+    pub fn kill(&mut self) {
+        self.alive = false;
+    }
+
+    /// Restart after a crash; windows restart empty.
+    pub fn relaunch(&mut self) {
+        *self = LatencyD::new(self.n);
+    }
+
+    /// One full tournament sweep over all live node pairs, then publish a
+    /// row per live node.
+    pub fn tick(&mut self, cluster: &mut ClusterSim, store: &SharedStore) {
+        if !self.alive {
+            return;
+        }
+        let t = cluster.now();
+        let live: Vec<NodeId> = cluster
+            .topology()
+            .node_ids()
+            .filter(|&n| cluster.is_up(n))
+            .collect();
+        for round in round_robin_rounds(live.len()) {
+            for (a, b) in round {
+                let (u, v) = (live[a], live[b]);
+                let lat = cluster.measure_latency_s(u, v);
+                self.latest.set(u, v, lat);
+                let idx = u.index() * self.n + v.index();
+                self.windows[idx].0.push(t, lat);
+                self.windows[idx].1.push(t, lat);
+                let mirror = v.index() * self.n + u.index();
+                self.windows[mirror].0.push(t, lat);
+                self.windows[mirror].1.push(t, lat);
+            }
+        }
+        for &u in &live {
+            let stats: Vec<LatencyStat> = (0..self.n)
+                .map(|v| {
+                    if v == u.index() {
+                        return LatencyStat::constant(0.0);
+                    }
+                    let idx = u.index() * self.n + v;
+                    let instant = self.latest.get(u, NodeId(v as u32));
+                    if instant.is_nan() {
+                        // never measured (peer down since start)
+                        return LatencyStat::constant(f64::INFINITY);
+                    }
+                    LatencyStat {
+                        instant,
+                        m1: self.windows[idx].0.mean().unwrap_or(instant),
+                        m5: self.windows[idx].1.mean().unwrap_or(instant),
+                    }
+                })
+                .collect();
+            store.put(
+                paths::latency_row(u),
+                t,
+                encode(&MonitorRecord::LatencyRow { node: u, stats }),
+            );
+        }
+    }
+}
+
+/// Pairwise bandwidth prober. The paper uses the *instantaneous* effective
+/// bandwidth for allocation, so no windows are kept here.
+#[derive(Debug, Clone)]
+pub struct BandwidthD {
+    alive: bool,
+    n: usize,
+    latest: SymMatrix<f64>,
+    peak: SymMatrix<f64>,
+}
+
+impl BandwidthD {
+    /// A prober for an `n`-node cluster.
+    pub fn new(n: usize) -> Self {
+        BandwidthD {
+            alive: true,
+            n,
+            latest: SymMatrix::new(n, f64::NAN),
+            peak: SymMatrix::new(n, f64::NAN),
+        }
+    }
+
+    /// Whether the daemon is running.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Failure injection: stop the daemon.
+    pub fn kill(&mut self) {
+        self.alive = false;
+    }
+
+    /// Restart after a crash.
+    pub fn relaunch(&mut self) {
+        *self = BandwidthD::new(self.n);
+    }
+
+    /// One tournament sweep; publish a row per live node.
+    pub fn tick(&mut self, cluster: &mut ClusterSim, store: &SharedStore) {
+        if !self.alive {
+            return;
+        }
+        let t = cluster.now();
+        let live: Vec<NodeId> = cluster
+            .topology()
+            .node_ids()
+            .filter(|&n| cluster.is_up(n))
+            .collect();
+        for round in round_robin_rounds(live.len()) {
+            for (a, b) in round {
+                let (u, v) = (live[a], live[b]);
+                let bw = cluster.measure_bandwidth_bps(u, v);
+                self.latest.set(u, v, bw);
+                self.peak.set(u, v, cluster.peak_bandwidth_bps(u, v));
+            }
+        }
+        for &u in &live {
+            let mut avail = vec![0.0; self.n];
+            let mut peak = vec![0.0; self.n];
+            for v in 0..self.n {
+                if v == u.index() {
+                    avail[v] = f64::INFINITY;
+                    peak[v] = f64::INFINITY;
+                    continue;
+                }
+                let b = self.latest.get(u, NodeId(v as u32));
+                // unmeasured peers report 0 available bandwidth (worst case)
+                avail[v] = if b.is_nan() { 0.0 } else { b };
+                let p = self.peak.get(u, NodeId(v as u32));
+                peak[v] = if p.is_nan() { 0.0 } else { p };
+            }
+            store.put(
+                paths::bandwidth_row(u),
+                t,
+                encode(&MonitorRecord::BandwidthRow {
+                    node: u,
+                    avail_bps: avail,
+                    peak_bps: peak,
+                }),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decode;
+    use nlrm_cluster::iitk::small_cluster;
+    use nlrm_sim_core::time::SimTime;
+
+    #[test]
+    fn livehosts_excludes_down_nodes() {
+        let mut cluster = small_cluster(4, 7);
+        cluster.set_node_up(NodeId(2), false);
+        let store = SharedStore::new();
+        LivehostsD::new().tick(&cluster, &store);
+        let rec = decode(&store.get(paths::LIVEHOSTS).unwrap().data).unwrap();
+        match rec {
+            MonitorRecord::Livehosts(hosts) => {
+                assert_eq!(hosts, vec![NodeId(0), NodeId(1), NodeId(3)]);
+            }
+            other => panic!("wrong record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nodestate_publishes_windows() {
+        let mut cluster = small_cluster(2, 7);
+        let store = SharedStore::new();
+        let mut d = NodeStateD::new(NodeId(0));
+        for _ in 0..20 {
+            cluster.advance(Duration::from_secs(5));
+            d.tick(&cluster, &store);
+        }
+        let rec = decode(&store.get(&paths::node_state(NodeId(0))).unwrap().data).unwrap();
+        match rec {
+            MonitorRecord::Sample(s) => {
+                assert_eq!(s.node, NodeId(0));
+                assert!(s.cpu_util.m1 >= 0.0);
+                assert_eq!(s.spec.cores, 8);
+                assert_eq!(s.taken_at, cluster.now());
+            }
+            other => panic!("wrong record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_daemon_publishes_nothing() {
+        let mut cluster = small_cluster(2, 7);
+        cluster.advance(Duration::from_secs(5));
+        let store = SharedStore::new();
+        let mut d = NodeStateD::new(NodeId(0));
+        d.kill();
+        d.tick(&cluster, &store);
+        assert!(store.is_empty());
+        d.relaunch();
+        d.tick(&cluster, &store);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn daemon_on_down_node_is_silent() {
+        let mut cluster = small_cluster(2, 7);
+        cluster.set_node_up(NodeId(0), false);
+        cluster.advance(Duration::from_secs(5));
+        cluster.set_node_up(NodeId(0), false); // state refresh keeps up flag
+        let store = SharedStore::new();
+        let mut d = NodeStateD::new(NodeId(0));
+        d.tick(&cluster, &store);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn latency_sweep_covers_all_live_pairs() {
+        let mut cluster = small_cluster(5, 7);
+        cluster.advance(Duration::from_secs(5));
+        let store = SharedStore::new();
+        let mut d = LatencyD::new(5);
+        d.tick(&mut cluster, &store);
+        for u in 0..5u32 {
+            let rec = decode(&store.get(&paths::latency_row(NodeId(u))).unwrap().data).unwrap();
+            match rec {
+                MonitorRecord::LatencyRow { node, stats } => {
+                    assert_eq!(node, NodeId(u));
+                    assert_eq!(stats.len(), 5);
+                    assert_eq!(stats[u as usize].instant, 0.0);
+                    for (v, st) in stats.iter().enumerate() {
+                        if v != u as usize {
+                            assert!(st.instant > 0.0 && st.instant.is_finite());
+                        }
+                    }
+                }
+                other => panic!("wrong record {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_rows_have_peak_and_available() {
+        let mut cluster = small_cluster(4, 7);
+        cluster.advance(Duration::from_secs(5));
+        let store = SharedStore::new();
+        let mut d = BandwidthD::new(4);
+        d.tick(&mut cluster, &store);
+        let rec = decode(&store.get(&paths::bandwidth_row(NodeId(1))).unwrap().data).unwrap();
+        match rec {
+            MonitorRecord::BandwidthRow {
+                avail_bps,
+                peak_bps,
+                ..
+            } => {
+                for v in 0..4 {
+                    if v == 1 {
+                        assert!(avail_bps[v].is_infinite());
+                    } else {
+                        assert!(avail_bps[v] > 0.0);
+                        assert!(avail_bps[v] <= peak_bps[v] + 1.0);
+                        assert_eq!(peak_bps[v], 1e9);
+                    }
+                }
+            }
+            other => panic!("wrong record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn down_peer_reports_zero_bandwidth() {
+        let mut cluster = small_cluster(3, 7);
+        cluster.set_node_up(NodeId(2), false);
+        cluster.advance(Duration::from_secs(5));
+        cluster.set_node_up(NodeId(2), false);
+        let store = SharedStore::new();
+        let mut d = BandwidthD::new(3);
+        d.tick(&mut cluster, &store);
+        let rec = decode(&store.get(&paths::bandwidth_row(NodeId(0))).unwrap().data).unwrap();
+        match rec {
+            MonitorRecord::BandwidthRow { avail_bps, .. } => {
+                assert_eq!(avail_bps[2], 0.0);
+                assert!(avail_bps[1] > 0.0);
+            }
+            other => panic!("wrong record {other:?}"),
+        }
+        let _ = SimTime::ZERO;
+    }
+}

@@ -1,0 +1,44 @@
+//! # nlrm-monitor
+//!
+//! The paper's **Resource Monitor** (§4): a distributed set of light-weight
+//! daemons that publish cluster state to a shared filesystem, supervised by
+//! a redundant central monitor.
+//!
+//! * [`store`] — [`SharedStore`], the NFS stand-in: a
+//!   concurrent path→bytes keyspace; [`codec`] defines the on-"disk" binary
+//!   record format.
+//! * [`sample`] — the per-node record `NodeStateD` publishes: static spec +
+//!   instantaneous and 1/5/15-minute means of every dynamic attribute
+//!   (Table 1 of the paper).
+//! * [`rounds`] — the tournament schedule for pairwise measurements: n/2
+//!   disjoint pairs per round, n−1 rounds, so no node is measured twice at
+//!   once (§4, "P2P latency and bandwidth").
+//! * [`daemons`] — `LivehostsD`, `NodeStateD`, `LatencyD`, `BandwidthD`.
+//! * [`central`] — the master/slave `CentralMonitor` that relaunches dead
+//!   daemons and fails over when the master dies.
+//! * [`forecast`] — NWS-style projection of snapshots to job-start time.
+//! * [`runtime`] — drives everything in virtual time against a
+//!   [`ClusterSim`](nlrm_cluster::ClusterSim).
+//! * [`threaded`] — the same daemon topology on real OS threads, for
+//!   demonstrations outside the simulator.
+//! * [`snapshot`] — [`ClusterSnapshot`], the
+//!   allocator's input, assembled purely from store contents (the allocator
+//!   never peeks at simulator truth).
+
+pub mod central;
+pub mod codec;
+pub mod daemons;
+pub mod forecast;
+pub mod matrix;
+pub mod rounds;
+pub mod runtime;
+pub mod sample;
+pub mod snapshot;
+pub mod store;
+pub mod threaded;
+
+pub use matrix::SymMatrix;
+pub use runtime::MonitorRuntime;
+pub use sample::{LatencyStat, NodeSample};
+pub use snapshot::{ClusterSnapshot, NodeInfo};
+pub use store::SharedStore;

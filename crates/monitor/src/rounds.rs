@@ -1,0 +1,110 @@
+//! Tournament scheduling for pairwise measurements.
+//!
+//! The paper (§4) schedules the O(n²) P2P probes "in a few rounds such that
+//! one node communicates with only one other node in each round (n/2
+//! distinct pairs of nodes communicate at a time). There are n−1 such
+//! rounds." That is exactly a round-robin tournament; we implement the
+//! classic circle method.
+
+/// Round-robin rounds over `n` participants.
+///
+/// Returns `n−1` rounds (or `n` rounds for odd `n`, where each round one
+/// participant sits out). Every round is a set of disjoint pairs; across all
+/// rounds every unordered pair appears exactly once.
+///
+/// ```
+/// use nlrm_monitor::rounds::round_robin_rounds;
+///
+/// let rounds = round_robin_rounds(4);
+/// assert_eq!(rounds.len(), 3);                     // n − 1 rounds
+/// assert!(rounds.iter().all(|r| r.len() == 2));    // n/2 disjoint pairs each
+/// let total: usize = rounds.iter().map(|r| r.len()).sum();
+/// assert_eq!(total, 6);                            // C(4,2) pairs in all
+/// ```
+pub fn round_robin_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
+    if n < 2 {
+        return Vec::new();
+    }
+    // Pad odd n with a phantom participant (index n) meaning "bye".
+    let m = if n.is_multiple_of(2) { n } else { n + 1 };
+    let rounds = m - 1;
+    let mut ring: Vec<usize> = (1..m).collect(); // participant 0 is fixed
+    let mut out = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut pairs = Vec::with_capacity(m / 2);
+        // pair 0 with ring[last]; pair ring[i] with ring[m-3-i]
+        let opp = ring[m - 2];
+        push_pair(&mut pairs, 0, opp, n);
+        for i in 0..(m / 2 - 1) {
+            push_pair(&mut pairs, ring[i], ring[m - 3 - i], n);
+        }
+        out.push(pairs);
+        ring.rotate_right(1);
+    }
+    out
+}
+
+fn push_pair(pairs: &mut Vec<(usize, usize)>, a: usize, b: usize, n: usize) {
+    // drop pairs involving the phantom bye participant
+    if a < n && b < n {
+        pairs.push((a.min(b), a.max(b)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_schedule(n: usize) {
+        let rounds = round_robin_rounds(n);
+        let expected_rounds = if n < 2 {
+            0
+        } else if n.is_multiple_of(2) {
+            n - 1
+        } else {
+            n
+        };
+        assert_eq!(rounds.len(), expected_rounds, "n={n}");
+        let mut all = HashSet::new();
+        for round in &rounds {
+            let mut seen = HashSet::new();
+            for &(a, b) in round {
+                assert!(a < b && b < n, "bad pair ({a},{b}) for n={n}");
+                // disjointness within a round
+                assert!(seen.insert(a), "node {a} reused in a round (n={n})");
+                assert!(seen.insert(b), "node {b} reused in a round (n={n})");
+                assert!(all.insert((a, b)), "pair ({a},{b}) repeated (n={n})");
+            }
+        }
+        // completeness: all C(n,2) pairs covered
+        assert_eq!(all.len(), n * (n - 1) / 2, "n={n}");
+    }
+
+    #[test]
+    fn even_sizes() {
+        for n in [2, 4, 6, 10, 30, 60] {
+            check_schedule(n);
+        }
+    }
+
+    #[test]
+    fn odd_sizes() {
+        for n in [3, 5, 7, 15, 59] {
+            check_schedule(n);
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(round_robin_rounds(0).is_empty());
+        assert!(round_robin_rounds(1).is_empty());
+    }
+
+    #[test]
+    fn even_rounds_have_half_n_pairs() {
+        for round in round_robin_rounds(8) {
+            assert_eq!(round.len(), 4);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The virtual-time monitoring runtime.
+//!
+//! Schedules daemon ticks on a deterministic event queue and drives a
+//! [`ClusterSim`] forward between ticks. This is the monitoring stack the
+//! experiments use: fast (48 hours of cluster time in milliseconds) and
+//! perfectly reproducible.
+
+use crate::central::{CentralMonitor, DaemonSet};
+use crate::daemons::DaemonConfig;
+use crate::snapshot::{ClusterSnapshot, SnapshotError};
+use crate::store::SharedStore;
+use nlrm_cluster::ClusterSim;
+use nlrm_sim_core::event::EventQueue;
+use nlrm_sim_core::time::SimTime;
+use nlrm_topology::NodeId;
+
+/// Which daemon a scheduled tick belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tick {
+    Livehosts,
+    NodeState,
+    Latency,
+    Bandwidth,
+    Central,
+}
+
+/// Daemon failure-injection targets (tests, ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonKind {
+    /// The livehosts ping daemon.
+    Livehosts,
+    /// The state sampler on one node.
+    NodeState(NodeId),
+    /// The latency prober.
+    Latency,
+    /// The bandwidth prober.
+    Bandwidth,
+}
+
+/// The full monitoring stack bound to one cluster, run in virtual time.
+#[derive(Debug, Clone)]
+pub struct MonitorRuntime {
+    config: DaemonConfig,
+    store: SharedStore,
+    daemons: DaemonSet,
+    central: CentralMonitor,
+    queue: EventQueue<Tick>,
+    n: usize,
+}
+
+impl MonitorRuntime {
+    /// Build a runtime for `cluster` with default periods. The central
+    /// monitor's master runs on node 0 and slave on node 1.
+    pub fn new(cluster: &ClusterSim) -> Self {
+        Self::with_config(cluster, DaemonConfig::default())
+    }
+
+    /// Build with custom daemon periods.
+    pub fn with_config(cluster: &ClusterSim, config: DaemonConfig) -> Self {
+        let n = cluster.num_nodes();
+        assert!(n >= 2, "monitoring needs at least two nodes");
+        let mut queue = EventQueue::new();
+        let t0 = cluster.now();
+        // First ticks fire one period in, so the cluster has state to report.
+        queue.push(t0 + config.nodestate_period, Tick::NodeState);
+        queue.push(t0 + config.livehosts_period, Tick::Livehosts);
+        queue.push(t0 + config.latency_period, Tick::Latency);
+        queue.push(t0 + config.bandwidth_period, Tick::Bandwidth);
+        queue.push(t0 + config.central_period, Tick::Central);
+        MonitorRuntime {
+            config,
+            store: SharedStore::new(),
+            daemons: DaemonSet::new(n),
+            central: CentralMonitor::new(NodeId(0), NodeId(1), &config),
+            queue,
+            n,
+        }
+    }
+
+    /// The shared store (what the allocator reads).
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// The daemon periods in force.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// The central monitor (failover state, counters).
+    pub fn central(&self) -> &CentralMonitor {
+        &self.central
+    }
+
+    /// Mutable central monitor (failure injection).
+    pub fn central_mut(&mut self) -> &mut CentralMonitor {
+        &mut self.central
+    }
+
+    /// Kill a daemon (failure injection). It stays dead until the central
+    /// monitor's next supervision pass relaunches it.
+    pub fn kill_daemon(&mut self, kind: DaemonKind) {
+        match kind {
+            DaemonKind::Livehosts => self.daemons.livehosts.kill(),
+            DaemonKind::NodeState(node) => self.daemons.nodestate[node.index()].kill(),
+            DaemonKind::Latency => self.daemons.latency.kill(),
+            DaemonKind::Bandwidth => self.daemons.bandwidth.kill(),
+        }
+    }
+
+    /// Number of currently dead daemons.
+    pub fn dead_daemons(&self) -> usize {
+        self.daemons.dead_count()
+    }
+
+    /// Run monitoring (and the cluster) forward to `target` virtual time.
+    pub fn run_until(&mut self, cluster: &mut ClusterSim, target: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > target {
+                break;
+            }
+            let (t, tick) = self.queue.pop().expect("peeked");
+            cluster.advance_to(t);
+            match tick {
+                Tick::Livehosts => {
+                    self.daemons.livehosts.tick(cluster, &self.store);
+                    self.queue.push(t + self.config.livehosts_period, tick);
+                }
+                Tick::NodeState => {
+                    for d in &mut self.daemons.nodestate {
+                        d.tick(cluster, &self.store);
+                    }
+                    self.queue.push(t + self.config.nodestate_period, tick);
+                }
+                Tick::Latency => {
+                    self.daemons.latency.tick(cluster, &self.store);
+                    self.queue.push(t + self.config.latency_period, tick);
+                }
+                Tick::Bandwidth => {
+                    self.daemons.bandwidth.tick(cluster, &self.store);
+                    self.queue.push(t + self.config.bandwidth_period, tick);
+                }
+                Tick::Central => {
+                    self.central.tick(cluster, &self.store, &mut self.daemons);
+                    self.queue.push(t + self.config.central_period, tick);
+                }
+            }
+        }
+        cluster.advance_to(target);
+    }
+
+    /// Assemble the allocator's snapshot from the store.
+    pub fn snapshot(&self, now: SimTime) -> Result<ClusterSnapshot, SnapshotError> {
+        ClusterSnapshot::assemble(&self.store, self.n, now)
+    }
+
+    /// Convenience: warm the monitor for `warmup` then return a snapshot.
+    pub fn warm_snapshot(
+        &mut self,
+        cluster: &mut ClusterSim,
+        warmup: nlrm_sim_core::time::Duration,
+    ) -> Result<ClusterSnapshot, SnapshotError> {
+        let target = cluster.now() + warmup;
+        self.run_until(cluster, target);
+        self.snapshot(cluster.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlrm_cluster::iitk::small_cluster;
+    use nlrm_sim_core::time::Duration;
+
+    #[test]
+    fn runtime_produces_complete_snapshot() {
+        let mut cluster = small_cluster(6, 11);
+        let mut rt = MonitorRuntime::new(&cluster);
+        // bandwidth sweeps every 5 min: warm for 6 min
+        let snap = rt
+            .warm_snapshot(&mut cluster, Duration::from_secs(360))
+            .unwrap();
+        assert_eq!(snap.usable_nodes().len(), 6);
+        for (_, _, bw) in snap.bandwidth_bps.pairs() {
+            assert!(bw > 0.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_node_failures() {
+        let mut cluster = small_cluster(6, 11);
+        let mut rt = MonitorRuntime::new(&cluster);
+        rt.run_until(&mut cluster, SimTime::from_secs(360));
+        cluster.schedule_failure(SimTime::from_secs(400), NodeId(4));
+        rt.run_until(&mut cluster, SimTime::from_secs(500));
+        let snap = rt.snapshot(cluster.now()).unwrap();
+        let usable = snap.usable_nodes();
+        assert_eq!(usable.len(), 5);
+        assert!(!usable.contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn killed_daemon_is_relaunched_by_central() {
+        let mut cluster = small_cluster(4, 11);
+        let mut rt = MonitorRuntime::new(&cluster);
+        rt.run_until(&mut cluster, SimTime::from_secs(60));
+        rt.kill_daemon(DaemonKind::Bandwidth);
+        assert_eq!(rt.dead_daemons(), 1);
+        rt.run_until(&mut cluster, SimTime::from_secs(120));
+        assert_eq!(rt.dead_daemons(), 0);
+        assert!(rt.central().relaunch_count >= 1);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut cluster = small_cluster(5, 99);
+            let mut rt = MonitorRuntime::new(&cluster);
+            let snap = rt
+                .warm_snapshot(&mut cluster, Duration::from_secs(400))
+                .unwrap();
+            snap.bandwidth_bps
+                .pairs()
+                .map(|(_, _, b)| b)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn state_samples_age_with_staleness() {
+        let mut cluster = small_cluster(4, 11);
+        let mut rt = MonitorRuntime::new(&cluster);
+        rt.run_until(&mut cluster, SimTime::from_secs(60));
+        // stop monitoring but advance the cluster an hour
+        cluster.advance(Duration::from_hours(1));
+        let snap = rt.snapshot(cluster.now()).unwrap();
+        assert!(snap.max_sample_age().unwrap() >= Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,277 @@
+//! Cluster snapshots: the allocator's only view of the world.
+//!
+//! A [`ClusterSnapshot`] is assembled **exclusively from store records** —
+//! the same way the paper's Node Allocator reads the files the daemons wrote
+//! to NFS. If a daemon lagged or died, the snapshot is stale or partial, and
+//! the allocator decides with exactly that imperfect information.
+
+use crate::codec::{decode, CodecError, MonitorRecord};
+use crate::matrix::SymMatrix;
+use crate::sample::{LatencyStat, NodeSample};
+use crate::store::{paths, SharedStore};
+use nlrm_sim_core::time::SimTime;
+use nlrm_topology::NodeId;
+use std::fmt;
+
+/// One node's monitored information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInfo {
+    /// Node id.
+    pub node: NodeId,
+    /// Latest published sample.
+    pub sample: NodeSample,
+    /// Whether the node appeared in the latest livehosts sweep.
+    pub live: bool,
+}
+
+/// A consistent view of the cluster assembled from the shared store.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    /// Virtual time the snapshot was assembled.
+    pub taken_at: SimTime,
+    /// Per-node info for every node that has ever published a sample,
+    /// indexed positionally by node id (missing nodes are absent).
+    pub nodes: Vec<NodeInfo>,
+    /// Pairwise latency stats. Diagonal is 0; unmeasured pairs are +∞.
+    pub latency: SymMatrix<LatencyStat>,
+    /// Pairwise instantaneous available bandwidth, bits/s. Diagonal +∞,
+    /// unmeasured pairs 0.
+    pub bandwidth_bps: SymMatrix<f64>,
+    /// Pairwise peak bandwidth, bits/s.
+    pub peak_bandwidth_bps: SymMatrix<f64>,
+}
+
+/// Snapshot assembly failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// Livehosts record missing: monitoring has never run.
+    NoLivehosts,
+    /// A record failed to decode (corrupt store).
+    Corrupt(String, CodecError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::NoLivehosts => write!(f, "no livehosts record in store"),
+            SnapshotError::Corrupt(path, e) => write!(f, "corrupt record at {path}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl ClusterSnapshot {
+    /// Assemble a snapshot for an `n`-node cluster from the store.
+    pub fn assemble(store: &SharedStore, n: usize, now: SimTime) -> Result<Self, SnapshotError> {
+        let live = read_livehosts(store)?;
+        let mut nodes = Vec::new();
+        for i in 0..n {
+            let node = NodeId(i as u32);
+            let path = paths::node_state(node);
+            let Some(rec) = store.get(&path) else {
+                continue;
+            };
+            match decode(&rec.data) {
+                Ok(MonitorRecord::Sample(sample)) => nodes.push(NodeInfo {
+                    node,
+                    sample,
+                    live: live.contains(&node),
+                }),
+                Ok(_) => {
+                    return Err(SnapshotError::Corrupt(
+                        path,
+                        CodecError::BadTag(0),
+                    ))
+                }
+                Err(e) => return Err(SnapshotError::Corrupt(path, e)),
+            }
+        }
+
+        let mut latency = SymMatrix::new(n, LatencyStat::constant(f64::INFINITY));
+        for i in 0..n {
+            latency.set(NodeId(i as u32), NodeId(i as u32), LatencyStat::constant(0.0));
+        }
+        let mut bandwidth = SymMatrix::new(n, 0.0f64);
+        let mut peak = SymMatrix::new(n, 0.0f64);
+        for i in 0..n {
+            bandwidth.set(NodeId(i as u32), NodeId(i as u32), f64::INFINITY);
+            peak.set(NodeId(i as u32), NodeId(i as u32), f64::INFINITY);
+        }
+
+        for i in 0..n {
+            let node = NodeId(i as u32);
+            if let Some(rec) = store.get(&paths::latency_row(node)) {
+                match decode(&rec.data) {
+                    Ok(MonitorRecord::LatencyRow { node: u, stats }) => {
+                        for (v, st) in stats.iter().enumerate().take(n) {
+                            if v != u.index() {
+                                latency.set(u, NodeId(v as u32), *st);
+                            }
+                        }
+                    }
+                    Ok(_) => {
+                        return Err(SnapshotError::Corrupt(
+                            paths::latency_row(node),
+                            CodecError::BadTag(0),
+                        ))
+                    }
+                    Err(e) => return Err(SnapshotError::Corrupt(paths::latency_row(node), e)),
+                }
+            }
+            if let Some(rec) = store.get(&paths::bandwidth_row(node)) {
+                match decode(&rec.data) {
+                    Ok(MonitorRecord::BandwidthRow {
+                        node: u,
+                        avail_bps,
+                        peak_bps,
+                    }) => {
+                        for v in 0..n.min(avail_bps.len()) {
+                            if v != u.index() {
+                                bandwidth.set(u, NodeId(v as u32), avail_bps[v]);
+                                peak.set(u, NodeId(v as u32), peak_bps[v]);
+                            }
+                        }
+                    }
+                    Ok(_) => {
+                        return Err(SnapshotError::Corrupt(
+                            paths::bandwidth_row(node),
+                            CodecError::BadTag(0),
+                        ))
+                    }
+                    Err(e) => return Err(SnapshotError::Corrupt(paths::bandwidth_row(node), e)),
+                }
+            }
+        }
+
+        Ok(ClusterSnapshot {
+            taken_at: now,
+            nodes,
+            latency,
+            bandwidth_bps: bandwidth,
+            peak_bandwidth_bps: peak,
+        })
+    }
+
+    /// Nodes that are live *and* have a sample: the allocatable universe.
+    pub fn usable_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.live)
+            .map(|n| n.node)
+            .collect()
+    }
+
+    /// Info for a node, if present.
+    pub fn info(&self, node: NodeId) -> Option<&NodeInfo> {
+        self.nodes.iter().find(|n| n.node == node)
+    }
+
+    /// Age of the oldest sample among usable nodes (staleness diagnostic).
+    pub fn max_sample_age(&self) -> Option<nlrm_sim_core::time::Duration> {
+        self.nodes
+            .iter()
+            .filter(|n| n.live)
+            .map(|n| self.taken_at.since(n.sample.taken_at))
+            .max()
+    }
+}
+
+fn read_livehosts(store: &SharedStore) -> Result<Vec<NodeId>, SnapshotError> {
+    let rec = store
+        .get(paths::LIVEHOSTS)
+        .ok_or(SnapshotError::NoLivehosts)?;
+    match decode(&rec.data) {
+        Ok(MonitorRecord::Livehosts(hosts)) => Ok(hosts),
+        Ok(_) => Err(SnapshotError::Corrupt(
+            paths::LIVEHOSTS.into(),
+            CodecError::BadTag(0),
+        )),
+        Err(e) => Err(SnapshotError::Corrupt(paths::LIVEHOSTS.into(), e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemons::{BandwidthD, LatencyD, LivehostsD, NodeStateD};
+    use nlrm_cluster::iitk::small_cluster;
+    use nlrm_sim_core::time::Duration;
+
+    fn populated(n: usize) -> (SharedStore, SimTime) {
+        let mut cluster = small_cluster(n, 17);
+        cluster.advance(Duration::from_secs(30));
+        let store = SharedStore::new();
+        LivehostsD::new().tick(&cluster, &store);
+        for i in 0..n {
+            NodeStateD::new(NodeId(i as u32)).tick(&cluster, &store);
+        }
+        LatencyD::new(n).tick(&mut cluster, &store);
+        BandwidthD::new(n).tick(&mut cluster, &store);
+        (store, cluster.now())
+    }
+
+    #[test]
+    fn assemble_full_snapshot() {
+        let (store, now) = populated(6);
+        let snap = ClusterSnapshot::assemble(&store, 6, now).unwrap();
+        assert_eq!(snap.nodes.len(), 6);
+        assert_eq!(snap.usable_nodes().len(), 6);
+        // matrices populated
+        for (u, v, bw) in snap.bandwidth_bps.pairs() {
+            assert!(bw > 0.0, "bw({u},{v}) = {bw}");
+        }
+        for (u, v, lat) in snap.latency.pairs() {
+            assert!(lat.instant > 0.0 && lat.instant.is_finite(), "lat({u},{v})");
+        }
+    }
+
+    #[test]
+    fn empty_store_errors() {
+        let store = SharedStore::new();
+        assert_eq!(
+            ClusterSnapshot::assemble(&store, 4, SimTime::ZERO).unwrap_err(),
+            SnapshotError::NoLivehosts
+        );
+    }
+
+    #[test]
+    fn missing_node_sample_drops_node() {
+        let (store, now) = populated(4);
+        store.remove(&paths::node_state(NodeId(2)));
+        let snap = ClusterSnapshot::assemble(&store, 4, now).unwrap();
+        assert_eq!(snap.nodes.len(), 3);
+        assert!(snap.info(NodeId(2)).is_none());
+        assert_eq!(snap.usable_nodes().len(), 3);
+    }
+
+    #[test]
+    fn corrupt_record_is_reported() {
+        let (store, now) = populated(3);
+        store.put(
+            paths::node_state(NodeId(1)),
+            now,
+            bytes::Bytes::from_static(&[1, 2, 3]),
+        );
+        match ClusterSnapshot::assemble(&store, 3, now) {
+            Err(SnapshotError::Corrupt(path, _)) => assert_eq!(path, "nodestate/1"),
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn staleness_is_measured() {
+        let (store, now) = populated(3);
+        let later = now + Duration::from_secs(120);
+        let snap = ClusterSnapshot::assemble(&store, 3, later).unwrap();
+        assert_eq!(snap.max_sample_age().unwrap(), Duration::from_secs(120));
+    }
+
+    #[test]
+    fn diagonal_conventions() {
+        let (store, now) = populated(3);
+        let snap = ClusterSnapshot::assemble(&store, 3, now).unwrap();
+        assert!(snap.bandwidth_bps.get(NodeId(1), NodeId(1)).is_infinite());
+        assert_eq!(snap.latency.get(NodeId(1), NodeId(1)).instant, 0.0);
+    }
+}

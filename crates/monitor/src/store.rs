@@ -1,0 +1,181 @@
+//! The shared store: our stand-in for the paper's NFS directory.
+//!
+//! Every daemon writes opaque byte records under path-like keys
+//! (`"livehosts"`, `"nodestate/csews12"`, `"latency/7"`, …) exactly as the
+//! paper's daemons write files to the network filesystem. Readers see the
+//! latest complete record with its write timestamp, so the allocator can
+//! reason about staleness.
+
+use bytes::Bytes;
+use nlrm_sim_core::time::SimTime;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A stored record: payload plus the virtual time it was written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRecord {
+    /// Virtual time of the write.
+    pub written_at: SimTime,
+    /// Encoded payload (see [`crate::codec`]).
+    pub data: Bytes,
+}
+
+/// A concurrent path→record keyspace shared by all daemons.
+///
+/// Cloning is cheap and shares the underlying map (like every node mounting
+/// the same NFS export). Thread-safe: the threaded runtime uses it from
+/// many OS threads.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore {
+    inner: Arc<RwLock<HashMap<String, StoreRecord>>>,
+}
+
+impl SharedStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write (or overwrite) the record at `path`.
+    pub fn put(&self, path: impl Into<String>, written_at: SimTime, data: Bytes) {
+        self.inner
+            .write()
+            .insert(path.into(), StoreRecord { written_at, data });
+    }
+
+    /// Read the record at `path`, if present.
+    pub fn get(&self, path: &str) -> Option<StoreRecord> {
+        self.inner.read().get(path).cloned()
+    }
+
+    /// Remove the record at `path`; returns whether it existed.
+    pub fn remove(&self, path: &str) -> bool {
+        self.inner.write().remove(path).is_some()
+    }
+
+    /// All paths with the given prefix, sorted.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .inner
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Drop everything (tests).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+/// Store paths used by the daemons. Centralised so that writers and the
+/// snapshot assembler can never drift apart.
+pub mod paths {
+    use nlrm_topology::NodeId;
+
+    /// Livehosts list.
+    pub const LIVEHOSTS: &str = "livehosts";
+
+    /// Per-node state record.
+    pub fn node_state(node: NodeId) -> String {
+        format!("nodestate/{}", node.0)
+    }
+
+    /// Per-node latency row.
+    pub fn latency_row(node: NodeId) -> String {
+        format!("latency/{}", node.0)
+    }
+
+    /// Per-node bandwidth row.
+    pub fn bandwidth_row(node: NodeId) -> String {
+        format!("bandwidth/{}", node.0)
+    }
+
+    /// Central-monitor heartbeat for a role.
+    pub fn heartbeat(role_name: &str) -> String {
+        format!("central/{role_name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = SharedStore::new();
+        s.put("a/b", SimTime::from_secs(5), Bytes::from_static(b"xyz"));
+        let r = s.get("a/b").unwrap();
+        assert_eq!(r.written_at, SimTime::from_secs(5));
+        assert_eq!(&r.data[..], b"xyz");
+        assert!(s.get("missing").is_none());
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let s = SharedStore::new();
+        s.put("k", SimTime::from_secs(1), Bytes::from_static(b"1"));
+        s.put("k", SimTime::from_secs(2), Bytes::from_static(b"2"));
+        assert_eq!(&s.get("k").unwrap().data[..], b"2");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = SharedStore::new();
+        let s2 = s.clone();
+        s.put("k", SimTime::ZERO, Bytes::new());
+        assert!(s2.get("k").is_some());
+        assert!(s2.remove("k"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn prefix_listing_is_sorted() {
+        let s = SharedStore::new();
+        for i in [3u32, 1, 2] {
+            s.put(format!("nodestate/{i}"), SimTime::ZERO, Bytes::new());
+        }
+        s.put("latency/0", SimTime::ZERO, Bytes::new());
+        let keys = s.list_prefix("nodestate/");
+        assert_eq!(keys, vec!["nodestate/1", "nodestate/2", "nodestate/3"]);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let s = SharedStore::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        s.put(
+                            format!("t{i}/{j}"),
+                            SimTime::from_secs(j),
+                            Bytes::from(vec![i as u8]),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 800);
+    }
+}

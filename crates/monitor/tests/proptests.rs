@@ -1,0 +1,150 @@
+//! Property-based tests for the monitoring layer: the store codec, the
+//! tournament scheduler, and the symmetric matrices.
+
+use nlrm_cluster::NodeSpec;
+use nlrm_monitor::codec::{decode, encode, MonitorRecord};
+use nlrm_monitor::rounds::round_robin_rounds;
+use nlrm_monitor::sample::{LatencyStat, NodeSample};
+use nlrm_monitor::SymMatrix;
+use nlrm_sim_core::time::SimTime;
+use nlrm_sim_core::window::WindowedValue;
+use nlrm_topology::NodeId;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_windowed() -> impl Strategy<Value = WindowedValue> {
+    (0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6).prop_map(|(instant, m1, m5, m15)| {
+        WindowedValue {
+            instant,
+            m1,
+            m5,
+            m15,
+        }
+    })
+}
+
+fn arb_sample() -> impl Strategy<Value = NodeSample> {
+    (
+        0u32..1000,
+        0u64..1_000_000,
+        "[a-z]{1,16}",
+        (1u32..256, 0.1f64..10.0, 1.0f64..1024.0),
+        arb_windowed(),
+        arb_windowed(),
+        arb_windowed(),
+        arb_windowed(),
+        0u32..100,
+    )
+        .prop_map(
+            |(node, t, hostname, (cores, freq, mem), cpu_load, cpu_util, mem_used, flow, users)| {
+                NodeSample {
+                    node: NodeId(node),
+                    taken_at: SimTime::from_micros(t),
+                    spec: NodeSpec {
+                        hostname,
+                        cores,
+                        freq_ghz: freq,
+                        total_mem_gb: mem,
+                    },
+                    cpu_load,
+                    cpu_util,
+                    mem_used_frac: mem_used,
+                    flow_rate_mbps: flow,
+                    users,
+                }
+            },
+        )
+}
+
+fn arb_record() -> impl Strategy<Value = MonitorRecord> {
+    prop_oneof![
+        proptest::collection::vec(0u32..512, 0..64)
+            .prop_map(|v| MonitorRecord::Livehosts(v.into_iter().map(NodeId).collect())),
+        arb_sample().prop_map(MonitorRecord::Sample),
+        (0u32..64, proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 0..64))
+            .prop_map(|(node, stats)| MonitorRecord::LatencyRow {
+                node: NodeId(node),
+                stats: stats
+                    .into_iter()
+                    .map(|(instant, m1, m5)| LatencyStat { instant, m1, m5 })
+                    .collect(),
+            }),
+        (0u32..64, proptest::collection::vec(0.0f64..1e10, 0..64)).prop_map(|(node, bw)| {
+            MonitorRecord::BandwidthRow {
+                node: NodeId(node),
+                peak_bps: bw.iter().map(|b| b * 1.5).collect(),
+                avail_bps: bw,
+            }
+        }),
+        ("[a-z]{1,12}", 0u32..100, 0u64..1_000_000).prop_map(|(role, inc, at)| {
+            MonitorRecord::Heartbeat {
+                role,
+                incarnation: inc,
+                at: SimTime::from_micros(at),
+            }
+        }),
+    ]
+}
+
+proptest! {
+    /// Every record round-trips through the codec bit-exactly.
+    #[test]
+    fn codec_roundtrip(record in arb_record()) {
+        let bytes = encode(&record);
+        let back = decode(&bytes).expect("decode");
+        prop_assert_eq!(back, record);
+    }
+
+    /// Truncating an encoded record at any point yields an error, never a
+    /// panic or a silently wrong record.
+    #[test]
+    fn codec_truncation_is_detected(record in arb_record(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode(&record);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Random byte soup never panics the decoder.
+    #[test]
+    fn codec_rejects_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes); // must not panic; result may be Ok by chance
+    }
+
+    /// Tournament schedule: disjoint pairs per round, every pair exactly once.
+    #[test]
+    fn tournament_invariants(n in 0usize..40) {
+        let rounds = round_robin_rounds(n);
+        let mut all = HashSet::new();
+        for round in &rounds {
+            let mut in_round = HashSet::new();
+            for &(a, b) in round {
+                prop_assert!(a < b && b < n);
+                prop_assert!(in_round.insert(a) && in_round.insert(b));
+                prop_assert!(all.insert((a, b)));
+            }
+        }
+        prop_assert_eq!(all.len(), n.saturating_sub(1) * n / 2);
+    }
+
+    /// SymMatrix stays symmetric under arbitrary write sequences.
+    #[test]
+    fn symmatrix_stays_symmetric(
+        n in 1usize..16,
+        writes in proptest::collection::vec((0usize..16, 0usize..16, -1e6f64..1e6), 0..100),
+    ) {
+        let mut m = SymMatrix::new(n, 0.0);
+        for (u, v, val) in writes {
+            let (u, v) = (NodeId((u % n) as u32), NodeId((v % n) as u32));
+            m.set(u, v, val);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let (u, v) = (NodeId(i as u32), NodeId(j as u32));
+                prop_assert_eq!(m.get(u, v), m.get(v, u));
+            }
+        }
+        prop_assert_eq!(m.pairs().count(), n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! Round-structured collective algorithms.
+//!
+//! Each collective expands into a sequence of *rounds*; a round is a set of
+//! concurrent point-to-point flows rated by the contention solver. This
+//! captures the property the paper exploits: collectives on nodes with poor
+//! interconnect pay on every round.
+
+use crate::comm::Communicator;
+use crate::pattern::{Collective, Message};
+
+/// Expand a collective into rounds of rank-level messages.
+pub fn expand(collective: &Collective, comm: &Communicator) -> Vec<Vec<Message>> {
+    match *collective {
+        Collective::Allreduce { bytes } => allreduce_rounds(comm.size(), bytes),
+        Collective::Bcast { root, bytes } => bcast_rounds(comm.size(), root, bytes),
+        Collective::Barrier => allreduce_rounds(comm.size(), 8.0),
+        Collective::AllToAll { bytes } => alltoall_rounds(comm.size(), bytes),
+    }
+}
+
+/// Recursive-doubling allreduce: ⌈log₂ P⌉ rounds of pairwise exchanges.
+/// Non-power-of-two sizes use the standard trick of folding the excess
+/// ranks into the largest power of two with one extra pre and post round.
+fn allreduce_rounds(p: usize, bytes: f64) -> Vec<Vec<Message>> {
+    if p <= 1 {
+        return Vec::new();
+    }
+    let pow2 = 1usize << (usize::BITS - 1 - p.leading_zeros()) as usize;
+    let excess = p - pow2;
+    let mut rounds = Vec::new();
+    // pre-round: excess ranks send their data into the power-of-two core
+    if excess > 0 {
+        rounds.push(
+            (0..excess)
+                .map(|i| Message {
+                    src: pow2 + i,
+                    dst: i,
+                    bytes,
+                })
+                .collect(),
+        );
+    }
+    // recursive doubling over the core: both directions exchange
+    let mut k = 1usize;
+    while k < pow2 {
+        let mut round = Vec::new();
+        for i in 0..pow2 {
+            let partner = i ^ k;
+            if i < partner && partner < pow2 {
+                round.push(Message {
+                    src: i,
+                    dst: partner,
+                    bytes,
+                });
+                round.push(Message {
+                    src: partner,
+                    dst: i,
+                    bytes,
+                });
+            }
+        }
+        rounds.push(round);
+        k <<= 1;
+    }
+    // post-round: results go back to the excess ranks
+    if excess > 0 {
+        rounds.push(
+            (0..excess)
+                .map(|i| Message {
+                    src: i,
+                    dst: pow2 + i,
+                    bytes,
+                })
+                .collect(),
+        );
+    }
+    rounds
+}
+
+/// Binomial-tree broadcast: in round k, every rank that already has the
+/// data forwards it `2^k` away (rank arithmetic relative to the root).
+fn bcast_rounds(p: usize, root: usize, bytes: f64) -> Vec<Vec<Message>> {
+    if p <= 1 {
+        return Vec::new();
+    }
+    let mut rounds = Vec::new();
+    let mut k = 1usize;
+    while k < p {
+        let mut round = Vec::new();
+        for rel in 0..k.min(p) {
+            let target = rel + k;
+            if target < p {
+                round.push(Message {
+                    src: (root + rel) % p,
+                    dst: (root + target) % p,
+                    bytes,
+                });
+            }
+        }
+        rounds.push(round);
+        k <<= 1;
+    }
+    rounds
+}
+
+/// Pairwise-exchange all-to-all: P−1 rounds; in round r, rank i exchanges
+/// with rank `i XOR r` (power-of-two P) or `(i + r) mod P` otherwise.
+fn alltoall_rounds(p: usize, bytes: f64) -> Vec<Vec<Message>> {
+    if p <= 1 {
+        return Vec::new();
+    }
+    let mut rounds = Vec::new();
+    if p.is_power_of_two() {
+        for r in 1..p {
+            let mut round = Vec::new();
+            for i in 0..p {
+                let partner = i ^ r;
+                if i < partner {
+                    round.push(Message {
+                        src: i,
+                        dst: partner,
+                        bytes,
+                    });
+                    round.push(Message {
+                        src: partner,
+                        dst: i,
+                        bytes,
+                    });
+                }
+            }
+            rounds.push(round);
+        }
+    } else {
+        for r in 1..p {
+            let round = (0..p)
+                .map(|i| Message {
+                    src: i,
+                    dst: (i + r) % p,
+                    bytes,
+                })
+                .collect();
+            rounds.push(round);
+        }
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlrm_topology::NodeId;
+    use std::collections::HashSet;
+
+    fn comm(p: usize) -> Communicator {
+        Communicator::new((0..p).map(|i| NodeId((i / 2) as u32)).collect())
+    }
+
+    #[test]
+    fn allreduce_power_of_two_round_count() {
+        let rounds = expand(&Collective::Allreduce { bytes: 64.0 }, &comm(8));
+        assert_eq!(rounds.len(), 3); // log2(8)
+        for round in &rounds {
+            // every rank appears exactly twice (sends once, receives once)
+            let mut send = HashSet::new();
+            let mut recv = HashSet::new();
+            for m in round {
+                assert!(send.insert(m.src));
+                assert!(recv.insert(m.dst));
+            }
+            assert_eq!(send.len(), 8);
+        }
+    }
+
+    #[test]
+    fn allreduce_non_power_of_two_has_fold_rounds() {
+        let rounds = expand(&Collective::Allreduce { bytes: 64.0 }, &comm(6));
+        // pre + log2(4) + post = 1 + 2 + 1
+        assert_eq!(rounds.len(), 4);
+        // pre-round folds ranks 4,5 into 0,1
+        assert_eq!(rounds[0].len(), 2);
+        assert_eq!(rounds[0][0].src, 4);
+        // post-round mirrors it
+        assert_eq!(rounds[3][0].dst, 4);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        assert!(expand(&Collective::Allreduce { bytes: 8.0 }, &comm(1)).is_empty());
+        assert!(expand(&Collective::Barrier, &comm(1)).is_empty());
+        assert!(expand(&Collective::AllToAll { bytes: 8.0 }, &comm(1)).is_empty());
+    }
+
+    #[test]
+    fn bcast_reaches_every_rank_once() {
+        for p in [2usize, 5, 8, 13] {
+            for root in [0usize, 1, p - 1] {
+                let rounds = expand(&Collective::Bcast { root, bytes: 1.0 }, &comm(p));
+                let mut reached: HashSet<usize> = HashSet::new();
+                reached.insert(root);
+                for round in &rounds {
+                    for m in round {
+                        assert!(
+                            reached.contains(&m.src),
+                            "p={p} root={root}: rank {} forwarded before receiving",
+                            m.src
+                        );
+                        assert!(
+                            reached.insert(m.dst),
+                            "p={p} root={root}: rank {} received twice",
+                            m.dst
+                        );
+                    }
+                }
+                assert_eq!(reached.len(), p, "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_covers_all_ordered_pairs() {
+        for p in [4usize, 6, 8] {
+            let rounds = expand(&Collective::AllToAll { bytes: 1.0 }, &comm(p));
+            let mut pairs = HashSet::new();
+            for round in &rounds {
+                for m in round {
+                    assert!(pairs.insert((m.src, m.dst)), "pair repeated (p={p})");
+                }
+            }
+            assert_eq!(pairs.len(), p * (p - 1), "p={p}");
+        }
+    }
+
+    #[test]
+    fn barrier_is_a_tiny_allreduce() {
+        let b = expand(&Collective::Barrier, &comm(4));
+        let a = expand(&Collective::Allreduce { bytes: 8.0 }, &comm(4));
+        assert_eq!(a.len(), b.len());
+        assert!(b.iter().flatten().all(|m| m.bytes == 8.0));
+    }
+}

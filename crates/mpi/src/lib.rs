@@ -1,0 +1,37 @@
+//! # nlrm-mpi
+//!
+//! A simulated MPI runtime: enough of MPI's execution semantics to run the
+//! paper's proxy applications on the simulated cluster and measure how an
+//! allocation performs.
+//!
+//! * [`comm`] — the communicator: ranks, their node placement, per-node
+//!   process counts (built from an allocation's rank map).
+//! * [`pattern`] — the workload language: per-step compute work plus
+//!   point-to-point messages and collectives.
+//! * [`contention`] — max-min fair bandwidth sharing: concurrent flows
+//!   crossing the same links split the bottleneck residual capacity, which
+//!   is how a congested trunk slows a badly placed job.
+//! * [`collectives`] — round-structured models of allreduce (recursive
+//!   doubling), broadcast (binomial tree), barrier, and all-to-all
+//!   (pairwise exchange), each expanded into real per-round flows.
+//! * [`profiler`] — derive a job's α/β mix from a short profiled run
+//!   (the paper's weight-setting recipe, §5).
+//! * [`multi`] — event-interleaved concurrent execution of several jobs,
+//!   interfering through shared cores and links.
+//! * [`exec`] — the BSP executor: per step, compute time is work divided by
+//!   each rank's effective CPU share (background load steals cores), then
+//!   communication runs under contention; the cluster's clock advances in
+//!   step with the job, and the job's own load/traffic are visible to the
+//!   monitoring daemons while it runs.
+
+pub mod collectives;
+pub mod comm;
+pub mod contention;
+pub mod exec;
+pub mod multi;
+pub mod pattern;
+pub mod profiler;
+
+pub use comm::Communicator;
+pub use exec::{execute, JobTiming};
+pub use pattern::{Collective, Message, Phase, Workload};

@@ -1,0 +1,153 @@
+//! Property-based tests for the MPI runtime: collective correctness for
+//! arbitrary communicator sizes and contention-solver conservation laws.
+
+use nlrm_cluster::iitk::small_cluster;
+use nlrm_mpi::collectives::expand;
+use nlrm_mpi::contention::{fair_share_rates, Flow};
+use nlrm_mpi::pattern::Collective;
+use nlrm_mpi::Communicator;
+use nlrm_sim_core::time::Duration;
+use nlrm_topology::{LinkId, NodeId};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn comm(p: usize) -> Communicator {
+    Communicator::new((0..p).map(|i| NodeId((i / 4) as u32)).collect())
+}
+
+proptest! {
+    /// Broadcast from any root reaches every rank exactly once, and no rank
+    /// forwards before receiving.
+    #[test]
+    fn bcast_is_a_spanning_tree(p in 1usize..64, root_seed in 0usize..64) {
+        let root = root_seed % p;
+        let rounds = expand(&Collective::Bcast { root, bytes: 1.0 }, &comm(p));
+        let mut have = HashSet::from([root]);
+        for round in &rounds {
+            // senders in a round must already hold the data and be distinct
+            let mut senders = HashSet::new();
+            for m in round {
+                prop_assert!(have.contains(&m.src));
+                prop_assert!(senders.insert(m.src));
+                prop_assert!(have.insert(m.dst), "rank {} received twice", m.dst);
+            }
+        }
+        prop_assert_eq!(have.len(), p);
+        // log-depth
+        if p > 1 {
+            let depth = (p as f64).log2().ceil() as usize;
+            prop_assert!(rounds.len() <= depth + 1, "{} rounds for p={p}", rounds.len());
+        }
+    }
+
+    /// Allreduce: every round uses each rank at most once as sender and
+    /// receiver, and total traffic is Θ(p log p).
+    #[test]
+    fn allreduce_rounds_are_disjoint(p in 1usize..64) {
+        let rounds = expand(&Collective::Allreduce { bytes: 8.0 }, &comm(p));
+        let mut total_msgs = 0usize;
+        for round in &rounds {
+            let mut src = HashSet::new();
+            let mut dst = HashSet::new();
+            for m in round {
+                prop_assert!(m.src < p && m.dst < p && m.src != m.dst);
+                prop_assert!(src.insert(m.src));
+                prop_assert!(dst.insert(m.dst));
+            }
+            total_msgs += round.len();
+        }
+        if p > 1 {
+            let log = (p as f64).log2().ceil() as usize;
+            prop_assert!(total_msgs <= p * (log + 2));
+        } else {
+            prop_assert_eq!(total_msgs, 0);
+        }
+    }
+
+    /// All-to-all covers all ordered pairs exactly once regardless of p.
+    #[test]
+    fn alltoall_is_complete(p in 1usize..40) {
+        let rounds = expand(&Collective::AllToAll { bytes: 4.0 }, &comm(p));
+        let mut pairs = HashSet::new();
+        for round in &rounds {
+            for m in round {
+                prop_assert!(pairs.insert((m.src, m.dst)));
+            }
+        }
+        prop_assert_eq!(pairs.len(), p * p.saturating_sub(1));
+    }
+
+    /// Contention solver conservation: no link carries more than its
+    /// residual capacity; every inter-node flow gets a positive rate.
+    #[test]
+    fn fair_share_conserves_capacity(
+        flows_raw in proptest::collection::vec((0u32..8, 0u32..8, 1.0f64..1e8), 1..40),
+        seed in 0u64..50,
+    ) {
+        let mut cluster = small_cluster(8, seed);
+        cluster.advance(Duration::from_secs(30));
+        let flows: Vec<Flow> = flows_raw
+            .iter()
+            .map(|&(s, d, bytes)| Flow {
+                src: NodeId(s),
+                dst: NodeId(d),
+                bytes,
+            })
+            .collect();
+        let rated = fair_share_rates(&cluster, &flows);
+        prop_assert_eq!(rated.len(), flows.len());
+        let mut per_link: HashMap<LinkId, f64> = HashMap::new();
+        for r in &rated {
+            if r.flow.src == r.flow.dst {
+                prop_assert!(r.rate_bps.is_infinite());
+                continue;
+            }
+            prop_assert!(r.rate_bps > 0.0, "starved flow {:?}", r.flow);
+            prop_assert!(r.duration_s().is_finite() && r.duration_s() > 0.0);
+            for &l in &r.links {
+                *per_link.entry(l).or_insert(0.0) += r.rate_bps;
+            }
+        }
+        for (l, used) in per_link {
+            let cap = cluster.link_residual_bps(l).max(1e6);
+            prop_assert!(used <= cap * 1.0001, "link {l:?}: {used} > {cap}");
+        }
+    }
+
+    /// Max-min lower bound: progressive filling freezes the first
+    /// bottleneck at the *global minimum* fair share, and every later
+    /// freeze is at a larger share — so no flow ever receives less than
+    /// `min over links (residual / total flow count)`.
+    #[test]
+    fn rates_respect_max_min_floor(
+        dsts in proptest::collection::vec(1u32..8, 2..12),
+        seed in 0u64..20,
+    ) {
+        let mut cluster = small_cluster(8, seed);
+        cluster.advance(Duration::from_secs(30));
+        let flows: Vec<Flow> = dsts
+            .iter()
+            .map(|&d| Flow {
+                src: NodeId(0),
+                dst: NodeId(d),
+                bytes: 1e6,
+            })
+            .collect();
+        let rated = fair_share_rates(&cluster, &flows);
+        // the weakest possible guarantee: the most congested link shared by
+        // *all* flows at once
+        let floor = rated
+            .iter()
+            .flat_map(|r| r.links.iter())
+            .map(|&l| cluster.link_residual_bps(l).max(1e6) / flows.len() as f64)
+            .fold(f64::INFINITY, f64::min);
+        for r in &rated {
+            prop_assert!(
+                r.rate_bps >= floor * 0.999,
+                "flow to {} got {} < floor {floor}",
+                r.flow.dst,
+                r.rate_bps
+            );
+        }
+    }
+}

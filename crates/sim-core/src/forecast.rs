@@ -1,0 +1,432 @@
+//! Time-series forecasting in the style of the Network Weather Service.
+//!
+//! The paper's §2 describes NWS: it "monitors and forecasts CPU and network
+//! performance continuously … applies various time series methods and uses
+//! the method that exhibits smallest prediction error for next forecast",
+//! and the authors model their composite metric on it. This module supplies
+//! that machinery: a family of simple one-step-ahead predictors plus the
+//! NWS-style [`AdaptiveEnsemble`] that tracks every member's error and
+//! always answers with the current best.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// A one-step-ahead forecaster over an irregularly-sampled series.
+pub trait Forecaster: Send {
+    /// Short display name.
+    fn name(&self) -> &'static str;
+
+    /// Feed one observation (times must be non-decreasing).
+    fn observe(&mut self, t: SimTime, value: f64);
+
+    /// Predict the next observation; `None` until enough data has arrived.
+    fn predict(&self) -> Option<f64>;
+}
+
+/// Predicts the last observed value (NWS's "LAST" method) — the baseline
+/// every other method must beat.
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl LastValue {
+    /// Fresh predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for LastValue {
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+    fn observe(&mut self, _t: SimTime, value: f64) {
+        self.last = Some(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        self.last
+    }
+}
+
+/// Mean of the last `k` observations (NWS's sliding-window mean).
+#[derive(Debug, Clone)]
+pub struct SlidingMean {
+    k: usize,
+    window: VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingMean {
+    /// Mean over the last `k` samples.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        SlidingMean {
+            k,
+            window: VecDeque::with_capacity(k),
+            sum: 0.0,
+        }
+    }
+}
+
+impl Forecaster for SlidingMean {
+    fn name(&self) -> &'static str {
+        "sliding-mean"
+    }
+    fn observe(&mut self, _t: SimTime, value: f64) {
+        self.window.push_back(value);
+        self.sum += value;
+        if self.window.len() > self.k {
+            self.sum -= self.window.pop_front().expect("non-empty");
+        }
+    }
+    fn predict(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.window.len() as f64)
+        }
+    }
+}
+
+/// Median of the last `k` observations — robust to load spikes.
+#[derive(Debug, Clone)]
+pub struct SlidingMedian {
+    k: usize,
+    window: VecDeque<f64>,
+}
+
+impl SlidingMedian {
+    /// Median over the last `k` samples.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        SlidingMedian {
+            k,
+            window: VecDeque::with_capacity(k),
+        }
+    }
+}
+
+impl Forecaster for SlidingMedian {
+    fn name(&self) -> &'static str {
+        "sliding-median"
+    }
+    fn observe(&mut self, _t: SimTime, value: f64) {
+        self.window.push_back(value);
+        if self.window.len() > self.k {
+            self.window.pop_front();
+        }
+    }
+    fn predict(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.window.iter().copied().collect();
+        v.sort_by(|a, b| a.total_cmp(b));
+        let mid = v.len() / 2;
+        Some(if v.len() % 2 == 1 {
+            v[mid]
+        } else {
+            (v[mid - 1] + v[mid]) / 2.0
+        })
+    }
+}
+
+/// Exponentially-weighted moving average with smoothing factor `alpha`.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha` ∈ (0, 1]: weight of the newest observation.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Ewma { alpha, value: None }
+    }
+}
+
+impl Forecaster for Ewma {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+    fn observe(&mut self, _t: SimTime, value: f64) {
+        self.value = Some(match self.value {
+            None => value,
+            Some(prev) => prev + self.alpha * (value - prev),
+        });
+    }
+    fn predict(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Least-squares linear trend over the last `k` observations, extrapolated
+/// one mean-sample-interval ahead. Captures ramps (a job spinning up).
+#[derive(Debug, Clone)]
+pub struct LinearTrend {
+    k: usize,
+    window: VecDeque<(f64, f64)>,
+}
+
+impl LinearTrend {
+    /// Trend over the last `k` samples (`k ≥ 2`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2);
+        LinearTrend {
+            k,
+            window: VecDeque::with_capacity(k),
+        }
+    }
+}
+
+impl Forecaster for LinearTrend {
+    fn name(&self) -> &'static str {
+        "linear-trend"
+    }
+    fn observe(&mut self, t: SimTime, value: f64) {
+        self.window.push_back((t.as_secs_f64(), value));
+        if self.window.len() > self.k {
+            self.window.pop_front();
+        }
+    }
+    fn predict(&self) -> Option<f64> {
+        let n = self.window.len();
+        if n < 2 {
+            return self.window.back().map(|&(_, v)| v);
+        }
+        let (mut st, mut sv, mut stt, mut stv) = (0.0, 0.0, 0.0, 0.0);
+        for &(t, v) in &self.window {
+            st += t;
+            sv += v;
+            stt += t * t;
+            stv += t * v;
+        }
+        let nf = n as f64;
+        let denom = nf * stt - st * st;
+        if denom.abs() < 1e-12 {
+            return Some(sv / nf);
+        }
+        let slope = (nf * stv - st * sv) / denom;
+        let intercept = (sv - slope * st) / nf;
+        // one mean interval past the last sample
+        let (t0, _) = *self.window.front().expect("n >= 2");
+        let (t1, _) = *self.window.back().expect("n >= 2");
+        let step = (t1 - t0) / (n - 1) as f64;
+        Some(intercept + slope * (t1 + step))
+    }
+}
+
+/// The NWS strategy: run several forecasters in parallel, score each on its
+/// one-step-ahead error, and answer with the current best.
+///
+/// ```
+/// use nlrm_sim_core::forecast::{AdaptiveEnsemble, Forecaster};
+/// use nlrm_sim_core::time::SimTime;
+///
+/// let mut ens = AdaptiveEnsemble::standard();
+/// for i in 0..50u64 {
+///     ens.observe(SimTime::from_secs(i * 10), i as f64); // a perfect ramp
+/// }
+/// assert_eq!(ens.best_member(), "linear-trend");
+/// assert!((ens.predict().unwrap() - 50.0).abs() < 1.0);
+/// ```
+pub struct AdaptiveEnsemble {
+    members: Vec<Box<dyn Forecaster>>,
+    /// Exponentially-decayed mean absolute error per member.
+    errors: Vec<f64>,
+    /// Decay factor for the error tracker.
+    error_decay: f64,
+    observations: usize,
+}
+
+impl AdaptiveEnsemble {
+    /// Ensemble over the given members.
+    pub fn new(members: Vec<Box<dyn Forecaster>>) -> Self {
+        assert!(!members.is_empty());
+        let n = members.len();
+        AdaptiveEnsemble {
+            members,
+            errors: vec![0.0; n],
+            error_decay: 0.1,
+            observations: 0,
+        }
+    }
+
+    /// The standard NWS-like battery: last value, short/long sliding means,
+    /// a robust median, two EWMAs and a linear trend.
+    pub fn standard() -> Self {
+        AdaptiveEnsemble::new(vec![
+            Box::new(LastValue::new()),
+            Box::new(SlidingMean::new(5)),
+            Box::new(SlidingMean::new(20)),
+            Box::new(SlidingMedian::new(9)),
+            Box::new(Ewma::new(0.3)),
+            Box::new(Ewma::new(0.05)),
+            Box::new(LinearTrend::new(8)),
+        ])
+    }
+
+    /// Name of the member currently trusted most.
+    pub fn best_member(&self) -> &'static str {
+        self.members[self.best_index()].name()
+    }
+
+    fn best_index(&self) -> usize {
+        self.errors
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .expect("non-empty ensemble")
+    }
+
+    /// Number of observations consumed.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+}
+
+impl Forecaster for AdaptiveEnsemble {
+    fn name(&self) -> &'static str {
+        "adaptive-ensemble"
+    }
+
+    fn observe(&mut self, t: SimTime, value: f64) {
+        // score every member on the prediction it made *before* seeing value
+        for (i, m) in self.members.iter().enumerate() {
+            if let Some(pred) = m.predict() {
+                let err = (pred - value).abs();
+                self.errors[i] += self.error_decay * (err - self.errors[i]);
+            }
+        }
+        for m in &mut self.members {
+            m.observe(t, value);
+        }
+        self.observations += 1;
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.members[self.best_index()].predict()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{OrnsteinUhlenbeck, Process};
+    use crate::rng::RngFactory;
+
+    fn t(i: usize) -> SimTime {
+        SimTime::from_secs(i as u64 * 10)
+    }
+
+    /// Mean absolute one-step error of a forecaster over a series.
+    fn mae(f: &mut dyn Forecaster, series: &[f64]) -> f64 {
+        let mut err = 0.0;
+        let mut n = 0usize;
+        for (i, &v) in series.iter().enumerate() {
+            if let Some(p) = f.predict() {
+                err += (p - v).abs();
+                n += 1;
+            }
+            f.observe(t(i), v);
+        }
+        err / n.max(1) as f64
+    }
+
+    #[test]
+    fn constant_series_predicted_exactly() {
+        let series = vec![5.0; 50];
+        for f in [
+            &mut LastValue::new() as &mut dyn Forecaster,
+            &mut SlidingMean::new(5),
+            &mut SlidingMedian::new(5),
+            &mut Ewma::new(0.3),
+            &mut LinearTrend::new(5),
+            &mut AdaptiveEnsemble::standard(),
+        ] {
+            assert!(mae(f, &series) < 1e-9, "{} failed on constant", f.name());
+        }
+    }
+
+    #[test]
+    fn trend_wins_on_a_ramp() {
+        let series: Vec<f64> = (0..60).map(|i| i as f64 * 2.0).collect();
+        let trend_err = mae(&mut LinearTrend::new(8), &series);
+        let last_err = mae(&mut LastValue::new(), &series);
+        let mean_err = mae(&mut SlidingMean::new(8), &series);
+        assert!(trend_err < last_err, "trend {trend_err} vs last {last_err}");
+        assert!(trend_err < mean_err, "trend {trend_err} vs mean {mean_err}");
+        // tiny residual from the one-sample warm-up prediction; after that
+        // the line is extrapolated exactly
+        assert!(trend_err < 0.1, "near-perfect on a line, got {trend_err}");
+    }
+
+    #[test]
+    fn mean_beats_last_value_on_noise() {
+        // mean-reverting noise: averaging wins over chasing the last sample
+        let mut ou = OrnsteinUhlenbeck::new(10.0, 0.5, 3.0, 0.0);
+        let mut rng = RngFactory::new(5).named("forecast");
+        let series: Vec<f64> = (0..500).map(|_| ou.step(10.0, &mut rng)).collect();
+        let mean_err = mae(&mut SlidingMean::new(20), &series);
+        let last_err = mae(&mut LastValue::new(), &series);
+        assert!(mean_err < last_err, "mean {mean_err} vs last {last_err}");
+    }
+
+    #[test]
+    fn median_shrugs_off_spikes() {
+        let mut series = vec![1.0; 60];
+        for i in (5..60).step_by(10) {
+            series[i] = 100.0;
+        }
+        let med_err = mae(&mut SlidingMedian::new(9), &series);
+        let mean_err = mae(&mut SlidingMean::new(9), &series);
+        assert!(med_err < mean_err, "median {med_err} vs mean {mean_err}");
+    }
+
+    #[test]
+    fn ensemble_tracks_the_best_member() {
+        // on a ramp the ensemble must converge to the trend member
+        let series: Vec<f64> = (0..80).map(|i| i as f64).collect();
+        let mut e = AdaptiveEnsemble::standard();
+        for (i, &v) in series.iter().enumerate() {
+            e.observe(t(i), v);
+        }
+        assert_eq!(e.best_member(), "linear-trend");
+        assert_eq!(e.observations(), 80);
+        // and its prediction extrapolates
+        let p = e.predict().unwrap();
+        assert!((p - 80.0).abs() < 1.0, "prediction {p}");
+    }
+
+    #[test]
+    fn ensemble_never_much_worse_than_best_fixed_member() {
+        let mut ou = OrnsteinUhlenbeck::new(5.0, 0.2, 2.0, 0.0);
+        let mut rng = RngFactory::new(9).named("forecast2");
+        let series: Vec<f64> = (0..400).map(|_| ou.step(10.0, &mut rng)).collect();
+        let best_fixed = [
+            mae(&mut LastValue::new(), &series),
+            mae(&mut SlidingMean::new(5), &series),
+            mae(&mut SlidingMean::new(20), &series),
+            mae(&mut Ewma::new(0.3), &series),
+        ]
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+        let ens = mae(&mut AdaptiveEnsemble::standard(), &series);
+        assert!(
+            ens < best_fixed * 1.25,
+            "ensemble {ens} should track best member {best_fixed}"
+        );
+    }
+
+    #[test]
+    fn no_prediction_before_data() {
+        assert!(LastValue::new().predict().is_none());
+        assert!(SlidingMean::new(3).predict().is_none());
+        assert!(SlidingMedian::new(3).predict().is_none());
+        assert!(Ewma::new(0.5).predict().is_none());
+        assert!(AdaptiveEnsemble::standard().predict().is_none());
+    }
+}

@@ -1,0 +1,231 @@
+//! Time-windowed running means.
+//!
+//! The paper's NodeStateD keeps "the running mean of the last 1, 5, and 15
+//! minutes of historical data of dynamic attributes" (§4). [`WindowedMean`]
+//! implements one such window over irregularly-sampled data;
+//! [`MultiWindowMean`] bundles the three standard windows.
+
+use crate::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Mean of all samples observed within a sliding time window.
+///
+/// Samples are weighted equally (the paper's daemons sample on a fixed-ish
+/// period, so sample-mean ≈ time-mean). Evicts samples older than the window.
+#[derive(Debug, Clone)]
+pub struct WindowedMean {
+    window: Duration,
+    samples: VecDeque<(SimTime, f64)>,
+    sum: f64,
+}
+
+impl WindowedMean {
+    /// A window of the given length.
+    pub fn new(window: Duration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        WindowedMean {
+            window,
+            samples: VecDeque::new(),
+            sum: 0.0,
+        }
+    }
+
+    /// Record `value` observed at time `t` (must be non-decreasing).
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.back() {
+            assert!(t >= last, "samples must arrive in time order");
+        }
+        self.samples.push_back((t, value));
+        self.sum += value;
+        self.evict(t);
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let cutoff = now.since(SimTime::ZERO);
+        while let Some(&(t0, v0)) = self.samples.front() {
+            if t0.since(SimTime::ZERO) + self.window < cutoff {
+                self.samples.pop_front();
+                self.sum -= v0;
+            } else {
+                break;
+            }
+        }
+        // Periodically re-accumulate to cancel floating point drift.
+        if self.samples.len().is_power_of_two() && self.samples.len() >= 1024 {
+            self.sum = self.samples.iter().map(|&(_, v)| v).sum();
+        }
+    }
+
+    /// Mean over the window, or `None` if no samples are retained.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.samples.len() as f64)
+        }
+    }
+
+    /// Latest sample value, if any.
+    pub fn latest(&self) -> Option<f64> {
+        self.samples.back().map(|&(_, v)| v)
+    }
+
+    /// Number of samples retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// The paper's standard 1/5/15-minute triple of running means.
+#[derive(Debug, Clone)]
+pub struct MultiWindowMean {
+    one: WindowedMean,
+    five: WindowedMean,
+    fifteen: WindowedMean,
+}
+
+/// A snapshot of the three running means plus the instantaneous value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowedValue {
+    /// Most recent raw sample.
+    pub instant: f64,
+    /// 1-minute running mean.
+    pub m1: f64,
+    /// 5-minute running mean.
+    pub m5: f64,
+    /// 15-minute running mean.
+    pub m15: f64,
+}
+
+impl WindowedValue {
+    /// A value with all windows pinned to the same constant (useful for
+    /// static attributes and for seeding tests).
+    pub fn constant(v: f64) -> Self {
+        WindowedValue {
+            instant: v,
+            m1: v,
+            m5: v,
+            m15: v,
+        }
+    }
+}
+
+impl Default for MultiWindowMean {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiWindowMean {
+    /// Fresh 1/5/15-minute windows.
+    pub fn new() -> Self {
+        MultiWindowMean {
+            one: WindowedMean::new(Duration::from_mins(1)),
+            five: WindowedMean::new(Duration::from_mins(5)),
+            fifteen: WindowedMean::new(Duration::from_mins(15)),
+        }
+    }
+
+    /// Record a sample into all three windows.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        self.one.push(t, value);
+        self.five.push(t, value);
+        self.fifteen.push(t, value);
+    }
+
+    /// Current instantaneous + windowed view; `None` before any sample.
+    pub fn value(&self) -> Option<WindowedValue> {
+        Some(WindowedValue {
+            instant: self.fifteen.latest()?,
+            m1: self.one.mean()?,
+            m5: self.five.mean()?,
+            m15: self.fifteen.mean()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_has_no_mean() {
+        let w = WindowedMean::new(Duration::from_mins(1));
+        assert_eq!(w.mean(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn mean_over_retained_samples() {
+        let mut w = WindowedMean::new(Duration::from_secs(100));
+        w.push(SimTime::from_secs(0), 1.0);
+        w.push(SimTime::from_secs(10), 3.0);
+        assert_eq!(w.mean(), Some(2.0));
+        assert_eq!(w.latest(), Some(3.0));
+    }
+
+    #[test]
+    fn old_samples_evicted() {
+        let mut w = WindowedMean::new(Duration::from_secs(60));
+        w.push(SimTime::from_secs(0), 100.0);
+        w.push(SimTime::from_secs(30), 100.0);
+        w.push(SimTime::from_secs(120), 4.0);
+        // the two old samples fell out of the 60 s window
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn boundary_sample_is_retained() {
+        let mut w = WindowedMean::new(Duration::from_secs(60));
+        w.push(SimTime::from_secs(0), 2.0);
+        w.push(SimTime::from_secs(60), 4.0);
+        // exactly window-old: kept (window is inclusive)
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.mean(), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_panics() {
+        let mut w = WindowedMean::new(Duration::from_secs(60));
+        w.push(SimTime::from_secs(10), 1.0);
+        w.push(SimTime::from_secs(5), 1.0);
+    }
+
+    #[test]
+    fn multi_window_separates_horizons() {
+        let mut m = MultiWindowMean::new();
+        // 20 minutes of value 10 sampled every 10 s, then 30 s of value 0
+        let mut t = 0u64;
+        while t <= 20 * 60 {
+            m.push(SimTime::from_secs(t), 10.0);
+            t += 10;
+        }
+        for s in 1..=3u64 {
+            m.push(SimTime::from_secs(20 * 60 + s * 10), 0.0);
+        }
+        let v = m.value().unwrap();
+        assert_eq!(v.instant, 0.0);
+        // 1-min window holds 7 samples (4×10, 3×0) → mean 40/7
+        assert!(v.m1 < v.m5 && v.m5 < v.m15, "{v:?}");
+        assert!(v.m15 > 9.0);
+    }
+
+    #[test]
+    fn long_run_sum_does_not_drift() {
+        let mut w = WindowedMean::new(Duration::from_secs(60));
+        for i in 0..200_000u64 {
+            w.push(SimTime::from_secs(i), (i % 7) as f64);
+        }
+        let direct: f64 =
+            (0..200_000u64).rev().take(61).map(|i| (i % 7) as f64).sum::<f64>() / 61.0;
+        assert!((w.mean().unwrap() - direct).abs() < 1e-9);
+    }
+}

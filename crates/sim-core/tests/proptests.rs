@@ -1,0 +1,98 @@
+//! Property-based tests for the simulation core.
+
+use nlrm_sim_core::event::EventQueue;
+use nlrm_sim_core::stats::{median, percentile, OnlineStats, Summary};
+use nlrm_sim_core::time::{Duration, SimTime};
+use nlrm_sim_core::window::WindowedMean;
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue is a stable priority queue: output sorted by time,
+    /// FIFO within equal timestamps.
+    #[test]
+    fn event_queue_is_stable_sorted(times in proptest::collection::vec(0u64..100, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort(); // sorts by time then insertion index
+        let popped: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, i)| (t.as_micros() / 1_000_000, i))
+            .collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Windowed mean equals the brute-force mean over retained samples.
+    #[test]
+    fn windowed_mean_matches_bruteforce(
+        samples in proptest::collection::vec((0u64..2000, -100.0f64..100.0), 1..300),
+        window in 1u64..500,
+    ) {
+        let mut sorted = samples.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut w = WindowedMean::new(Duration::from_secs(window));
+        for &(t, v) in &sorted {
+            w.push(SimTime::from_secs(t), v);
+        }
+        let now = sorted.last().unwrap().0;
+        let cutoff = now.saturating_sub(window);
+        let kept: Vec<f64> = sorted
+            .iter()
+            .filter(|&&(t, _)| t >= cutoff)
+            .map(|&(_, v)| v)
+            .collect();
+        let expect = kept.iter().sum::<f64>() / kept.len() as f64;
+        prop_assert!((w.mean().unwrap() - expect).abs() < 1e-6);
+    }
+
+    /// Summary invariants: min ≤ median ≤ max, min ≤ mean ≤ max, std ≥ 0.
+    #[test]
+    fn summary_invariants(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&data).unwrap();
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.n, data.len());
+    }
+
+    /// OnlineStats agrees with Summary.
+    #[test]
+    fn online_matches_batch(data in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let mut o = OnlineStats::new();
+        for &x in &data {
+            o.push(x);
+        }
+        let s = Summary::of(&data).unwrap();
+        prop_assert!((o.mean() - s.mean).abs() < 1e-9);
+        prop_assert!((o.std_dev() - s.std_dev).abs() < 1e-6);
+        prop_assert_eq!(o.min(), s.min);
+        prop_assert_eq!(o.max(), s.max);
+    }
+
+    /// Percentiles are monotone in p and bracket the data.
+    #[test]
+    fn percentiles_monotone(
+        data in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        p1 in 0.0f64..=100.0,
+        p2 in 0.0f64..=100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&data, lo);
+        let b = percentile(&data, hi);
+        prop_assert!(a <= b + 1e-9);
+        // p50 equals the median up to floating-point association order
+        prop_assert!((percentile(&data, 50.0) - median(&data)).abs() < 1e-9);
+    }
+
+    /// Time arithmetic: (t + d) − t == d and ordering is consistent.
+    #[test]
+    fn time_arithmetic(t in 0u64..u32::MAX as u64, d in 0u64..u32::MAX as u64) {
+        let t0 = SimTime::from_micros(t);
+        let dd = Duration::from_micros(d);
+        prop_assert_eq!((t0 + dd) - t0, dd);
+        prop_assert!(t0 + dd >= t0);
+    }
+}

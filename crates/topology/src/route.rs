@@ -1,0 +1,160 @@
+//! Routing: the unique tree path between any two nodes.
+
+use crate::graph::{LinkId, NodeId, Topology};
+
+impl Topology {
+    /// Ordered list of links on the unique path from `u` to `v`.
+    ///
+    /// Empty when `u == v`. The path is `u`'s access link, trunks up to the
+    /// lowest common ancestor switch, trunks back down, and `v`'s access link.
+    pub fn path(&self, u: NodeId, v: NodeId) -> Vec<LinkId> {
+        if u == v {
+            return Vec::new();
+        }
+        let su = self.switch_of(u);
+        let sv = self.switch_of(v);
+        let mut path = vec![self.access_link(u)];
+        if su != sv {
+            let anc_u = self.ancestors(su);
+            let anc_v = self.ancestors(sv);
+            // lowest common ancestor: first switch on u's ancestor chain that
+            // also appears on v's chain
+            let lca = *anc_u
+                .iter()
+                .find(|s| anc_v.contains(s))
+                .expect("tree has a single root, LCA must exist");
+            for &s in anc_u.iter().take_while(|&&s| s != lca) {
+                path.push(self.uplink(s).expect("non-root ancestor has uplink"));
+            }
+            let down: Vec<LinkId> = anc_v
+                .iter()
+                .take_while(|&&s| s != lca)
+                .map(|&s| self.uplink(s).expect("non-root ancestor has uplink"))
+                .collect();
+            path.extend(down.into_iter().rev());
+        }
+        path.push(self.access_link(v));
+        path
+    }
+
+    /// Number of links on the path (the paper's "hops": 2 within a switch,
+    /// up to 4 across the core).
+    pub fn hops(&self, u: NodeId, v: NodeId) -> usize {
+        self.path(u, v).len()
+    }
+
+    /// Sum of base latencies along the path, in seconds.
+    pub fn base_latency(&self, u: NodeId, v: NodeId) -> f64 {
+        self.path(u, v)
+            .iter()
+            .map(|&l| self.link(l).params.latency_s)
+            .sum()
+    }
+
+    /// Minimum raw capacity along the path, in bits/s (0 for `u == v`,
+    /// meaning "no network involved").
+    pub fn path_capacity(&self, u: NodeId, v: NodeId) -> f64 {
+        self.path(u, v)
+            .iter()
+            .map(|&l| self.link(l).params.capacity_bps)
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::{LinkParams, NodeId, Topology};
+
+    fn star() -> Topology {
+        // switch 0 core (2 nodes), switches 1,2 leaves (2 nodes each)
+        Topology::star_of_switches(&[2, 2, 2], LinkParams::gigabit(), LinkParams::gigabit())
+    }
+
+    #[test]
+    fn same_node_empty_path() {
+        let t = star();
+        assert!(t.path(NodeId(0), NodeId(0)).is_empty());
+        assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+    }
+
+    #[test]
+    fn same_switch_two_hops() {
+        let t = star();
+        // nodes 0,1 on the core switch
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 2);
+        // nodes 2,3 on leaf switch 1
+        assert_eq!(t.hops(NodeId(2), NodeId(3)), 2);
+    }
+
+    #[test]
+    fn leaf_to_core_three_hops() {
+        let t = star();
+        // node 2 (leaf sw1) to node 0 (core sw0): access + trunk + access
+        assert_eq!(t.hops(NodeId(2), NodeId(0)), 3);
+    }
+
+    #[test]
+    fn leaf_to_leaf_four_hops() {
+        let t = star();
+        // node 2 (sw1) to node 4 (sw2): access + trunk up + trunk down + access
+        assert_eq!(t.hops(NodeId(2), NodeId(4)), 4);
+    }
+
+    #[test]
+    fn path_is_symmetric_in_link_set() {
+        let t = star();
+        let mut p1 = t.path(NodeId(2), NodeId(4));
+        let mut p2 = t.path(NodeId(4), NodeId(2));
+        p1.sort();
+        p2.sort();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn latency_accumulates_per_hop() {
+        let t = star();
+        let per_hop = LinkParams::gigabit().latency_s;
+        let lat = t.base_latency(NodeId(2), NodeId(4));
+        assert!((lat - 4.0 * per_hop).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_is_bottleneck() {
+        let t = Topology::star_of_switches(
+            &[1, 1],
+            LinkParams::gigabit(),
+            LinkParams {
+                capacity_bps: 0.5e9,
+                latency_s: 10e-6,
+            },
+        );
+        assert_eq!(t.path_capacity(NodeId(0), NodeId(1)), 0.5e9);
+    }
+
+    #[test]
+    fn deep_chain_routing() {
+        // chain of switches: 0 <- 1 <- 2, node 0 on sw0, node 1 on sw2
+        let t = Topology::tree(
+            &[None, Some(0), Some(1)],
+            &[0, 2],
+            LinkParams::gigabit(),
+            LinkParams::gigabit(),
+        );
+        // access + two trunks + access
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 4);
+    }
+
+    #[test]
+    fn sibling_subtrees_route_through_lca_not_root() {
+        // root 0; children 1, 2; 1's children 3, 4. Nodes on 3 and 4.
+        let t = Topology::tree(
+            &[None, Some(0), Some(0), Some(1), Some(1)],
+            &[3, 4],
+            LinkParams::gigabit(),
+            LinkParams::gigabit(),
+        );
+        // path: access + up(3->1) + down(1->4) + access = 4 hops (LCA is 1, not root)
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 4);
+    }
+}

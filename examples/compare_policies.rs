@@ -1,0 +1,58 @@
+//! Head-to-head policy comparison on one cluster state — a miniature of the
+//! paper's evaluation protocol (§5): all four allocation policies decide on
+//! the same monitoring snapshot, then each runs the same workload on an
+//! identical clone of the cluster.
+//!
+//! Run with: `cargo run --release --example compare_policies`
+
+use nlrm::apps::synthetic::AllToAllHeavy;
+use nlrm::bench::runner::{paper_policies, Experiment};
+use nlrm::mpi::pattern::Workload;
+use nlrm::prelude::*;
+
+fn main() {
+    let mut env = Experiment::new(iitk_cluster(7));
+    env.advance(Duration::from_secs(600));
+
+    let workloads: Vec<(Box<dyn Workload>, AllocationRequest)> = vec![
+        (
+            Box::new(MiniMd::new(16).with_steps(100)),
+            AllocationRequest::minimd(32),
+        ),
+        (
+            Box::new(MiniFe::new(96).with_iterations(100)),
+            AllocationRequest::minife(32),
+        ),
+        (
+            Box::new(AllToAllHeavy {
+                gcycles: 0.05,
+                pair_bytes: 5e4,
+                steps: 50,
+            }),
+            AllocationRequest::new(32, Some(4), 0.1, 0.9),
+        ),
+    ];
+
+    for (workload, request) in &workloads {
+        println!("== {} ({} procs, alpha={}) ==", workload.name(), request.procs, request.alpha);
+        let results = env
+            .compare(&mut paper_policies(3), request, workload.as_ref())
+            .expect("comparison");
+        let best = results
+            .iter()
+            .map(|r| r.timing.total_s)
+            .fold(f64::INFINITY, f64::min);
+        for r in &results {
+            println!(
+                "  {:<20} {:>8.2} s  (comm {:>3.0}%, load/core {:.2}){}",
+                r.policy,
+                r.timing.total_s,
+                r.timing.comm_fraction() * 100.0,
+                r.timing.mean_load_per_core,
+                if r.timing.total_s <= best { "  <- fastest" } else { "" }
+            );
+        }
+        env.advance(Duration::from_secs(300));
+        println!();
+    }
+}

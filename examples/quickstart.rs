@@ -1,0 +1,71 @@
+//! Quickstart: monitor a shared cluster, allocate nodes for an MPI job with
+//! the paper's network-and-load-aware algorithm, run the job, and compare
+//! against what a naive allocation would have cost.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nlrm::prelude::*;
+
+fn main() {
+    // 1. The paper's testbed: 60 heterogeneous nodes behind 4 GigE
+    //    switches, with students generating background load.
+    let mut cluster = iitk_cluster(42);
+    println!(
+        "cluster: {} nodes, {} switches",
+        cluster.num_nodes(),
+        cluster.topology().num_switches()
+    );
+
+    // 2. Start the Resource Monitor and let the daemons collect ten
+    //    minutes of node state, latency and bandwidth data.
+    let mut monitor = MonitorRuntime::new(&cluster);
+    let snapshot = monitor
+        .warm_snapshot(&mut cluster, Duration::from_secs(600))
+        .expect("monitoring warm-up");
+    println!(
+        "monitor: {} usable nodes, max sample age {}",
+        snapshot.usable_nodes().len(),
+        snapshot.max_sample_age().map(|d| d.to_string()).unwrap_or_default()
+    );
+
+    // 3. Request 32 MPI processes, 4 per node, for a communication-bound
+    //    job (the paper's miniMD setting: alpha = 0.3, beta = 0.7).
+    let request = AllocationRequest::minimd(32);
+    let allocation = NetworkLoadAwarePolicy::new()
+        .allocate(&snapshot, &request)
+        .expect("allocation");
+    let hosts: Vec<&str> = allocation
+        .node_list()
+        .iter()
+        .map(|&n| cluster.spec(n).hostname.as_str())
+        .collect();
+    println!("allocated: {hosts:?}");
+    println!(
+        "  group mean compute load {:.3}, mean network load {:.3}, Eq.4 cost {:.4}",
+        allocation.diagnostics.mean_compute_load,
+        allocation.diagnostics.mean_network_load,
+        allocation.diagnostics.total_cost,
+    );
+
+    // 4. Execute a miniMD proxy run on the chosen nodes.
+    let workload = MiniMd::new(16).with_steps(100);
+    let comm = Communicator::new(allocation.rank_map.clone());
+    let timing = execute(&mut cluster.clone(), &comm, &workload);
+    println!(
+        "miniMD(s=16): {:.2} s total ({:.0}% communication)",
+        timing.total_s,
+        timing.comm_fraction() * 100.0
+    );
+
+    // 5. What would a random pick have cost on the same cluster state?
+    let random = RandomPolicy::new(7)
+        .allocate(&snapshot, &request)
+        .expect("random allocation");
+    let random_comm = Communicator::new(random.rank_map.clone());
+    let random_timing = execute(&mut cluster.clone(), &random_comm, &workload);
+    println!(
+        "random allocation: {:.2} s — network-and-load-aware saved {:.0}%",
+        random_timing.total_s,
+        (1.0 - timing.total_s / random_timing.total_s) * 100.0
+    );
+}

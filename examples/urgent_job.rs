@@ -1,0 +1,55 @@
+//! The "urgent job" scenario from the paper's introduction: a shared lab
+//! cluster doubles as an on-demand platform for urgent MPI jobs (epidemic
+//! or wildfire modeling), because supercomputer queues take days.
+//!
+//! Demonstrates the §6 wait-or-allocate advisor: the same request is judged
+//! on a normally-loaded cluster (run it now) and on an overloaded one
+//! (better to wait — "there are not enough lightly loaded processors").
+//!
+//! Run with: `cargo run --release --example urgent_job`
+
+use nlrm::cluster::iitk::iitk_cluster_with_profile;
+use nlrm::prelude::*;
+
+fn advise_on(profile: ClusterProfile, label: &str) {
+    let mut cluster = iitk_cluster_with_profile(profile, 99);
+    let mut monitor = MonitorRuntime::new(&cluster);
+    let snapshot = monitor
+        .warm_snapshot(&mut cluster, Duration::from_secs(600))
+        .expect("monitoring");
+
+    // an urgent epidemic-model-style job: 48 ranks, communication-heavy
+    let request = AllocationRequest::new(48, Some(4), 0.3, 0.7);
+    let advice = advise(&snapshot, &request, &AdvisorConfig::default()).expect("advice");
+
+    println!("== {label} ==");
+    match &advice {
+        Advice::Allocate(alloc) => {
+            println!("verdict: RUN NOW on {} nodes", alloc.node_list().len());
+            let comm = Communicator::new(alloc.rank_map.clone());
+            let timing = execute(&mut cluster, &comm, &MiniMd::new(24).with_steps(100));
+            println!(
+                "executed: {:.1} s ({:.0}% communication)",
+                timing.total_s,
+                timing.comm_fraction() * 100.0
+            );
+        }
+        Advice::Wait { reason, best_available } => {
+            println!("verdict: WAIT — {reason}");
+            println!(
+                "(best group available anyway: {:?})",
+                best_available
+                    .node_list()
+                    .iter()
+                    .map(|&n| cluster.spec(n).hostname.clone())
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    advise_on(ClusterProfile::shared_lab(), "normal afternoon in the lab");
+    advise_on(ClusterProfile::overloaded(), "assignment-deadline night (overloaded)");
+}

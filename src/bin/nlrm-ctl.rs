@@ -1,0 +1,258 @@
+//! `nlrm-ctl` — command-line front end to the resource manager.
+//!
+//! Drives the full pipeline against the reference cluster (the simulated
+//! IIT-K testbed; a production deployment would point the same code at a
+//! store populated by real daemons):
+//!
+//! ```text
+//! nlrm-ctl status                          # node table + livehosts
+//! nlrm-ctl allocate --procs 32 [--ppn 4] [--policy nla|random|seq|load]
+//! nlrm-ctl advise   --procs 32             # §6 wait-or-run verdict
+//! nlrm-ctl run      --app minimd --size 16 --procs 32
+//! nlrm-ctl profile  --app minife --size 96 --procs 32
+//! ```
+//!
+//! Global flags: `--seed <n>` (cluster seed), `--warmup <secs>` (monitoring
+//! warm-up), `--campus` (use the two-cluster campus topology).
+
+use nlrm::cluster::iitk::campus;
+use nlrm::mpi::pattern::Workload;
+use nlrm::mpi::profiler;
+use nlrm::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut flags = HashMap::new();
+    while let Some(arg) = argv.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{arg}'\n{}", usage()));
+        };
+        // boolean flags
+        if name == "campus" {
+            flags.insert(name.to_string(), "true".into());
+            continue;
+        }
+        let value = argv
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value);
+    }
+    Ok(Args { command, flags })
+}
+
+fn usage() -> String {
+    "usage: nlrm-ctl <status|allocate|advise|run|profile> [flags]\n\
+     flags: --procs N --ppn N --alpha X --policy nla|random|seq|load \
+     --app minimd|minife --size N --seed N --warmup SECS --campus"
+        .to_string()
+}
+
+impl Args {
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{name}")),
+        }
+    }
+
+    fn require_u32(&self, name: &str) -> Result<u32, String> {
+        self.flags
+            .get(name)
+            .ok_or_else(|| format!("--{name} is required"))?
+            .parse()
+            .map_err(|_| format!("invalid value for --{name}"))
+    }
+}
+
+fn build_env(args: &Args) -> Result<(ClusterSim, ClusterSnapshot), String> {
+    let seed: u64 = args.get("seed", 2020)?;
+    let warmup: u64 = args.get("warmup", 600)?;
+    let mut cluster = if args.flags.contains_key("campus") {
+        campus(2, 30, seed)
+    } else {
+        iitk_cluster(seed)
+    };
+    let mut monitor = MonitorRuntime::new(&cluster);
+    let snap = monitor
+        .warm_snapshot(&mut cluster, Duration::from_secs(warmup))
+        .map_err(|e| format!("monitoring failed: {e}"))?;
+    Ok((cluster, snap))
+}
+
+fn build_request(args: &Args) -> Result<AllocationRequest, String> {
+    let procs = args.require_u32("procs")?;
+    let ppn: u32 = args.get("ppn", 4)?;
+    let alpha: f64 = args.get("alpha", 0.3)?;
+    let req = AllocationRequest::new(procs, Some(ppn), alpha, 1.0 - alpha);
+    req.validate().map_err(|e| e.to_string())?;
+    Ok(req)
+}
+
+fn build_policy(args: &Args) -> Result<Box<dyn Policy>, String> {
+    let seed: u64 = args.get("seed", 2020)?;
+    let name = args
+        .flags
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("nla");
+    match name {
+        "nla" => Ok(Box::new(NetworkLoadAwarePolicy::new())),
+        "random" => Ok(Box::new(RandomPolicy::new(seed))),
+        "seq" | "sequential" => Ok(Box::new(SequentialPolicy::new(seed))),
+        "load" | "load-aware" => Ok(Box::new(LoadAwarePolicy::new())),
+        other => Err(format!("unknown policy '{other}'")),
+    }
+}
+
+fn build_workload(args: &Args) -> Result<Box<dyn Workload>, String> {
+    let app = args
+        .flags
+        .get("app")
+        .map(String::as_str)
+        .unwrap_or("minimd");
+    let size = args.require_u32("size")?;
+    match app {
+        "minimd" => Ok(Box::new(MiniMd::new(size))),
+        "minife" => Ok(Box::new(MiniFe::new(size))),
+        other => Err(format!("unknown app '{other}' (minimd|minife)")),
+    }
+}
+
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let (cluster, snap) = build_env(args)?;
+    println!(
+        "cluster: {} nodes, {} switches; {} usable",
+        cluster.num_nodes(),
+        cluster.topology().num_switches(),
+        snap.usable_nodes().len()
+    );
+    println!(
+        "{:<10} {:>5} {:>6} {:>7} {:>7} {:>7} {:>9} {:>6}",
+        "host", "cores", "GHz", "load1m", "util", "mem", "net Mb/s", "users"
+    );
+    for info in &snap.nodes {
+        let s = &info.sample;
+        println!(
+            "{:<10} {:>5} {:>6.1} {:>7.2} {:>6.0}% {:>6.0}% {:>9.1} {:>6}{}",
+            s.spec.hostname,
+            s.spec.cores,
+            s.spec.freq_ghz,
+            s.cpu_load.m1,
+            s.cpu_util.m1 * 100.0,
+            s.mem_used_frac.m1 * 100.0,
+            s.flow_rate_mbps.m1,
+            s.users,
+            if info.live { "" } else { "  DOWN" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_allocate(args: &Args) -> Result<(), String> {
+    let (cluster, snap) = build_env(args)?;
+    let req = build_request(args)?;
+    let mut policy = build_policy(args)?;
+    let alloc = policy.allocate(&snap, &req).map_err(|e| e.to_string())?;
+    println!("policy: {}", alloc.policy);
+    println!("eq.4 cost: {:.4}", alloc.diagnostics.total_cost);
+    println!(
+        "group: mean CL {:.3}, mean NL {:.3}",
+        alloc.diagnostics.mean_compute_load, alloc.diagnostics.mean_network_load
+    );
+    for &(node, procs) in &alloc.nodes {
+        println!("  {:<10} x{procs}", cluster.spec(node).hostname);
+    }
+    Ok(())
+}
+
+fn cmd_advise(args: &Args) -> Result<(), String> {
+    let (cluster, snap) = build_env(args)?;
+    let req = build_request(args)?;
+    let advice = advise(&snap, &req, &AdvisorConfig::default()).map_err(|e| e.to_string())?;
+    match advice {
+        Advice::Allocate(alloc) => {
+            println!("RUN NOW — allocation ready:");
+            for &(node, procs) in &alloc.nodes {
+                println!("  {:<10} x{procs}", cluster.spec(node).hostname);
+            }
+        }
+        Advice::Wait { reason, .. } => println!("WAIT — {reason}"),
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let (cluster, snap) = build_env(args)?;
+    let req = build_request(args)?;
+    let mut policy = build_policy(args)?;
+    let workload = build_workload(args)?;
+    let alloc = policy.allocate(&snap, &req).map_err(|e| e.to_string())?;
+    let comm = Communicator::new(alloc.rank_map.clone());
+    let mut sandbox = cluster.clone();
+    let timing = execute(&mut sandbox, &comm, workload.as_ref());
+    println!("{} on {} nodes via {}:", workload.name(), alloc.node_list().len(), alloc.policy);
+    println!(
+        "  total {:.2} s | compute {:.2} s | comm {:.2} s ({:.0}%)",
+        timing.total_s,
+        timing.compute_s,
+        timing.comm_s,
+        timing.comm_fraction() * 100.0
+    );
+    println!("  mean CPU load/core during run: {:.2}", timing.mean_load_per_core);
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let (cluster, snap) = build_env(args)?;
+    let req = build_request(args)?;
+    let workload = build_workload(args)?;
+    // profile on the load-aware pick (a neutral reference placement)
+    let alloc = LoadAwarePolicy::new()
+        .allocate(&snap, &req)
+        .map_err(|e| e.to_string())?;
+    let comm = Communicator::new(alloc.rank_map.clone());
+    let report = profiler::profile(&cluster, &comm, workload.as_ref(), 10);
+    println!("profiled {} over {} steps:", report.workload, report.steps);
+    println!("  communication fraction: {:.0}%", report.comm_fraction * 100.0);
+    println!(
+        "  recommended mix: alpha = {:.2}, beta = {:.2}",
+        report.alpha, report.beta
+    );
+    println!("  (pass --alpha {:.2} to `nlrm-ctl allocate`)", report.alpha);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "status" => cmd_status(&args),
+        "allocate" => cmd_allocate(&args),
+        "advise" => cmd_advise(&args),
+        "run" => cmd_run(&args),
+        "profile" => cmd_profile(&args),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

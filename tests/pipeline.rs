@@ -1,0 +1,132 @@
+//! End-to-end integration: cluster → monitor → allocator → MPI execution.
+
+use nlrm::bench::runner::{paper_policies, Experiment};
+use nlrm::prelude::*;
+
+#[test]
+fn full_pipeline_every_policy() {
+    let mut env = Experiment::new(iitk_cluster(101));
+    env.advance(Duration::from_secs(600));
+    let req = AllocationRequest::minimd(32);
+    let workload = MiniMd::new(16).with_steps(20);
+    let results = env
+        .compare(&mut paper_policies(5), &req, &workload)
+        .expect("all policies allocate");
+    assert_eq!(results.len(), 4);
+    for r in &results {
+        assert_eq!(r.allocation.total_procs(), 32);
+        assert_eq!(r.allocation.node_list().len(), 8, "{}", r.policy);
+        assert!(r.timing.total_s > 0.0 && r.timing.total_s < 3600.0);
+        assert!(r.timing.comm_fraction() > 0.0 && r.timing.comm_fraction() < 1.0);
+        // rank map consistent with placement
+        let comm = Communicator::new(r.allocation.rank_map.clone());
+        assert_eq!(comm.size(), 32);
+        for (node, procs) in comm.placement() {
+            assert_eq!(
+                procs,
+                r.allocation
+                    .nodes
+                    .iter()
+                    .find(|&&(n, _)| n == node)
+                    .map(|&(_, p)| p)
+                    .unwrap_or(0),
+                "{}: placement mismatch on {node}",
+                r.policy
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let mut env = Experiment::new(iitk_cluster(77));
+        env.advance(Duration::from_secs(600));
+        let req = AllocationRequest::minife(16);
+        let workload = MiniFe::new(48).with_iterations(10);
+        let snap = env.snapshot();
+        let r = env
+            .run_policy(&mut NetworkLoadAwarePolicy::new(), &snap, &req, &workload)
+            .unwrap();
+        (r.allocation.nodes.clone(), r.timing.total_s)
+    };
+    let (n1, t1) = run();
+    let (n2, t2) = run();
+    assert_eq!(n1, n2);
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn allocator_never_selects_failed_nodes_end_to_end() {
+    let mut env = Experiment::new(iitk_cluster(55));
+    env.advance(Duration::from_secs(400));
+    // fail five nodes, then keep monitoring
+    for i in [0u32, 7, 20, 33, 59] {
+        env.cluster.set_node_up(nlrm::topology::NodeId(i), false);
+    }
+    env.advance(Duration::from_secs(120));
+    let req = AllocationRequest::minimd(64);
+    let workload = MiniMd::new(8).with_steps(5);
+    for r in env
+        .compare(&mut paper_policies(9), &req, &workload)
+        .unwrap()
+    {
+        for &(node, _) in &r.allocation.nodes {
+            assert!(
+                ![0u32, 7, 20, 33, 59].contains(&node.0),
+                "{} picked failed node {node}",
+                r.policy
+            );
+        }
+    }
+}
+
+#[test]
+fn advisor_pipeline_runs_and_waits_appropriately() {
+    use nlrm::cluster::iitk::iitk_cluster_with_profile;
+    // normal lab: allocate
+    let mut cluster = iitk_cluster_with_profile(ClusterProfile::shared_lab(), 3);
+    let mut monitor = MonitorRuntime::new(&cluster);
+    let snap = monitor
+        .warm_snapshot(&mut cluster, Duration::from_secs(600))
+        .unwrap();
+    let req = AllocationRequest::minimd(16);
+    let advice = advise(&snap, &req, &AdvisorConfig::default()).unwrap();
+    assert!(advice.should_run());
+
+    // overloaded: wait
+    let mut cluster = iitk_cluster_with_profile(ClusterProfile::overloaded(), 3);
+    let mut monitor = MonitorRuntime::new(&cluster);
+    let snap = monitor
+        .warm_snapshot(&mut cluster, Duration::from_secs(600))
+        .unwrap();
+    let advice = advise(&snap, &req, &AdvisorConfig::default()).unwrap();
+    assert!(!advice.should_run());
+}
+
+#[test]
+fn job_execution_is_visible_to_monitoring() {
+    // While a job runs, the monitor's next snapshot must show its load.
+    let mut env = Experiment::new(small_cluster(4, 13));
+    env.advance(Duration::from_secs(400));
+    let snap0 = env.snapshot();
+    let req = AllocationRequest::new(16, Some(4), 0.5, 0.5);
+    let alloc = NetworkLoadAwarePolicy::new().allocate(&snap0, &req).unwrap();
+    let comm = Communicator::new(alloc.rank_map.clone());
+
+    // run a long job on the master timeline while monitoring continues
+    let target_node = alloc.node_list()[0];
+    let before = env.cluster.node_state(target_node).cpu_load;
+    for (node, procs) in comm.placement() {
+        env.cluster.add_job_load(node, procs as f64);
+    }
+    env.advance(Duration::from_secs(60));
+    let snap1 = env.snapshot();
+    let seen = snap1.info(target_node).unwrap().sample.cpu_load.instant;
+    // background load drifts during the minute, so allow slack around the
+    // job's +4 runnable processes
+    assert!(
+        seen >= before + 2.0,
+        "monitor should see the job's 4 procs: before {before}, seen {seen}"
+    );
+}

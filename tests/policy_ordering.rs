@@ -1,0 +1,85 @@
+//! Statistical reproduction checks: across seeds, the paper's headline
+//! ordering must hold — network-and-load-aware beats random, sequential and
+//! load-aware on average, with positive mean gains.
+
+use nlrm::bench::gains::PolicyTimes;
+use nlrm::bench::runner::{paper_policies, Experiment};
+use nlrm::prelude::*;
+
+fn sweep(seeds: &[u64], procs: u32, size: u32) -> PolicyTimes {
+    let mut times = PolicyTimes::new();
+    for &seed in seeds {
+        let mut env = Experiment::new(iitk_cluster(seed));
+        env.advance(Duration::from_secs(600));
+        let req = AllocationRequest::minimd(procs);
+        let workload = MiniMd::new(size).with_steps(30);
+        for rep in 0..2 {
+            env.advance(Duration::from_secs(300));
+            for r in env
+                .compare(&mut paper_policies(seed ^ rep), &req, &workload)
+                .unwrap()
+            {
+                times.push(&r.policy, r.timing.total_s);
+            }
+        }
+    }
+    times
+}
+
+#[test]
+fn nla_beats_every_baseline_on_average() {
+    let times = sweep(&[1, 2, 3, 4, 5], 32, 16);
+    for baseline in ["random", "sequential", "load-aware"] {
+        let gains = times.gains_over(baseline, "network-load-aware");
+        let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+        assert!(
+            mean > 5.0,
+            "mean gain over {baseline} should be clearly positive, got {mean:.1}%"
+        );
+    }
+}
+
+#[test]
+fn gains_land_in_paper_band_for_random() {
+    // the paper reports ~50% average gain over random for miniMD; accept a
+    // generous band around it since this is a small sweep
+    let times = sweep(&[11, 12, 13], 32, 24);
+    let gains = times.gains_over("random", "network-load-aware");
+    let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+    assert!(
+        (15.0..85.0).contains(&mean),
+        "gain over random out of band: {mean:.1}%"
+    );
+}
+
+#[test]
+fn nla_is_the_most_stable_policy() {
+    // the paper's CoV argument: NLA's repeated runs vary least
+    let times = sweep(&[21, 22, 23, 24], 32, 16);
+    let nla = times.cov("network-load-aware");
+    let worst_baseline = ["random", "sequential"]
+        .iter()
+        .map(|p| times.cov(p))
+        .fold(0.0f64, f64::max);
+    assert!(
+        nla < worst_baseline,
+        "NLA CoV {nla:.2} should be below the worst baseline {worst_baseline:.2}"
+    );
+}
+
+#[test]
+fn on_a_quiet_cluster_all_policies_converge() {
+    use nlrm::cluster::iitk::iitk_cluster_with_profile;
+    // nothing to avoid → any allocation is nearly as good
+    let mut env = Experiment::new(iitk_cluster_with_profile(ClusterProfile::quiet(), 9));
+    env.advance(Duration::from_secs(600));
+    let req = AllocationRequest::minimd(16);
+    let workload = MiniMd::new(16).with_steps(20);
+    let results = env.compare(&mut paper_policies(9), &req, &workload).unwrap();
+    let best = results.iter().map(|r| r.timing.total_s).fold(f64::INFINITY, f64::min);
+    let worst = results.iter().map(|r| r.timing.total_s).fold(0.0f64, f64::max);
+    assert!(
+        worst / best < 2.0,
+        "policies should converge on a quiet cluster: best {best:.2}, worst {worst:.2}"
+    );
+}

@@ -1,0 +1,107 @@
+//! Property-based integration tests over the allocation pipeline.
+
+use nlrm::bench::runner::Experiment;
+use nlrm::prelude::*;
+use proptest::prelude::*;
+
+/// Build one warmed snapshot per seed (kept small so proptest stays fast).
+fn snapshot_env(nodes: usize, seed: u64) -> (Experiment, ClusterSnapshot) {
+    let mut env = Experiment::new(small_cluster(nodes, seed));
+    env.advance(Duration::from_secs(400));
+    let snap = env.snapshot();
+    (env, snap)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every policy satisfies any feasible request exactly.
+    #[test]
+    fn any_request_is_satisfied(
+        procs in 1u32..64,
+        ppn in 1u32..8,
+        alpha in 0.0f64..=1.0,
+        seed in 0u64..200,
+    ) {
+        let (_, snap) = snapshot_env(8, seed);
+        let req = AllocationRequest::new(procs, Some(ppn), alpha, 1.0 - alpha);
+        for policy in [
+            &mut RandomPolicy::new(seed) as &mut dyn Policy,
+            &mut SequentialPolicy::new(seed),
+            &mut LoadAwarePolicy::new(),
+            &mut NetworkLoadAwarePolicy::new(),
+        ] {
+            let alloc = policy.allocate(&snap, &req).unwrap();
+            prop_assert_eq!(alloc.total_procs(), procs);
+            prop_assert_eq!(alloc.rank_map.len(), procs as usize);
+            // no duplicate nodes
+            let mut nodes = alloc.node_list();
+            nodes.sort();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), alloc.nodes.len());
+            // every selected node was usable
+            for n in alloc.node_list() {
+                prop_assert!(snap.usable_nodes().contains(&n));
+            }
+        }
+    }
+
+    /// A communicator built from any allocation is internally consistent.
+    #[test]
+    fn communicators_match_allocations(procs in 1u32..48, seed in 0u64..100) {
+        let (_, snap) = snapshot_env(6, seed);
+        let req = AllocationRequest::new(procs, Some(4), 0.3, 0.7);
+        let alloc = NetworkLoadAwarePolicy::new().allocate(&snap, &req).unwrap();
+        let comm = Communicator::new(alloc.rank_map.clone());
+        prop_assert_eq!(comm.size(), procs as usize);
+        let total: u32 = comm.placement().map(|(_, p)| p).sum();
+        prop_assert_eq!(total, procs);
+        for rank in 0..comm.size() {
+            prop_assert!(comm.nodes().contains(&comm.node_of(rank)));
+        }
+    }
+
+    /// Execution time is finite, positive, and decomposes into
+    /// compute + communication.
+    #[test]
+    fn execution_is_well_formed(
+        size in 4u32..24,
+        steps in 1usize..20,
+        seed in 0u64..50,
+    ) {
+        let (env, snap) = snapshot_env(6, seed);
+        let req = AllocationRequest::new(16, Some(4), 0.3, 0.7);
+        let alloc = NetworkLoadAwarePolicy::new().allocate(&snap, &req).unwrap();
+        let comm = Communicator::new(alloc.rank_map.clone());
+        let mut cluster = env.cluster.clone();
+        let t = execute(&mut cluster, &comm, &MiniMd::new(size).with_steps(steps));
+        prop_assert!(t.total_s.is_finite() && t.total_s > 0.0);
+        prop_assert!((t.compute_s + t.comm_s - t.total_s).abs() < 1e-9);
+        prop_assert_eq!(t.steps, steps);
+    }
+
+    /// More background load never makes the same job finish faster
+    /// (monotonicity of the interference model).
+    #[test]
+    fn interference_is_monotone(extra_load in 0.0f64..32.0, seed in 0u64..50) {
+        let (env, snap) = snapshot_env(4, seed);
+        let req = AllocationRequest::new(8, Some(4), 0.5, 0.5);
+        let alloc = NetworkLoadAwarePolicy::new().allocate(&snap, &req).unwrap();
+        let comm = Communicator::new(alloc.rank_map.clone());
+        let workload = MiniMd::new(12).with_steps(5);
+
+        let mut clean = env.cluster.clone();
+        let t_clean = execute(&mut clean, &comm, &workload);
+
+        let mut loaded = env.cluster.clone();
+        for node in alloc.node_list() {
+            loaded.add_job_load(node, extra_load);
+        }
+        let t_loaded = execute(&mut loaded, &comm, &workload);
+        prop_assert!(
+            t_loaded.compute_s + 1e-9 >= t_clean.compute_s,
+            "extra load {} sped compute up: {} -> {}",
+            extra_load, t_clean.compute_s, t_loaded.compute_s
+        );
+    }
+}
