@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Local CI: everything must pass before a commit.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check
+echo "ci: all green"

@@ -136,7 +136,11 @@ mod tests {
 
     #[test]
     fn unit_dimension_neighbors_self() {
-        let g = Grid3d { px: 4, py: 1, pz: 1 };
+        let g = Grid3d {
+            px: 4,
+            py: 1,
+            pz: 1,
+        };
         let nb = g.neighbors(2);
         assert_eq!(nb[2], 2); // −y wraps to self
         assert_eq!(nb[4], 2); // −z wraps to self

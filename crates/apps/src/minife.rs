@@ -169,6 +169,9 @@ mod tests {
         let c = comm(8, 4);
         let ratio = b.phase(1, &c).compute_gcycles[0] / a.phase(1, &c).compute_gcycles[0];
         // (97/49)³ ≈ 7.76
-        assert!((ratio - (97.0f64 / 49.0).powi(3)).abs() < 0.01, "ratio {ratio}");
+        assert!(
+            (ratio - (97.0f64 / 49.0).powi(3)).abs() < 0.01,
+            "ratio {ratio}"
+        );
     }
 }

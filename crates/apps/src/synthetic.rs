@@ -116,7 +116,11 @@ impl Workload for PingPong {
     }
     fn phase(&self, step: usize, _comm: &Communicator) -> Phase {
         // alternate direction each step; zero compute
-        let (src, dst) = if step.is_multiple_of(2) { (0, 1) } else { (1, 0) };
+        let (src, dst) = if step.is_multiple_of(2) {
+            (0, 1)
+        } else {
+            (1, 0)
+        };
         Phase {
             compute_gcycles: vec![0.0; _comm.size()],
             messages: vec![Message {
@@ -186,7 +190,12 @@ mod tests {
                 steps: 5,
             },
         );
-        assert!(ata.comm_s > halo.comm_s, "halo {} ata {}", halo.comm_s, ata.comm_s);
+        assert!(
+            ata.comm_s > halo.comm_s,
+            "halo {} ata {}",
+            halo.comm_s,
+            ata.comm_s
+        );
     }
 
     #[test]

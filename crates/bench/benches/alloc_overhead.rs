@@ -10,9 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nlrm_cluster::iitk::iitk_cluster;
 use nlrm_cluster::{ClusterProfile, ClusterSim, NodeSpec};
 use nlrm_core::groups::ScalableAllocator;
-use nlrm_core::{
-    AllocationRequest, LoadAwarePolicy, NetworkLoadAwarePolicy, Policy, RandomPolicy,
-};
+use nlrm_core::{AllocationRequest, LoadAwarePolicy, NetworkLoadAwarePolicy, Policy, RandomPolicy};
 use nlrm_monitor::{ClusterSnapshot, MonitorRuntime};
 use nlrm_sim_core::time::Duration;
 use nlrm_topology::{LinkParams, Topology};

@@ -74,5 +74,10 @@ fn bench_codec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_daemon_ticks, bench_snapshot_assembly, bench_codec);
+criterion_group!(
+    benches,
+    bench_daemon_ticks,
+    bench_snapshot_assembly,
+    bench_codec
+);
 criterion_main!(benches);

@@ -60,5 +60,10 @@ fn bench_contention(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_advance, bench_bandwidth_sweep, bench_contention);
+criterion_group!(
+    benches,
+    bench_advance,
+    bench_bandwidth_sweep,
+    bench_contention
+);
 criterion_main!(benches);

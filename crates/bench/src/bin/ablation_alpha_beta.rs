@@ -31,8 +31,10 @@ fn main() {
 
     let minimd = MiniMd::new(16).with_steps(if quick { 30 } else { 100 });
     let minife = MiniFe::new(96).with_iterations(if quick { 30 } else { 100 });
-    let apps: Vec<(&str, &dyn Workload, u32)> =
-        vec![("miniMD(s=16)", &minimd, 32), ("miniFE(nx=96)", &minife, 32)];
+    let apps: Vec<(&str, &dyn Workload, u32)> = vec![
+        ("miniMD(s=16)", &minimd, 32),
+        ("miniFE(nx=96)", &minife, 32),
+    ];
 
     let mut table = Table::new(&["alpha", "miniMD(s=16) mean s", "miniFE(nx=96) mean s"]);
     let mut csv = String::from("alpha,app,rep,time_s\n");

@@ -36,7 +36,13 @@ fn main() {
     let workload = MiniMd::new(16).with_steps(steps);
     let req = AllocationRequest::minimd(32);
 
-    let mut table = Table::new(&["staleness", "oracle (fresh)", "stale", "forecast", "recovered"]);
+    let mut table = Table::new(&[
+        "staleness",
+        "oracle (fresh)",
+        "stale",
+        "forecast",
+        "recovered",
+    ]);
     let mut csv = String::from("staleness_s,variant,rep,time_s\n");
 
     for &delay in &delays_s {
@@ -61,7 +67,11 @@ fn main() {
             let stale = stale_source.snapshot();
             let projected = engine.project(&stale);
 
-            let variants = [("oracle", &fresh), ("stale", &stale), ("forecast", &projected)];
+            let variants = [
+                ("oracle", &fresh),
+                ("stale", &stale),
+                ("forecast", &projected),
+            ];
             for (i, (name, snap)) in variants.iter().enumerate() {
                 let r = trainer
                     .run_policy(&mut NetworkLoadAwarePolicy::new(), snap, &req, &workload)

@@ -99,9 +99,13 @@ fn main() {
 
     let denom = (reps * 2) as f64;
     let mut table = Table::new(&["setting", "mean job time (s)", "vs sequential"]);
-    for (i, name) in ["sequential (one at a time)", "concurrent, broker-disjoint", "concurrent, naive overlap"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "sequential (one at a time)",
+        "concurrent, broker-disjoint",
+        "concurrent, naive overlap",
+    ]
+    .iter()
+    .enumerate()
     {
         table.row(&[
             name.to_string(),

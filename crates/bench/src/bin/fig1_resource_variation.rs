@@ -20,7 +20,11 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2020);
-    let hours = if std::env::var("NLRM_QUICK").is_ok() { 6 } else { 48 };
+    let hours = if std::env::var("NLRM_QUICK").is_ok() {
+        6
+    } else {
+        48
+    };
     println!("== Fig. 1: resource-usage variation over {hours} h (seed {seed}) ==\n");
 
     let mut cluster = iitk_cluster(seed);
@@ -124,13 +128,24 @@ fn main() {
     let us = util_avg.summary().unwrap();
     let ms = mem_avg.summary().unwrap();
     let ls = load_avg.summary().unwrap();
-    println!("average CPU utilization: mean {:.1}% (paper: 20–35%), range [{:.1}%, {:.1}%]",
-        us.mean * 100.0, us.min * 100.0, us.max * 100.0);
-    println!("average memory usage:    mean {:.1}% (paper: ~25%)", ms.mean * 100.0);
-    println!("average CPU load:        mean {:.2}, max {:.2} (paper: mostly low, occasional spikes)",
-        ls.mean, ls.max);
+    println!(
+        "average CPU utilization: mean {:.1}% (paper: 20–35%), range [{:.1}%, {:.1}%]",
+        us.mean * 100.0,
+        us.min * 100.0,
+        us.max * 100.0
+    );
+    println!(
+        "average memory usage:    mean {:.1}% (paper: ~25%)",
+        ms.mean * 100.0
+    );
+    println!(
+        "average CPU load:        mean {:.2}, max {:.2} (paper: mostly low, occasional spikes)",
+        ls.mean, ls.max
+    );
     let a_peak = load_a.summary().unwrap().max;
     let b_mean = load_b.summary().unwrap().mean;
-    println!("node A peak load {:.1}; node B mean load {:.2} (paper: B typically quite low)",
-        a_peak, b_mean);
+    println!(
+        "node A peak load {:.1}; node B mean load {:.2} (paper: B typically quite low)",
+        a_peak, b_mean
+    );
 }

@@ -23,7 +23,11 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2020);
-    let hours = if std::env::var("NLRM_QUICK").is_ok() { 6 } else { 48 };
+    let hours = if std::env::var("NLRM_QUICK").is_ok() {
+        6
+    } else {
+        48
+    };
     println!("== Fig. 2: P2P bandwidth variation (seed {seed}) ==\n");
 
     let mut cluster = iitk30(seed);
@@ -92,7 +96,9 @@ fn main() {
         cross_sum.0 / cross_sum.1 as f64,
         cross_sum.1
     );
-    println!("(paper: closer nodes have somewhat higher bandwidth, with strong per-pair variation)\n");
+    println!(
+        "(paper: closer nodes have somewhat higher bandwidth, with strong per-pair variation)\n"
+    );
 
     // --- Fig. 2(b): three pairs over 48 h at 5-minute probes ---
     // one same-switch pair, one adjacent-switch pair, one far pair

@@ -42,9 +42,7 @@ fn main() {
     };
 
     println!("== Fig. 4 / Table 2 / Fig. 5: miniMD strong scaling ==");
-    println!(
-        "grid: procs={procs_grid:?} sizes={sizes:?} reps={reps} steps={steps} seed={seed}\n"
-    );
+    println!("grid: procs={procs_grid:?} sizes={sizes:?} reps={reps} steps={steps} seed={seed}\n");
 
     let mut env = Experiment::new(iitk_cluster(seed));
     env.advance(Duration::from_secs(600)); // warm the monitor
@@ -58,7 +56,13 @@ fn main() {
 
     for &procs in &procs_grid {
         // per-procs table mirroring one Fig. 4 sub-plot
-        let mut fig = Table::new(&["s", "random", "sequential", "load-aware", "network-load-aware"]);
+        let mut fig = Table::new(&[
+            "s",
+            "random",
+            "sequential",
+            "load-aware",
+            "network-load-aware",
+        ]);
         // collect mean-over-reps per policy per size
         let mut cell: BTreeMap<(u32, String), Vec<f64>> = BTreeMap::new();
         for &s in &sizes {
@@ -89,7 +93,7 @@ fn main() {
                 }
             }
         }
-        for (( _sz, policy), v) in &cell {
+        for ((_sz, policy), v) in &cell {
             if let Some(sum) = nlrm_sim_core::stats::Summary::of(v) {
                 cell_covs.entry(policy.clone()).or_default().push(sum.cov());
             }

@@ -50,7 +50,13 @@ fn main() {
     let mut cell_covs: BTreeMap<String, Vec<f64>> = BTreeMap::new();
 
     for &procs in &procs_grid {
-        let mut fig = Table::new(&["nx", "random", "sequential", "load-aware", "network-load-aware"]);
+        let mut fig = Table::new(&[
+            "nx",
+            "random",
+            "sequential",
+            "load-aware",
+            "network-load-aware",
+        ]);
         let mut cell: BTreeMap<(u32, String), Vec<f64>> = BTreeMap::new();
         for &nx in &sizes {
             let req = AllocationRequest::minife(procs);
@@ -76,7 +82,7 @@ fn main() {
                 }
             }
         }
-        for (( _sz, policy), v) in &cell {
+        for ((_sz, policy), v) in &cell {
             if let Some(sum) = nlrm_sim_core::stats::Summary::of(v) {
                 cell_covs.entry(policy.clone()).or_default().push(sum.cov());
             }

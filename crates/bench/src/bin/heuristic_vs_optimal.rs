@@ -36,7 +36,9 @@ fn main() {
         "optimal group found",
         "mean time gap",
     ]);
-    let mut csv = String::from("cluster_size,trial,heuristic_cost,optimal_cost,heuristic_time_s,optimal_time_s\n");
+    let mut csv = String::from(
+        "cluster_size,trial,heuristic_cost,optimal_cost,heuristic_time_s,optimal_time_s\n",
+    );
 
     for &n in &cluster_sizes {
         let mut env = Experiment::new(small_cluster(n, seed + n as u64));
@@ -50,13 +52,8 @@ fn main() {
         for trial in 0..trials {
             env.advance(Duration::from_secs(300));
             let snap = env.snapshot();
-            let loads = Loads::derive(
-                &snap,
-                &req.compute_weights,
-                &req.network_weights,
-                req.ppn,
-            )
-            .expect("loads");
+            let loads = Loads::derive(&snap, &req.compute_weights, &req.network_weights, req.ppn)
+                .expect("loads");
             let h = env
                 .run_policy(&mut NetworkLoadAwarePolicy::new(), &snap, &req, &workload)
                 .expect("heuristic");
@@ -65,10 +62,7 @@ fn main() {
                 .expect("brute force");
             let hc = group_cost(&loads, &h.allocation.node_list(), req.alpha, req.beta);
             let oc = group_cost(&loads, &o.allocation.node_list(), req.alpha, req.beta);
-            assert!(
-                oc <= hc + 1e-9,
-                "optimum must not be worse: {oc} vs {hc}"
-            );
+            assert!(oc <= hc + 1e-9, "optimum must not be worse: {oc} vs {hc}");
             let mut h_nodes = h.allocation.node_list();
             let mut o_nodes = o.allocation.node_list();
             h_nodes.sort();

@@ -56,7 +56,9 @@ fn main() {
     let labels: Vec<String> = (0..n)
         .map(|i| env.cluster.spec(NodeId(i as u32)).hostname.clone())
         .collect();
-    fig7.push_str("P2P complement-of-available-bandwidth at allocation time (darker = less available):\n");
+    fig7.push_str(
+        "P2P complement-of-available-bandwidth at allocation time (darker = less available):\n",
+    );
     fig7.push_str(&heatmap::render(&complement, &labels));
     fig7.push('\n');
 

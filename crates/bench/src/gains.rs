@@ -20,7 +20,10 @@ impl PolicyTimes {
 
     /// Record one cell's execution time for `policy`.
     pub fn push(&mut self, policy: &str, time_s: f64) {
-        self.times.entry(policy.to_string()).or_default().push(time_s);
+        self.times
+            .entry(policy.to_string())
+            .or_default()
+            .push(time_s);
     }
 
     /// All recorded policies.
@@ -30,10 +33,7 @@ impl PolicyTimes {
 
     /// Times for one policy.
     pub fn of(&self, policy: &str) -> &[f64] {
-        self.times
-            .get(policy)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.times.get(policy).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Per-configuration percentage gains of `ours` over `baseline`

@@ -47,7 +47,11 @@ pub fn render(matrix: &SymMatrix<f64>, labels: &[String]) -> String {
     }
     out.push_str(&format!(
         "{:>width$}  scale: '{}' = {:.3e} … '{}' = {:.3e}\n",
-        "", RAMP[0], lo, RAMP[RAMP.len() - 1], hi
+        "",
+        RAMP[0],
+        lo,
+        RAMP[RAMP.len() - 1],
+        hi
     ));
     out
 }
@@ -83,7 +87,7 @@ mod tests {
         let art = render(&m, &labels(3));
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 4); // 3 rows + scale
-        // diagonal marked
+                                    // diagonal marked
         assert!(lines[0].contains('\\'));
         assert!(art.contains("scale:"));
     }

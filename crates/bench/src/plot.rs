@@ -201,7 +201,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render a symmetric matrix as an SVG heatmap. Higher value → darker cell
@@ -230,7 +232,10 @@ pub fn heatmap_svg(matrix: &SymMatrix<f64>, labels: &[String], title: &str) -> S
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" font-family="sans-serif" font-size="8">"#
     );
-    let _ = writeln!(svg, r#"<rect width="{w:.0}" height="{h:.0}" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<rect width="{w:.0}" height="{h:.0}" fill="white"/>"#
+    );
     let _ = writeln!(
         svg,
         r#"<text x="{:.0}" y="18" text-anchor="middle" font-size="12">{}</text>"#,
@@ -306,8 +311,14 @@ mod tests {
             let mut it = pair.split(',');
             let x: f64 = it.next().unwrap().parse().unwrap();
             let y: f64 = it.next().unwrap().parse().unwrap();
-            assert!((MARGIN_L - 0.5..=640.0 - MARGIN_R + 0.5).contains(&x), "x={x}");
-            assert!((MARGIN_T - 0.5..=400.0 - MARGIN_B + 0.5).contains(&y), "y={y}");
+            assert!(
+                (MARGIN_L - 0.5..=640.0 - MARGIN_R + 0.5).contains(&x),
+                "x={x}"
+            );
+            assert!(
+                (MARGIN_T - 0.5..=400.0 - MARGIN_B + 0.5).contains(&y),
+                "y={y}"
+            );
         }
     }
 

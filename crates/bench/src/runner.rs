@@ -3,8 +3,8 @@
 use nlrm_cluster::ClusterSim;
 use nlrm_core::{AllocError, Allocation, AllocationRequest, Policy};
 use nlrm_monitor::{ClusterSnapshot, MonitorRuntime};
-use nlrm_mpi::{execute, Communicator, JobTiming};
 use nlrm_mpi::pattern::Workload;
+use nlrm_mpi::{execute, Communicator, JobTiming};
 use nlrm_sim_core::time::Duration;
 
 /// A monitored cluster ready to take allocation trials.

@@ -28,11 +28,8 @@ pub fn iitk_cluster_with_profile(profile: ClusterProfile, seed: u64) -> ClusterS
 /// The 30-node subset used for the paper's Fig. 2(a) bandwidth heatmap:
 /// three switches of ten, node numbering following physical proximity.
 pub fn iitk30(seed: u64) -> ClusterSim {
-    let topo = Topology::star_of_switches(
-        &[10, 10, 10],
-        LinkParams::gigabit(),
-        LinkParams::gigabit(),
-    );
+    let topo =
+        Topology::star_of_switches(&[10, 10, 10], LinkParams::gigabit(), LinkParams::gigabit());
     let specs = (0..30).map(iitk_spec).collect();
     ClusterSim::new(topo, specs, ClusterProfile::shared_lab(), seed)
 }
@@ -70,12 +67,7 @@ pub fn campus(clusters: usize, nodes_per_cluster: usize, seed: u64) -> ClusterSi
         capacity_bps: 1e9,
         latency_s: 1e-3, // campus routing: ~20× a LAN hop
     };
-    let topo = Topology::tree(
-        &parents,
-        &node_switches,
-        LinkParams::gigabit(),
-        campus_link,
-    );
+    let topo = Topology::tree(&parents, &node_switches, LinkParams::gigabit(), campus_link);
     let specs = (0..clusters * nodes_per_cluster).map(iitk_spec).collect();
     ClusterSim::new(topo, specs, ClusterProfile::shared_lab(), seed)
 }

@@ -150,10 +150,8 @@ impl NetworkSim {
     /// Total utilization including the attached node's NIC traffic and
     /// job-injected traffic, capped.
     pub fn total_util(&self, l: LinkId) -> f64 {
-        (self.traffic[l.index()].util()
-            + self.node_flow_util[l.index()]
-            + self.job_util[l.index()])
-        .clamp(0.0, UTIL_CAP)
+        (self.traffic[l.index()].util() + self.node_flow_util[l.index()] + self.job_util[l.index()])
+            .clamp(0.0, UTIL_CAP)
     }
 
     /// Add (or with a negative value, remove) job-injected utilization.

@@ -208,7 +208,10 @@ mod tests {
             .filter(|p| p.load_mean >= prof.hot_load_mean_range.0)
             .count();
         let frac = hot as f64 / n as f64;
-        assert!((frac - prof.hot_node_fraction).abs() < 0.05, "hot frac {frac}");
+        assert!(
+            (frac - prof.hot_node_fraction).abs() < 0.05,
+            "hot frac {frac}"
+        );
     }
 
     #[test]

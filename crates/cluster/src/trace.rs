@@ -292,8 +292,11 @@ mod tests {
     fn replay_pins_state_to_frames() {
         let (_, trace) = recorded(4, 11, 6);
         let frame_times: Vec<SimTime> = trace.frames().iter().map(|f| f.t).collect();
-        let expect: Vec<Vec<NodeState>> =
-            trace.frames().iter().map(|f| f.node_states.clone()).collect();
+        let expect: Vec<Vec<NodeState>> = trace
+            .frames()
+            .iter()
+            .map(|f| f.node_states.clone())
+            .collect();
         // replay into a cluster with a *different* seed: recorded data wins
         let mut replayed = small_cluster(4, 999);
         let player = TracePlayer::new(trace);
@@ -314,10 +317,7 @@ mod tests {
         let (_, trace) = recorded(2, 5, 3);
         let t1 = trace.frames()[1].t;
         assert_eq!(trace.frame_at(t1).unwrap().t, t1);
-        assert_eq!(
-            trace.frame_at(t1 + Duration::from_secs(10)).unwrap().t,
-            t1
-        );
+        assert_eq!(trace.frame_at(t1 + Duration::from_secs(10)).unwrap().t, t1);
         assert!(trace.frame_at(SimTime::ZERO).is_none());
     }
 

@@ -177,10 +177,7 @@ impl Broker {
                     self.running.insert(job.id, lease);
                 }
                 Err(reason) => {
-                    events.push(BrokerEvent::Deferred {
-                        id: job.id,
-                        reason,
-                    });
+                    events.push(BrokerEvent::Deferred { id: job.id, reason });
                     head_blocked = true;
                     still_queued.push_back(job);
                 }
@@ -411,6 +408,8 @@ mod tests {
     #[test]
     fn invalid_submission_rejected() {
         let mut broker = Broker::new(no_defer());
-        assert!(broker.submit("bad", AllocationRequest::new(0, None, 0.5, 0.5)).is_err());
+        assert!(broker
+            .submit("bad", AllocationRequest::new(0, None, 0.5, 0.5))
+            .is_err());
     }
 }

@@ -43,8 +43,7 @@ pub fn infer_groups(topo: &Topology, loads: &Loads) -> Vec<NodeGroup> {
         .into_values()
         .enumerate()
         .map(|(id, nodes)| {
-            let mean_cl =
-                nodes.iter().map(|&n| loads.cl_of(n)).sum::<f64>() / nodes.len() as f64;
+            let mean_cl = nodes.iter().map(|&n| loads.cl_of(n)).sum::<f64>() / nodes.len() as f64;
             let mean_intra_nl = group_mean_network_load(loads, &nodes);
             NodeGroup {
                 id,
@@ -224,7 +223,9 @@ mod tests {
     fn small_cluster_uses_flat_path() {
         let (topo, snap) = snapshot_of(small_cluster(8, 5));
         let req = AllocationRequest::minimd(16);
-        let scalable = ScalableAllocator::new().allocate(&topo, &snap, &req).unwrap();
+        let scalable = ScalableAllocator::new()
+            .allocate(&topo, &snap, &req)
+            .unwrap();
         let flat = NetworkLoadAwarePolicy::new().allocate(&snap, &req).unwrap();
         assert_eq!(scalable.nodes, flat.nodes);
     }
@@ -234,7 +235,9 @@ mod tests {
         // 10 switches × 20 nodes = 200 > flat_threshold
         let (topo, snap) = snapshot_of(big_cluster(20, 10, 11));
         let req = AllocationRequest::minimd(32);
-        let alloc = ScalableAllocator::new().allocate(&topo, &snap, &req).unwrap();
+        let alloc = ScalableAllocator::new()
+            .allocate(&topo, &snap, &req)
+            .unwrap();
         assert_eq!(alloc.total_procs(), 32);
         assert_eq!(alloc.node_list().len(), 8);
         assert!(alloc.policy.contains("scalable"));

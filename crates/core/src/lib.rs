@@ -40,7 +40,7 @@ pub mod select;
 pub mod slurm;
 pub mod weights;
 
-pub use loads::Loads;
+pub use loads::{Loads, StalenessPolicy};
 pub use policies::{
     BruteForcePolicy, LoadAwarePolicy, NetworkLoadAwarePolicy, Policy, RandomPolicy,
     SequentialPolicy,

@@ -6,9 +6,64 @@ use crate::request::AllocError;
 use crate::saw::{saw_scores, Column, Criterion};
 use crate::weights::{ComputeWeights, NetworkWeights};
 use nlrm_monitor::{ClusterSnapshot, SymMatrix};
+use nlrm_sim_core::time::Duration;
 use nlrm_sim_core::window::WindowedValue;
 use nlrm_topology::NodeId;
 use std::collections::HashMap;
+
+/// How load derivation degrades when monitoring data has gone stale
+/// (daemons crashed, hung, or their writes were delayed).
+///
+/// Staleness is judged against the snapshot's own assembly time, so a
+/// frozen snapshot stays internally consistent no matter how far reality
+/// has moved on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StalenessPolicy {
+    /// A node whose newest sample is older than this is dropped from the
+    /// usable universe: its compute load is pure fiction.
+    pub max_sample_age: Duration,
+    /// A pair whose latency or bandwidth row is older than this keeps its
+    /// last value but is blended toward the unmeasured penalty.
+    pub max_pair_age: Duration,
+    /// Blend factor in `[0, 1]`: 0 trusts stale pair values as-is, 1 treats
+    /// them as unmeasured. Fresh < stale < unmeasured holds for any value
+    /// strictly between.
+    pub stale_blend: f64,
+}
+
+impl Default for StalenessPolicy {
+    /// Conservative defaults sized to the daemon periods: samples survive
+    /// 12 missed 5-second publications, pair rows survive 3 missed
+    /// 5-minute bandwidth sweeps.
+    fn default() -> Self {
+        StalenessPolicy {
+            max_sample_age: Duration::from_secs(60),
+            max_pair_age: Duration::from_secs(900),
+            stale_blend: 0.5,
+        }
+    }
+}
+
+impl StalenessPolicy {
+    /// Never degrade anything (pre-staleness-awareness behaviour).
+    pub fn off() -> Self {
+        StalenessPolicy {
+            max_sample_age: Duration::MAX,
+            max_pair_age: Duration::MAX,
+            stale_blend: 0.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), AllocError> {
+        if !(0.0..=1.0).contains(&self.stale_blend) {
+            return Err(AllocError::InvalidRequest(format!(
+                "stale_blend must be in [0, 1], got {}",
+                self.stale_blend
+            )));
+        }
+        Ok(())
+    }
+}
 
 /// Everything Algorithms 1–2 need, derived once per allocation.
 #[derive(Debug, Clone)]
@@ -23,6 +78,12 @@ pub struct Loads {
     /// Effective processor count per usable node (parallel to `usable`).
     pub pc: Vec<u32>,
     index_of: HashMap<NodeId, usize>,
+    /// Σ CL over the usable universe, cached at construction so per-group
+    /// scoring doesn't re-walk the whole universe.
+    c_all: f64,
+    /// Σ NL over all usable pairs, cached at construction (recomputing it
+    /// per `group_cost` call was O(V²) each time).
+    n_all: f64,
 }
 
 /// Representative value of a windowed attribute: the mean of the 1/5/15-min
@@ -33,7 +94,7 @@ fn windowed_rep(w: &WindowedValue) -> f64 {
 }
 
 impl Loads {
-    /// Derive loads from a snapshot.
+    /// Derive loads from a snapshot with the default [`StalenessPolicy`].
     ///
     /// * `ppn` — when given, overrides `pc_v` for every node (paper §3.3.1).
     pub fn derive(
@@ -42,13 +103,40 @@ impl Loads {
         network_weights: &NetworkWeights,
         ppn: Option<u32>,
     ) -> Result<Loads, AllocError> {
+        Self::derive_with_policy(
+            snap,
+            compute_weights,
+            network_weights,
+            ppn,
+            &StalenessPolicy::default(),
+        )
+    }
+
+    /// Derive loads from a snapshot under an explicit staleness policy:
+    /// nodes with over-age samples leave the usable universe, over-age
+    /// pair measurements are blended toward the unmeasured penalty.
+    pub fn derive_with_policy(
+        snap: &ClusterSnapshot,
+        compute_weights: &ComputeWeights,
+        network_weights: &NetworkWeights,
+        ppn: Option<u32>,
+        policy: &StalenessPolicy,
+    ) -> Result<Loads, AllocError> {
         compute_weights
             .validate()
             .map_err(AllocError::InvalidRequest)?;
         network_weights
             .validate()
             .map_err(AllocError::InvalidRequest)?;
-        let usable = snap.usable_nodes();
+        policy.validate()?;
+        let usable: Vec<NodeId> = snap
+            .usable_nodes()
+            .into_iter()
+            .filter(|&n| {
+                snap.sample_age(n)
+                    .is_some_and(|a| a <= policy.max_sample_age)
+            })
+            .collect();
         if usable.is_empty() {
             return Err(AllocError::NoUsableNodes);
         }
@@ -61,12 +149,18 @@ impl Loads {
         let w = compute_weights;
         let columns = vec![
             Column {
-                values: infos.iter().map(|i| windowed_rep(&i.sample.cpu_load)).collect(),
+                values: infos
+                    .iter()
+                    .map(|i| windowed_rep(&i.sample.cpu_load))
+                    .collect(),
                 criterion: Criterion::Minimize,
                 weight: w.cpu_load,
             },
             Column {
-                values: infos.iter().map(|i| windowed_rep(&i.sample.cpu_util)).collect(),
+                values: infos
+                    .iter()
+                    .map(|i| windowed_rep(&i.sample.cpu_util))
+                    .collect(),
                 criterion: Criterion::Minimize,
                 weight: w.cpu_util,
             },
@@ -100,10 +194,7 @@ impl Loads {
                 weight: w.cpu_freq,
             },
             Column {
-                values: infos
-                    .iter()
-                    .map(|i| i.sample.spec.total_mem_gb)
-                    .collect(),
+                values: infos.iter().map(|i| i.sample.spec.total_mem_gb).collect(),
                 criterion: Criterion::Maximize,
                 weight: w.total_mem,
             },
@@ -116,7 +207,7 @@ impl Loads {
         let mut cl = saw_scores(&columns);
 
         // --- Eq. 2: pairwise network load ---
-        let mut nl = derive_network_load(snap, &usable, network_weights);
+        let mut nl = derive_network_load(snap, &usable, network_weights, policy);
 
         // Rescale both loads to mean 1 over their own domains. Sum
         // normalization alone leaves CL ~ 1/V and NL ~ 1/V², so in
@@ -156,12 +247,15 @@ impl Loads {
             .collect();
 
         let index_of = usable.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let (c_all, n_all) = universe_totals(&usable, &cl, &nl);
         Ok(Loads {
             usable,
             cl,
             nl,
             pc,
             index_of,
+            c_all,
+            n_all,
         })
     }
 
@@ -176,12 +270,15 @@ impl Loads {
         assert_eq!(usable.len(), cl.len());
         assert_eq!(usable.len(), pc.len());
         let index_of = usable.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let (c_all, n_all) = universe_totals(&usable, &cl, &nl);
         Loads {
             usable,
             cl,
             nl,
             pc,
             index_of,
+            c_all,
+            n_all,
         }
     }
 
@@ -213,6 +310,29 @@ impl Loads {
     pub fn total_capacity(&self) -> u64 {
         self.pc.iter().map(|&p| p as u64).sum()
     }
+
+    /// Σ CL over the whole usable universe (cached at construction).
+    pub fn total_compute_load(&self) -> f64 {
+        self.c_all
+    }
+
+    /// Σ NL over all usable pairs (cached at construction).
+    pub fn total_network_load(&self) -> f64 {
+        self.n_all
+    }
+}
+
+/// The universe-wide totals `group_cost` normalizes by: Σ CL and Σ NL over
+/// all usable pairs. Computed once per `Loads` construction.
+fn universe_totals(usable: &[NodeId], cl: &[f64], nl: &SymMatrix<f64>) -> (f64, f64) {
+    let c_all = cl.iter().sum();
+    let mut n_all = 0.0;
+    for (i, &x) in usable.iter().enumerate() {
+        for &y in &usable[i + 1..] {
+            n_all += nl.get(x, y);
+        }
+    }
+    (c_all, n_all)
 }
 
 /// Scale a vector so its mean is 1 (no-op for all-zero input).
@@ -235,11 +355,14 @@ pub fn effective_pc(core_count: u32, load_m1: f64) -> u32 {
 }
 
 /// Eq. 2 over all usable pairs: normalized latency and normalized complement
-/// of available bandwidth, combined with `w_lt`/`w_bw`.
+/// of available bandwidth, combined with `w_lt`/`w_bw`. Pairs whose backing
+/// rows have aged past `policy.max_pair_age` are blended toward the
+/// unmeasured penalty, so fresh < stale < unmeasured in each column.
 fn derive_network_load(
     snap: &ClusterSnapshot,
     usable: &[NodeId],
     weights: &NetworkWeights,
+    policy: &StalenessPolicy,
 ) -> SymMatrix<f64> {
     let n = snap.latency.len();
     let mut out = SymMatrix::new(n, 0.0);
@@ -271,31 +394,69 @@ fn derive_network_load(
         .cloned()
         .filter(|l| l.is_finite())
         .fold(0.0f64, f64::max);
-    let penalty = if max_finite > 0.0 { max_finite * 10.0 } else { 1.0 };
-    for l in &mut lat {
+    let penalty = if max_finite > 0.0 {
+        max_finite * 10.0
+    } else {
+        1.0
+    };
+    for (k, l) in lat.iter_mut().enumerate() {
         if !l.is_finite() {
             *l = penalty;
+        } else {
+            let (u, v) = pairs[k];
+            let stale = snap
+                .latency_age(u, v)
+                .is_none_or(|a| a > policy.max_pair_age);
+            if stale {
+                *l += policy.stale_blend * (penalty - *l).max(0.0);
+            }
         }
     }
 
     // Complement-of-available-bandwidth column: peak − available.
-    let cbw: Vec<f64> = pairs
+    let mut cbw: Vec<f64> = pairs
         .iter()
         .map(|&(u, v)| {
             let peak = snap.peak_bandwidth_bps.get(u, v);
             let avail = snap.bandwidth_bps.get(u, v);
             if !peak.is_finite() || peak <= 0.0 {
-                // never measured: assume the worst (everything unavailable)
-                return 1e9;
+                // never measured: penalized relative to the measured pairs
+                // below (an absolute sentinel in bps can rank *better* than
+                // a congested measured pair on fast links)
+                return f64::INFINITY;
             }
             (peak - avail).max(0.0)
         })
         .collect();
+    // Same convention as the latency column: 10× the worst measured value.
+    let max_cbw = cbw
+        .iter()
+        .cloned()
+        .filter(|c| c.is_finite())
+        .fold(0.0f64, f64::max);
+    let cbw_penalty = if max_cbw > 0.0 { max_cbw * 10.0 } else { 1.0 };
+    for (k, c) in cbw.iter_mut().enumerate() {
+        if !c.is_finite() {
+            *c = cbw_penalty;
+        } else {
+            let (u, v) = pairs[k];
+            let stale = snap
+                .bandwidth_age(u, v)
+                .is_none_or(|a| a > policy.max_pair_age);
+            if stale {
+                *c += policy.stale_blend * (cbw_penalty - *c).max(0.0);
+            }
+        }
+    }
 
     let lat_n = crate::saw::normalize_sum(&lat);
     let cbw_n = crate::saw::normalize_sum(&cbw);
     for (k, &(u, v)) in pairs.iter().enumerate() {
-        out.set(u, v, weights.latency * lat_n[k] + weights.bandwidth * cbw_n[k]);
+        out.set(
+            u,
+            v,
+            weights.latency * lat_n[k] + weights.bandwidth * cbw_n[k],
+        );
     }
     out
 }
@@ -305,7 +466,7 @@ mod tests {
     use super::*;
     use nlrm_cluster::iitk::small_cluster;
     use nlrm_monitor::MonitorRuntime;
-    use nlrm_sim_core::time::Duration;
+    use nlrm_sim_core::time::{Duration, SimTime};
 
     fn snapshot(n: usize, seed: u64) -> ClusterSnapshot {
         let mut cluster = small_cluster(n, seed);
@@ -408,6 +569,145 @@ mod tests {
             loads.nl_between(worst.0, worst.1) >= loads.nl_between(best.0, best.1),
             "NL should rank congested pairs worse"
         );
+    }
+
+    #[test]
+    fn unmeasured_bandwidth_ranks_worse_than_any_measured_pair() {
+        // Regression: the unmeasured sentinel used to be an absolute
+        // 1e9 bps, so on fast links a congested *measured* pair (complement
+        // 99 Gbps here) ranked worse than a pair we know nothing about.
+        let mut snap = snapshot(6, 13);
+        snap.peak_bandwidth_bps.set(NodeId(2), NodeId(3), 100e9);
+        snap.bandwidth_bps.set(NodeId(2), NodeId(3), 1e9);
+        // a never-measured pair (daemons publish 0.0 until first probe)
+        snap.peak_bandwidth_bps.set(NodeId(0), NodeId(1), 0.0);
+        snap.bandwidth_bps.set(NodeId(0), NodeId(1), 0.0);
+        let loads = Loads::derive(
+            &snap,
+            &ComputeWeights::paper_default(),
+            &NetworkWeights {
+                latency: 0.0,
+                bandwidth: 1.0,
+            },
+            Some(4),
+        )
+        .unwrap();
+        let unmeasured = loads.nl_between(NodeId(0), NodeId(1));
+        for (u, v, _) in snap.bandwidth_bps.pairs() {
+            if (u, v) != (NodeId(0), NodeId(1)) {
+                assert!(
+                    unmeasured > loads.nl_between(u, v),
+                    "unmeasured pair must rank worse than measured ({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_nodes_are_excluded_at_the_boundary() {
+        let mut snap = snapshot(6, 3);
+        let policy = StalenessPolicy::default();
+        // node 2's sampler went silent: its sample ages past the bound
+        snap.nodes[2].sample.taken_at =
+            SimTime::from_micros(snap.taken_at.as_micros() - policy.max_sample_age.as_micros() - 1);
+        // node 3 sits exactly on the bound: still usable (inclusive)
+        snap.nodes[3].sample.taken_at =
+            SimTime::from_micros(snap.taken_at.as_micros() - policy.max_sample_age.as_micros());
+        let loads = Loads::derive_with_policy(
+            &snap,
+            &ComputeWeights::paper_default(),
+            &NetworkWeights::paper_default(),
+            Some(4),
+            &policy,
+        )
+        .unwrap();
+        assert!(!loads.usable.contains(&NodeId(2)), "over-age node kept");
+        assert!(loads.usable.contains(&NodeId(3)), "boundary node dropped");
+        assert_eq!(loads.usable.len(), 5);
+        // the permissive policy keeps everything
+        let all = Loads::derive_with_policy(
+            &snap,
+            &ComputeWeights::paper_default(),
+            &NetworkWeights::paper_default(),
+            Some(4),
+            &StalenessPolicy::off(),
+        )
+        .unwrap();
+        assert_eq!(all.usable.len(), 6);
+    }
+
+    #[test]
+    fn stale_pairs_rank_between_fresh_and_unmeasured() {
+        let mut snap = snapshot(6, 7);
+        // pair (0,1): never measured
+        snap.latency.set(
+            NodeId(0),
+            NodeId(1),
+            nlrm_monitor::LatencyStat::constant(f64::INFINITY),
+        );
+        // pair (2,3): measured, but both endpoints' rows have gone stale
+        snap.latency_row_age[2] = Some(Duration::from_secs(2000));
+        snap.latency_row_age[3] = Some(Duration::from_secs(2000));
+        let loads = Loads::derive_with_policy(
+            &snap,
+            &ComputeWeights::paper_default(),
+            &NetworkWeights {
+                latency: 1.0,
+                bandwidth: 0.0,
+            },
+            Some(4),
+            &StalenessPolicy::default(),
+        )
+        .unwrap();
+        let unmeasured = loads.nl_between(NodeId(0), NodeId(1));
+        let stale = loads.nl_between(NodeId(2), NodeId(3));
+        let fresh = loads.nl_between(NodeId(4), NodeId(5));
+        assert!(
+            fresh < stale,
+            "stale pair should be penalized: fresh={fresh} stale={stale}"
+        );
+        assert!(
+            stale < unmeasured,
+            "stale pair still beats unmeasured: stale={stale} unmeasured={unmeasured}"
+        );
+    }
+
+    #[test]
+    fn default_policy_is_transparent_for_fresh_snapshots() {
+        let snap = snapshot(6, 5);
+        let a = derive(&snap);
+        let b = Loads::derive_with_policy(
+            &snap,
+            &ComputeWeights::paper_default(),
+            &NetworkWeights::paper_default(),
+            Some(4),
+            &StalenessPolicy::off(),
+        )
+        .unwrap();
+        assert_eq!(a.usable, b.usable);
+        assert_eq!(a.cl, b.cl);
+        for (u, v, nl) in a.nl.pairs() {
+            assert_eq!(nl, b.nl.get(u, v));
+        }
+    }
+
+    #[test]
+    fn invalid_blend_rejected() {
+        let snap = snapshot(4, 3);
+        let policy = StalenessPolicy {
+            stale_blend: 1.5,
+            ..StalenessPolicy::default()
+        };
+        assert!(matches!(
+            Loads::derive_with_policy(
+                &snap,
+                &ComputeWeights::paper_default(),
+                &NetworkWeights::paper_default(),
+                Some(4),
+                &policy,
+            ),
+            Err(AllocError::InvalidRequest(_))
+        ));
     }
 
     #[test]

@@ -318,9 +318,9 @@ impl Policy for BruteForcePolicy {
         snap: &ClusterSnapshot,
         req: &AllocationRequest,
     ) -> Result<Allocation, AllocError> {
-        let ppn = req.ppn.ok_or_else(|| {
-            AllocError::InvalidRequest("brute force requires ppn".into())
-        })?;
+        let ppn = req
+            .ppn
+            .ok_or_else(|| AllocError::InvalidRequest("brute force requires ppn".into()))?;
         let loads = derive(snap, req)?;
         let k = (req.procs as usize).div_ceil(ppn as usize);
         if loads.usable.len() < k {
@@ -435,8 +435,7 @@ mod tests {
         let snap = snapshot(8, 3);
         let r = req(8);
         let weights = LoadAwarePolicy::compute_only_weights(&r.compute_weights);
-        let loads =
-            Loads::derive(&snap, &weights, &r.network_weights, r.ppn).unwrap();
+        let loads = Loads::derive(&snap, &weights, &r.network_weights, r.ppn).unwrap();
         let alloc = LoadAwarePolicy::new().allocate(&snap, &r).unwrap();
         let picked = alloc.node_list();
         let mut by_cl = loads.usable.clone();
@@ -527,7 +526,10 @@ mod tests {
         let optimal = BruteForcePolicy::new().allocate(&snap, &r).unwrap();
         let h_cost = group_cost(&loads, &heuristic.node_list(), r.alpha, r.beta);
         let o_cost = group_cost(&loads, &optimal.node_list(), r.alpha, r.beta);
-        assert!(o_cost <= h_cost + 1e-12, "optimum {o_cost} worse than heuristic {h_cost}");
+        assert!(
+            o_cost <= h_cost + 1e-12,
+            "optimum {o_cost} worse than heuristic {h_cost}"
+        );
         // the greedy heuristic is approximate; typical gaps measured by the
         // heuristic_vs_optimal experiment are 2–8% with a tail to ~40%
         assert!(

@@ -161,11 +161,15 @@ mod tests {
 
     #[test]
     fn invalid_requests_rejected() {
-        assert!(AllocationRequest::new(0, None, 0.5, 0.5).validate().is_err());
+        assert!(AllocationRequest::new(0, None, 0.5, 0.5)
+            .validate()
+            .is_err());
         assert!(AllocationRequest::new(4, Some(0), 0.5, 0.5)
             .validate()
             .is_err());
-        assert!(AllocationRequest::new(4, None, 0.6, 0.6).validate().is_err());
+        assert!(AllocationRequest::new(4, None, 0.6, 0.6)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -44,16 +44,8 @@ pub fn group_mean_network_load(loads: &Loads, nodes: &[NodeId]) -> f64 {
 /// divides by per-candidate-set constants) but well-defined for *any* group,
 /// so the brute-force validator and ablations can score arbitrary subsets.
 pub fn group_cost(loads: &Loads, nodes: &[NodeId], alpha: f64, beta: f64) -> f64 {
-    let c_all: f64 = loads.cl.iter().sum();
-    let n_all: f64 = {
-        let mut s = 0.0;
-        for (i, &x) in loads.usable.iter().enumerate() {
-            for &y in &loads.usable[i + 1..] {
-                s += loads.nl_between(x, y);
-            }
-        }
-        s
-    };
+    let c_all = loads.total_compute_load();
+    let n_all = loads.total_network_load();
     let c = group_compute_load(loads, nodes);
     let n = group_network_load(loads, nodes);
     let c_norm = if c_all > 0.0 { c / c_all } else { 0.0 };
@@ -138,9 +130,7 @@ mod tests {
         let l = loads(6, 3);
         let nodes = [l.usable[0], l.usable[1], l.usable[2]];
         let c = group_compute_load(&l, &nodes);
-        assert!(
-            (c - (l.cl_of(nodes[0]) + l.cl_of(nodes[1]) + l.cl_of(nodes[2]))).abs() < 1e-12
-        );
+        assert!((c - (l.cl_of(nodes[0]) + l.cl_of(nodes[1]) + l.cl_of(nodes[2]))).abs() < 1e-12);
         let n = group_network_load(&l, &nodes);
         let manual = l.nl_between(nodes[0], nodes[1])
             + l.nl_between(nodes[0], nodes[2])
@@ -174,6 +164,49 @@ mod tests {
         let a = select_best(&l, &cands, 0.3, 0.7);
         let b = select_best(&l, &cands, 0.3, 0.7);
         assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn cached_totals_match_recomputation_and_preserve_rankings() {
+        let l = loads(8, 5);
+        // the cached totals equal a from-scratch walk of the universe
+        let c_all: f64 = l.cl.iter().sum();
+        let mut n_all = 0.0;
+        for (i, &x) in l.usable.iter().enumerate() {
+            for &y in &l.usable[i + 1..] {
+                n_all += l.nl_between(x, y);
+            }
+        }
+        assert!((l.total_compute_load() - c_all).abs() < 1e-12);
+        assert!((l.total_network_load() - n_all).abs() < 1e-12);
+        // and group_cost ranks candidates exactly as the explicit
+        // (recompute-per-call) normalization did
+        let cands = generate_all_candidates(&l, 12, 0.3, 0.7);
+        assert!(cands.len() > 1);
+        let explicit = |nodes: &[NodeId]| {
+            let c = group_compute_load(&l, nodes);
+            let n = group_network_load(&l, nodes);
+            let c_norm = if c_all > 0.0 { c / c_all } else { 0.0 };
+            let n_norm = if n_all > 0.0 { n / n_all } else { 0.0 };
+            0.3 * c_norm + 0.7 * n_norm
+        };
+        let mut cached_order: Vec<usize> = (0..cands.len()).collect();
+        cached_order.sort_by(|&a, &b| {
+            group_cost(&l, &cands[a].nodes, 0.3, 0.7).total_cmp(&group_cost(
+                &l,
+                &cands[b].nodes,
+                0.3,
+                0.7,
+            ))
+        });
+        let mut explicit_order: Vec<usize> = (0..cands.len()).collect();
+        explicit_order
+            .sort_by(|&a, &b| explicit(&cands[a].nodes).total_cmp(&explicit(&cands[b].nodes)));
+        assert_eq!(cached_order, explicit_order, "rankings changed");
+        for cand in &cands {
+            let cost = group_cost(&l, &cand.nodes, 0.3, 0.7);
+            assert!((cost - explicit(&cand.nodes)).abs() < 1e-12);
+        }
     }
 
     #[test]

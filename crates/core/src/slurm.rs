@@ -128,10 +128,7 @@ impl NlrmSelect {
         NlrmSelect
     }
 
-    fn resolve_hosts(
-        snap: &ClusterSnapshot,
-        hosts: &[String],
-    ) -> Result<Vec<NodeId>, AllocError> {
+    fn resolve_hosts(snap: &ClusterSnapshot, hosts: &[String]) -> Result<Vec<NodeId>, AllocError> {
         hosts
             .iter()
             .map(|h| {
@@ -191,12 +188,7 @@ impl SelectPlugin for NlrmSelect {
 
         // candidate search; required hosts pin the start nodes
         let candidates: Vec<_> = if required.is_empty() {
-            crate::candidate::generate_all_candidates(
-                &restricted,
-                req.procs,
-                req.alpha,
-                req.beta,
-            )
+            crate::candidate::generate_all_candidates(&restricted, req.procs, req.alpha, req.beta)
         } else {
             required
                 .iter()

@@ -154,7 +154,9 @@ impl Default for NetworkWeights {
 /// summing to 1.
 pub fn validate_alpha_beta(alpha: f64, beta: f64) -> Result<(), String> {
     if alpha < 0.0 || beta < 0.0 || !alpha.is_finite() || !beta.is_finite() {
-        return Err(format!("alpha/beta must be non-negative, got ({alpha}, {beta})"));
+        return Err(format!(
+            "alpha/beta must be non-negative, got ({alpha}, {beta})"
+        ));
     }
     if (alpha + beta - 1.0).abs() > SUM_TOL {
         return Err(format!("alpha + beta must equal 1, got {}", alpha + beta));

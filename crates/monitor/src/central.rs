@@ -9,11 +9,12 @@
 //! job but won't be restarted on failure."
 
 use crate::codec::{decode, encode, MonitorRecord};
-use crate::daemons::{BandwidthD, DaemonConfig, LatencyD, LivehostsD, NodeStateD};
+use crate::daemons::{BandwidthD, DaemonConfig, DaemonKind, LatencyD, LivehostsD, NodeStateD};
 use crate::store::{paths, SharedStore};
 use nlrm_cluster::ClusterSim;
-use nlrm_sim_core::time::Duration;
+use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_topology::NodeId;
+use std::collections::BTreeMap;
 
 /// All supervised daemons, owned together so the central monitor can sweep
 /// them uniformly.
@@ -56,27 +57,54 @@ impl DaemonSet {
         dead
     }
 
-    fn relaunch_dead(&mut self) -> usize {
-        let mut relaunched = 0;
-        if !self.livehosts.is_alive() {
-            self.livehosts.relaunch();
-            relaunched += 1;
+    /// Whether the identified daemon process exists.
+    pub fn is_alive(&self, kind: DaemonKind) -> bool {
+        match kind {
+            DaemonKind::Livehosts => self.livehosts.is_alive(),
+            DaemonKind::NodeState(node) => self.nodestate[node.index()].is_alive(),
+            DaemonKind::Latency => self.latency.is_alive(),
+            DaemonKind::Bandwidth => self.bandwidth.is_alive(),
         }
-        for d in &mut self.nodestate {
-            if !d.is_alive() {
-                d.relaunch();
-                relaunched += 1;
-            }
+    }
+
+    /// Failure injection: kill the identified daemon.
+    pub fn kill(&mut self, kind: DaemonKind) {
+        match kind {
+            DaemonKind::Livehosts => self.livehosts.kill(),
+            DaemonKind::NodeState(node) => self.nodestate[node.index()].kill(),
+            DaemonKind::Latency => self.latency.kill(),
+            DaemonKind::Bandwidth => self.bandwidth.kill(),
         }
-        if !self.latency.is_alive() {
-            self.latency.relaunch();
-            relaunched += 1;
+    }
+
+    /// Failure injection: hang the identified daemon until `t`.
+    pub fn hang_until(&mut self, kind: DaemonKind, t: SimTime) {
+        match kind {
+            DaemonKind::Livehosts => self.livehosts.hang_until(t),
+            DaemonKind::NodeState(node) => self.nodestate[node.index()].hang_until(t),
+            DaemonKind::Latency => self.latency.hang_until(t),
+            DaemonKind::Bandwidth => self.bandwidth.hang_until(t),
         }
-        if !self.bandwidth.is_alive() {
-            self.bandwidth.relaunch();
-            relaunched += 1;
+    }
+
+    /// Failure injection: withhold the identified daemon's writes until `t`.
+    pub fn mute_until(&mut self, kind: DaemonKind, t: SimTime) {
+        match kind {
+            DaemonKind::Livehosts => self.livehosts.mute_until(t),
+            DaemonKind::NodeState(node) => self.nodestate[node.index()].mute_until(t),
+            DaemonKind::Latency => self.latency.mute_until(t),
+            DaemonKind::Bandwidth => self.bandwidth.mute_until(t),
         }
-        relaunched
+    }
+
+    /// Relaunch the identified daemon (fresh process, state lost).
+    pub fn relaunch(&mut self, kind: DaemonKind) {
+        match kind {
+            DaemonKind::Livehosts => self.livehosts.relaunch(),
+            DaemonKind::NodeState(node) => self.nodestate[node.index()].relaunch(),
+            DaemonKind::Latency => self.latency.relaunch(),
+            DaemonKind::Bandwidth => self.bandwidth.relaunch(),
+        }
     }
 }
 
@@ -91,6 +119,15 @@ pub struct Instance {
     pub incarnation: u32,
 }
 
+/// Crash-loop backoff state for one supervised daemon.
+#[derive(Debug, Clone, Copy)]
+struct Backoff {
+    /// Relaunches issued without an observed healthy publication since.
+    strikes: u32,
+    /// No further relaunch before this time.
+    next_allowed: SimTime,
+}
+
 /// The redundant central monitor.
 #[derive(Debug, Clone)]
 pub struct CentralMonitor {
@@ -103,9 +140,23 @@ pub struct CentralMonitor {
     /// Total master failovers performed.
     pub failover_count: usize,
     next_incarnation: u32,
+    /// Daemon periods, used to judge record staleness during supervision.
+    config: DaemonConfig,
+    /// Per-daemon relaunch backoff; entries are dropped once the daemon is
+    /// observed healthy again.
+    backoff: BTreeMap<DaemonKind, Backoff>,
 }
 
 impl CentralMonitor {
+    /// A daemon whose newest store record is older than
+    /// `period × STALE_FACTOR` is treated as hung (alive but wedged) and
+    /// restarted, mirroring the missed-heartbeat rule for the master.
+    pub const STALE_FACTOR: f64 = 3.5;
+
+    /// Relaunch delays stop doubling after this many strikes
+    /// (`central_period × 2^MAX_BACKOFF_EXP` is the cap).
+    const MAX_BACKOFF_EXP: u32 = 5;
+
     /// A master on `master_host` and slave on `slave_host`.
     pub fn new(master_host: NodeId, slave_host: NodeId, config: &DaemonConfig) -> Self {
         assert_ne!(master_host, slave_host, "master and slave must differ");
@@ -125,6 +176,8 @@ impl CentralMonitor {
             relaunch_count: 0,
             failover_count: 0,
             next_incarnation: 2,
+            config: *config,
+            backoff: BTreeMap::new(),
         }
     }
 
@@ -184,7 +237,7 @@ impl CentralMonitor {
                     at: now,
                 }),
             );
-            self.relaunch_count += daemons.relaunch_dead();
+            self.supervise(now, cluster, store, daemons);
             if !self.slave.alive {
                 if let Some(host) = Self::pick_host(cluster, self.master.host) {
                     self.slave = Instance {
@@ -222,6 +275,91 @@ impl CentralMonitor {
             }
         }
         // both dead: nothing happens — daemons run unsupervised (paper §4)
+    }
+
+    /// Age of the newest record under `prefix`, if any record exists.
+    fn freshest_age(store: &SharedStore, prefix: &str, now: SimTime) -> Option<Duration> {
+        store
+            .list_prefix(prefix)
+            .iter()
+            .filter_map(|k| store.get(k))
+            .map(|r| r.written_at)
+            .max()
+            .map(|t| now.since(t))
+    }
+
+    /// One supervision sweep over every daemon (master duty).
+    ///
+    /// A daemon is restarted when it is dead, or when it is nominally alive
+    /// but its newest store record has gone stale (hung process, wedged
+    /// write path). Restarts are rate-limited by an exponential backoff so a
+    /// crash-looping daemon cannot be relaunched every heartbeat; the
+    /// backoff entry is cleared as soon as the daemon is seen publishing
+    /// again. A daemon that has never published is given the benefit of the
+    /// doubt (slow starter) unless it is outright dead, and samplers on
+    /// down nodes are expected to be silent.
+    fn supervise(
+        &mut self,
+        now: SimTime,
+        cluster: &ClusterSim,
+        store: &SharedStore,
+        daemons: &mut DaemonSet,
+    ) {
+        let cfg = self.config;
+        let mut watched: Vec<(DaemonKind, Option<Duration>, Duration)> = vec![
+            (
+                DaemonKind::Livehosts,
+                store.get(paths::LIVEHOSTS).map(|r| now.since(r.written_at)),
+                cfg.livehosts_period,
+            ),
+            (
+                DaemonKind::Latency,
+                Self::freshest_age(store, "latency/", now),
+                cfg.latency_period,
+            ),
+            (
+                DaemonKind::Bandwidth,
+                Self::freshest_age(store, "bandwidth/", now),
+                cfg.bandwidth_period,
+            ),
+        ];
+        for d in &daemons.nodestate {
+            if !cluster.is_up(d.node()) {
+                continue; // a down node's sampler is expected to be silent
+            }
+            watched.push((
+                DaemonKind::NodeState(d.node()),
+                store
+                    .get(&paths::node_state(d.node()))
+                    .map(|r| now.since(r.written_at)),
+                cfg.nodestate_period,
+            ));
+        }
+
+        for (kind, age, period) in watched {
+            let alive = daemons.is_alive(kind);
+            let stale_bound = period.mul_f64(Self::STALE_FACTOR);
+            let hung = alive && matches!(age, Some(a) if a > stale_bound);
+            if alive && !hung {
+                self.backoff.remove(&kind);
+                continue;
+            }
+            let entry = self.backoff.entry(kind).or_insert(Backoff {
+                strikes: 0,
+                next_allowed: SimTime::ZERO,
+            });
+            if now < entry.next_allowed {
+                continue;
+            }
+            daemons.relaunch(kind);
+            self.relaunch_count += 1;
+            let exp = entry.strikes.min(Self::MAX_BACKOFF_EXP);
+            let delay = cfg.central_period.mul_f64(f64::from(1u32 << exp));
+            // the fresh process needs a full staleness window to prove
+            // itself before it can be judged (and restarted) again
+            entry.next_allowed = now + delay.max(stale_bound);
+            entry.strikes += 1;
+        }
     }
 }
 
@@ -313,6 +451,87 @@ mod tests {
         // nobody relaunched it
         assert!(!daemons.latency.is_alive());
         assert_eq!(cm.relaunch_count, 0);
+    }
+
+    #[test]
+    fn hung_daemon_is_detected_and_restarted() {
+        let (mut cluster, store, mut daemons, mut cm) = setup();
+        // establish a fresh livehosts record: healthy, no relaunch
+        cluster.advance(Duration::from_secs(10));
+        daemons.livehosts.tick(&cluster, &store);
+        cm.tick(&cluster, &store, &mut daemons);
+        assert_eq!(cm.relaunch_count, 0);
+        // the daemon wedges; its record ages past period × STALE_FACTOR
+        daemons
+            .livehosts
+            .hang_until(cluster.now() + Duration::from_hours(1));
+        for _ in 0..6 {
+            cluster.advance(Duration::from_secs(10));
+            daemons.livehosts.tick(&cluster, &store); // no-op while hung
+            cm.tick(&cluster, &store, &mut daemons);
+        }
+        assert!(cm.relaunch_count >= 1, "hung daemon never restarted");
+        // the relaunch cleared the hang: next tick publishes again
+        cluster.advance(Duration::from_secs(10));
+        daemons.livehosts.tick(&cluster, &store);
+        assert_eq!(
+            store.get(paths::LIVEHOSTS).unwrap().written_at,
+            cluster.now()
+        );
+    }
+
+    #[test]
+    fn relaunch_backoff_escalates_for_crash_looping_daemon() {
+        let (mut cluster, store, mut daemons, mut cm) = setup();
+        // publish once so staleness is measurable
+        cluster.advance(Duration::from_secs(10));
+        daemons.livehosts.tick(&cluster, &store);
+        // from here the daemon dies again immediately after every relaunch
+        let mut relaunch_ticks = Vec::new();
+        for i in 0..40 {
+            daemons.livehosts.kill();
+            cluster.advance(Duration::from_secs(10));
+            let before = cm.relaunch_count;
+            cm.tick(&cluster, &store, &mut daemons);
+            if cm.relaunch_count > before {
+                relaunch_ticks.push(i as i64);
+            }
+        }
+        assert!(relaunch_ticks.len() >= 3, "backoff starved relaunches");
+        assert!(
+            relaunch_ticks.len() < 20,
+            "no backoff: relaunched on most ticks ({relaunch_ticks:?})"
+        );
+        let gaps: Vec<i64> = relaunch_ticks.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.last().unwrap() > gaps.first().unwrap(),
+            "relaunch gaps should grow: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_publication_resets_backoff() {
+        let (mut cluster, store, mut daemons, mut cm) = setup();
+        cluster.advance(Duration::from_secs(10));
+        daemons.livehosts.tick(&cluster, &store);
+        // two crash/relaunch rounds build up strikes
+        for _ in 0..10 {
+            daemons.livehosts.kill();
+            cluster.advance(Duration::from_secs(10));
+            cm.tick(&cluster, &store, &mut daemons);
+        }
+        let after_loop = cm.relaunch_count;
+        assert!(after_loop >= 2);
+        // daemon recovers and publishes: backoff entry cleared
+        daemons.livehosts.relaunch();
+        cluster.advance(Duration::from_secs(10));
+        daemons.livehosts.tick(&cluster, &store);
+        cm.tick(&cluster, &store, &mut daemons);
+        // next crash is relaunched on the very next heartbeat again
+        daemons.livehosts.kill();
+        cluster.advance(Duration::from_secs(10));
+        cm.tick(&cluster, &store, &mut daemons);
+        assert_eq!(cm.relaunch_count, after_loop + 1);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //!   round-robin tournament schedule (disjoint pairs per round) and publish
 //!   per-node measurement rows.
 //!
-//! Daemons can be killed (failure injection) and relaunched by the
-//! [`CentralMonitor`](crate::central::CentralMonitor).
+//! Daemons can be killed, hung or delayed (failure injection, see
+//! [`FaultAction`](nlrm_sim_core::fault::FaultAction)) and are relaunched by
+//! the [`CentralMonitor`](crate::central::CentralMonitor).
 
 use crate::codec::{encode, MonitorRecord};
 use crate::matrix::SymMatrix;
@@ -17,9 +18,89 @@ use crate::rounds::round_robin_rounds;
 use crate::sample::{LatencyStat, NodeSample};
 use crate::store::{paths, SharedStore};
 use nlrm_cluster::ClusterSim;
-use nlrm_sim_core::time::Duration;
+use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_sim_core::window::{MultiWindowMean, WindowedMean};
 use nlrm_topology::NodeId;
+
+/// Identifies one supervised daemon (failure injection, supervision state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DaemonKind {
+    /// The livehosts ping daemon.
+    Livehosts,
+    /// The state sampler on one node.
+    NodeState(NodeId),
+    /// The latency prober.
+    Latency,
+    /// The bandwidth prober.
+    Bandwidth,
+}
+
+/// Process-level health shared by every daemon: alive/dead plus the two
+/// degraded modes of [`FaultAction`](nlrm_sim_core::fault::FaultAction) —
+/// a *hang* (process stalls entirely, resumes at a deadline) and a *delay*
+/// (process keeps working but its store writes are withheld, so observers
+/// see stale records).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Health {
+    dead: bool,
+    hung_until: Option<SimTime>,
+    muted_until: Option<SimTime>,
+}
+
+impl Health {
+    /// Whether the process exists at all. A hung or muted daemon is still
+    /// alive — only [`Health::kill`] makes this false.
+    pub fn is_alive(&self) -> bool {
+        !self.dead
+    }
+
+    /// Failure injection: the process dies.
+    pub fn kill(&mut self) {
+        self.dead = true;
+    }
+
+    /// Fresh process: alive, not hung, not muted.
+    pub fn relaunch(&mut self) {
+        *self = Health::default();
+    }
+
+    /// Failure injection: stall all work until `t`.
+    pub fn hang_until(&mut self, t: SimTime) {
+        self.hung_until = Some(t);
+    }
+
+    /// Failure injection: withhold store writes until `t`.
+    pub fn mute_until(&mut self, t: SimTime) {
+        self.muted_until = Some(t);
+    }
+
+    /// Can the process do any work at `now`? Clears an expired hang.
+    pub fn can_run(&mut self, now: SimTime) -> bool {
+        if self.dead {
+            return false;
+        }
+        if let Some(t) = self.hung_until {
+            if now < t {
+                return false;
+            }
+            self.hung_until = None;
+        }
+        true
+    }
+
+    /// May the process publish at `now`? Clears an expired mute. (A hang
+    /// already blocks everything in [`Health::can_run`]; this only gates
+    /// the write path.)
+    pub fn can_publish(&mut self, now: SimTime) -> bool {
+        if let Some(t) = self.muted_until {
+            if now < t {
+                return false;
+            }
+            self.muted_until = None;
+        }
+        true
+    }
+}
 
 /// Sampling/probing periods for all daemons. Defaults follow the paper:
 /// node state every 5 s (the paper says 3–10 s), latency sweeps every
@@ -51,41 +132,46 @@ impl Default for DaemonConfig {
 }
 
 /// Ping-sweep daemon maintaining the livehosts list.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LivehostsD {
-    alive: bool,
-}
-
-impl Default for LivehostsD {
-    fn default() -> Self {
-        Self::new()
-    }
+    health: Health,
 }
 
 impl LivehostsD {
     /// A running daemon.
     pub fn new() -> Self {
-        LivehostsD { alive: true }
+        LivehostsD::default()
     }
 
     /// Whether the daemon is running.
     pub fn is_alive(&self) -> bool {
-        self.alive
+        self.health.is_alive()
     }
 
     /// Failure injection: stop the daemon.
     pub fn kill(&mut self) {
-        self.alive = false;
+        self.health.kill();
     }
 
-    /// Restart after a crash (idempotent).
+    /// Failure injection: stall until `t`.
+    pub fn hang_until(&mut self, t: SimTime) {
+        self.health.hang_until(t);
+    }
+
+    /// Failure injection: withhold publications until `t`.
+    pub fn mute_until(&mut self, t: SimTime) {
+        self.health.mute_until(t);
+    }
+
+    /// Restart after a crash (idempotent, clears hang/mute).
     pub fn relaunch(&mut self) {
-        self.alive = true;
+        self.health.relaunch();
     }
 
     /// Ping every node; publish those that answered.
     pub fn tick(&mut self, cluster: &ClusterSim, store: &SharedStore) {
-        if !self.alive {
+        let now = cluster.now();
+        if !self.health.can_run(now) {
             return;
         }
         let hosts: Vec<NodeId> = cluster
@@ -93,11 +179,13 @@ impl LivehostsD {
             .node_ids()
             .filter(|&n| cluster.is_up(n))
             .collect();
-        store.put(
-            paths::LIVEHOSTS,
-            cluster.now(),
-            encode(&MonitorRecord::Livehosts(hosts)),
-        );
+        if self.health.can_publish(now) {
+            store.put(
+                paths::LIVEHOSTS,
+                now,
+                encode(&MonitorRecord::Livehosts(hosts)),
+            );
+        }
     }
 }
 
@@ -105,7 +193,7 @@ impl LivehostsD {
 #[derive(Debug, Clone)]
 pub struct NodeStateD {
     node: NodeId,
-    alive: bool,
+    health: Health,
     cpu_load: MultiWindowMean,
     cpu_util: MultiWindowMean,
     mem_used: MultiWindowMean,
@@ -117,7 +205,7 @@ impl NodeStateD {
     pub fn new(node: NodeId) -> Self {
         NodeStateD {
             node,
-            alive: true,
+            health: Health::default(),
             cpu_load: MultiWindowMean::new(),
             cpu_util: MultiWindowMean::new(),
             mem_used: MultiWindowMean::new(),
@@ -132,12 +220,23 @@ impl NodeStateD {
 
     /// Whether the daemon is running.
     pub fn is_alive(&self) -> bool {
-        self.alive
+        self.health.is_alive()
     }
 
     /// Failure injection: stop the daemon.
     pub fn kill(&mut self) {
-        self.alive = false;
+        self.health.kill();
+    }
+
+    /// Failure injection: stall until `t`.
+    pub fn hang_until(&mut self, t: SimTime) {
+        self.health.hang_until(t);
+    }
+
+    /// Failure injection: withhold publications until `t` (sampling and the
+    /// history windows keep advancing — only the store write is withheld).
+    pub fn mute_until(&mut self, t: SimTime) {
+        self.health.mute_until(t);
     }
 
     /// Restart after a crash. History windows restart empty, exactly as a
@@ -148,10 +247,10 @@ impl NodeStateD {
 
     /// Sample the local node and publish. A daemon on a down node cannot run.
     pub fn tick(&mut self, cluster: &ClusterSim, store: &SharedStore) {
-        if !self.alive || !cluster.is_up(self.node) {
+        let t = cluster.now();
+        if !self.health.can_run(t) || !cluster.is_up(self.node) {
             return;
         }
-        let t = cluster.now();
         let state = cluster.node_state(self.node);
         self.cpu_load.push(t, state.cpu_load);
         self.cpu_util.push(t, state.cpu_util);
@@ -167,18 +266,20 @@ impl NodeStateD {
             flow_rate_mbps: self.flow_rate.value().expect("just pushed"),
             users: state.users,
         };
-        store.put(
-            paths::node_state(self.node),
-            t,
-            encode(&MonitorRecord::Sample(sample)),
-        );
+        if self.health.can_publish(t) {
+            store.put(
+                paths::node_state(self.node),
+                t,
+                encode(&MonitorRecord::Sample(sample)),
+            );
+        }
     }
 }
 
 /// Pairwise latency prober with 1/5-minute windows per pair.
 #[derive(Debug, Clone)]
 pub struct LatencyD {
-    alive: bool,
+    health: Health,
     n: usize,
     /// Per-pair (upper-triangle) windows: (1-min, 5-min).
     windows: Vec<(WindowedMean, WindowedMean)>,
@@ -189,7 +290,7 @@ impl LatencyD {
     /// A prober for an `n`-node cluster.
     pub fn new(n: usize) -> Self {
         LatencyD {
-            alive: true,
+            health: Health::default(),
             n,
             windows: (0..n * n)
                 .map(|_| {
@@ -205,12 +306,23 @@ impl LatencyD {
 
     /// Whether the daemon is running.
     pub fn is_alive(&self) -> bool {
-        self.alive
+        self.health.is_alive()
     }
 
     /// Failure injection: stop the daemon.
     pub fn kill(&mut self) {
-        self.alive = false;
+        self.health.kill();
+    }
+
+    /// Failure injection: stall until `t`.
+    pub fn hang_until(&mut self, t: SimTime) {
+        self.health.hang_until(t);
+    }
+
+    /// Failure injection: withhold row publications until `t` (probing and
+    /// windows keep advancing).
+    pub fn mute_until(&mut self, t: SimTime) {
+        self.health.mute_until(t);
     }
 
     /// Restart after a crash; windows restart empty.
@@ -221,10 +333,10 @@ impl LatencyD {
     /// One full tournament sweep over all live node pairs, then publish a
     /// row per live node.
     pub fn tick(&mut self, cluster: &mut ClusterSim, store: &SharedStore) {
-        if !self.alive {
+        let t = cluster.now();
+        if !self.health.can_run(t) {
             return;
         }
-        let t = cluster.now();
         let live: Vec<NodeId> = cluster
             .topology()
             .node_ids()
@@ -242,6 +354,9 @@ impl LatencyD {
                 self.windows[mirror].0.push(t, lat);
                 self.windows[mirror].1.push(t, lat);
             }
+        }
+        if !self.health.can_publish(t) {
+            return;
         }
         for &u in &live {
             let stats: Vec<LatencyStat> = (0..self.n)
@@ -275,7 +390,7 @@ impl LatencyD {
 /// bandwidth for allocation, so no windows are kept here.
 #[derive(Debug, Clone)]
 pub struct BandwidthD {
-    alive: bool,
+    health: Health,
     n: usize,
     latest: SymMatrix<f64>,
     peak: SymMatrix<f64>,
@@ -285,7 +400,7 @@ impl BandwidthD {
     /// A prober for an `n`-node cluster.
     pub fn new(n: usize) -> Self {
         BandwidthD {
-            alive: true,
+            health: Health::default(),
             n,
             latest: SymMatrix::new(n, f64::NAN),
             peak: SymMatrix::new(n, f64::NAN),
@@ -294,12 +409,22 @@ impl BandwidthD {
 
     /// Whether the daemon is running.
     pub fn is_alive(&self) -> bool {
-        self.alive
+        self.health.is_alive()
     }
 
     /// Failure injection: stop the daemon.
     pub fn kill(&mut self) {
-        self.alive = false;
+        self.health.kill();
+    }
+
+    /// Failure injection: stall until `t`.
+    pub fn hang_until(&mut self, t: SimTime) {
+        self.health.hang_until(t);
+    }
+
+    /// Failure injection: withhold row publications until `t`.
+    pub fn mute_until(&mut self, t: SimTime) {
+        self.health.mute_until(t);
     }
 
     /// Restart after a crash.
@@ -309,10 +434,10 @@ impl BandwidthD {
 
     /// One tournament sweep; publish a row per live node.
     pub fn tick(&mut self, cluster: &mut ClusterSim, store: &SharedStore) {
-        if !self.alive {
+        let t = cluster.now();
+        if !self.health.can_run(t) {
             return;
         }
-        let t = cluster.now();
         let live: Vec<NodeId> = cluster
             .topology()
             .node_ids()
@@ -325,6 +450,9 @@ impl BandwidthD {
                 self.latest.set(u, v, bw);
                 self.peak.set(u, v, cluster.peak_bandwidth_bps(u, v));
             }
+        }
+        if !self.health.can_publish(t) {
+            return;
         }
         for &u in &live {
             let mut avail = vec![0.0; self.n];
@@ -494,5 +622,51 @@ mod tests {
             other => panic!("wrong record {other:?}"),
         }
         let _ = SimTime::ZERO;
+    }
+
+    #[test]
+    fn hung_daemon_is_alive_but_silent_until_deadline() {
+        let mut cluster = small_cluster(2, 7);
+        let store = SharedStore::new();
+        let mut d = NodeStateD::new(NodeId(0));
+        cluster.advance(Duration::from_secs(5));
+        d.hang_until(cluster.now() + Duration::from_secs(30));
+        d.tick(&cluster, &store);
+        assert!(store.is_empty());
+        assert!(d.is_alive(), "a hang is not a crash");
+        cluster.advance(Duration::from_secs(30));
+        d.tick(&cluster, &store);
+        assert!(!store.is_empty(), "hang expired, work resumes");
+    }
+
+    #[test]
+    fn muted_daemon_leaves_stale_records_then_resumes() {
+        let mut cluster = small_cluster(3, 7);
+        let store = SharedStore::new();
+        let mut d = LivehostsD::new();
+        cluster.advance(Duration::from_secs(10));
+        d.tick(&cluster, &store);
+        let first = store.get(paths::LIVEHOSTS).unwrap().written_at;
+        d.mute_until(cluster.now() + Duration::from_secs(60));
+        cluster.advance(Duration::from_secs(10));
+        d.tick(&cluster, &store);
+        // observers keep seeing the pre-mute record
+        assert_eq!(store.get(paths::LIVEHOSTS).unwrap().written_at, first);
+        cluster.advance(Duration::from_secs(60));
+        d.tick(&cluster, &store);
+        assert!(store.get(paths::LIVEHOSTS).unwrap().written_at > first);
+    }
+
+    #[test]
+    fn relaunch_clears_hang_and_mute() {
+        let mut cluster = small_cluster(2, 7);
+        let store = SharedStore::new();
+        let mut d = NodeStateD::new(NodeId(0));
+        cluster.advance(Duration::from_secs(5));
+        d.hang_until(cluster.now() + Duration::from_secs(3600));
+        d.mute_until(cluster.now() + Duration::from_secs(3600));
+        d.relaunch();
+        d.tick(&cluster, &store);
+        assert!(!store.is_empty(), "relaunched process starts fresh");
     }
 }

@@ -139,7 +139,11 @@ impl ForecastEngine {
                 let idx = self.pair_idx(u, v);
                 if let Some(p) = self.bandwidth[idx].predict() {
                     let peak = out.peak_bandwidth_bps.get(u, v);
-                    let p = if peak.is_finite() { p.clamp(0.0, peak) } else { p.max(0.0) };
+                    let p = if peak.is_finite() {
+                        p.clamp(0.0, peak)
+                    } else {
+                        p.max(0.0)
+                    };
                     out.bandwidth_bps.set(u, v, p);
                 }
                 if let Some(p) = self.latency[idx].predict() {
@@ -216,24 +220,34 @@ mod tests {
 
     #[test]
     fn forecast_beats_stale_snapshot_on_average() {
-        // predict one minute ahead and compare against carrying the stale
-        // values forward, on total CPU-load error
+        // Walk-forward one-step-ahead comparison (the NWS claim is about
+        // average prediction error, so evaluate every step after a short
+        // warm-up rather than a single terminal point whose error is
+        // dominated by whether a load spike happened to land there):
+        // projecting the previous snapshot forward must not lose to
+        // carrying it unchanged, on total CPU-load error.
         let mut stale_err = 0.0;
         let mut forecast_err = 0.0;
         for seed in [3u64, 5, 7, 11, 13] {
-            let (history, future) = history(6, seed, 15);
+            let (history, future) = history(6, seed, 40);
             let mut engine = ForecastEngine::new(6);
-            for s in &history {
-                engine.observe(s);
-            }
-            let last = history.last().unwrap();
-            let proj = engine.project(last);
-            for info in &future.nodes {
-                let truth = info.sample.cpu_load.instant;
-                let stale = last.info(info.node).unwrap().sample.cpu_load.instant;
-                let pred = proj.info(info.node).unwrap().sample.cpu_load.instant;
-                stale_err += (stale - truth).abs();
-                forecast_err += (pred - truth).abs();
+            let warmup = 10;
+            let mut prev: Option<&ClusterSnapshot> = None;
+            for (i, snap) in history.iter().chain(std::iter::once(&future)).enumerate() {
+                if let Some(last) = prev {
+                    if i > warmup {
+                        let proj = engine.project(last);
+                        for info in &snap.nodes {
+                            let truth = info.sample.cpu_load.instant;
+                            let stale = last.info(info.node).unwrap().sample.cpu_load.instant;
+                            let pred = proj.info(info.node).unwrap().sample.cpu_load.instant;
+                            stale_err += (stale - truth).abs();
+                            forecast_err += (pred - truth).abs();
+                        }
+                    }
+                }
+                engine.observe(snap);
+                prev = Some(snap);
             }
         }
         assert!(

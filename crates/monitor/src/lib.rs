@@ -38,7 +38,7 @@ pub mod store;
 pub mod threaded;
 
 pub use matrix::SymMatrix;
-pub use runtime::MonitorRuntime;
+pub use runtime::{DaemonKind, FaultTarget, MonitorFaultPlan, MonitorRuntime};
 pub use sample::{LatencyStat, NodeSample};
 pub use snapshot::{ClusterSnapshot, NodeInfo};
 pub use store::SharedStore;

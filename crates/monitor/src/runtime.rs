@@ -4,13 +4,19 @@
 //! [`ClusterSim`] forward between ticks. This is the monitoring stack the
 //! experiments use: fast (48 hours of cluster time in milliseconds) and
 //! perfectly reproducible.
+//!
+//! Fault injection: attach a [`FaultPlan`] over [`FaultTarget`]s with
+//! [`MonitorRuntime::set_fault_plan`] and the runtime applies each
+//! scheduled kill/hang/delay at its exact virtual time while running.
 
 use crate::central::{CentralMonitor, DaemonSet};
 use crate::daemons::DaemonConfig;
+pub use crate::daemons::DaemonKind;
 use crate::snapshot::{ClusterSnapshot, SnapshotError};
 use crate::store::SharedStore;
 use nlrm_cluster::ClusterSim;
 use nlrm_sim_core::event::EventQueue;
+use nlrm_sim_core::fault::{FaultAction, FaultEvent, FaultPlan};
 use nlrm_sim_core::time::SimTime;
 use nlrm_topology::NodeId;
 
@@ -22,20 +28,27 @@ enum Tick {
     Latency,
     Bandwidth,
     Central,
+    /// Drain due events from the attached fault plan.
+    Fault,
 }
 
-/// Daemon failure-injection targets (tests, ablations).
+/// What a [`FaultPlan`] entry can hit in the monitoring stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DaemonKind {
-    /// The livehosts ping daemon.
-    Livehosts,
-    /// The state sampler on one node.
-    NodeState(NodeId),
-    /// The latency prober.
-    Latency,
-    /// The bandwidth prober.
-    Bandwidth,
+pub enum FaultTarget {
+    /// One monitoring daemon.
+    Daemon(DaemonKind),
+    /// A whole node. `Kill` downs it permanently; `Hang`/`Delay` down it
+    /// for the given duration, after which it recovers.
+    Node(NodeId),
+    /// The master central-monitor instance. Any action is a crash: the
+    /// heartbeat protocol cannot tell a hung master from a dead one.
+    Master,
+    /// The slave central-monitor instance (same crash semantics).
+    Slave,
 }
+
+/// A fault schedule against the monitoring stack.
+pub type MonitorFaultPlan = FaultPlan<FaultTarget>;
 
 /// The full monitoring stack bound to one cluster, run in virtual time.
 #[derive(Debug, Clone)]
@@ -45,6 +58,7 @@ pub struct MonitorRuntime {
     daemons: DaemonSet,
     central: CentralMonitor,
     queue: EventQueue<Tick>,
+    faults: MonitorFaultPlan,
     n: usize,
 }
 
@@ -73,8 +87,24 @@ impl MonitorRuntime {
             daemons: DaemonSet::new(n),
             central: CentralMonitor::new(NodeId(0), NodeId(1), &config),
             queue,
+            faults: MonitorFaultPlan::new(),
             n,
         }
+    }
+
+    /// Attach a fault schedule. Each event is applied at its exact virtual
+    /// time during [`MonitorRuntime::run_until`]. Replaces any plan set
+    /// earlier; events already in the past fire on the next run.
+    pub fn set_fault_plan(&mut self, plan: MonitorFaultPlan) {
+        for ev in plan.events() {
+            self.queue.push(ev.at, Tick::Fault);
+        }
+        self.faults = plan;
+    }
+
+    /// Number of fault events not yet applied.
+    pub fn pending_faults(&self) -> usize {
+        self.faults.remaining()
     }
 
     /// The shared store (what the allocator reads).
@@ -100,12 +130,7 @@ impl MonitorRuntime {
     /// Kill a daemon (failure injection). It stays dead until the central
     /// monitor's next supervision pass relaunches it.
     pub fn kill_daemon(&mut self, kind: DaemonKind) {
-        match kind {
-            DaemonKind::Livehosts => self.daemons.livehosts.kill(),
-            DaemonKind::NodeState(node) => self.daemons.nodestate[node.index()].kill(),
-            DaemonKind::Latency => self.daemons.latency.kill(),
-            DaemonKind::Bandwidth => self.daemons.bandwidth.kill(),
-        }
+        self.daemons.kill(kind);
     }
 
     /// Number of currently dead daemons.
@@ -144,9 +169,36 @@ impl MonitorRuntime {
                     self.central.tick(cluster, &self.store, &mut self.daemons);
                     self.queue.push(t + self.config.central_period, tick);
                 }
+                Tick::Fault => {
+                    for ev in self.faults.due(t) {
+                        self.apply_fault(cluster, t, ev);
+                    }
+                }
             }
         }
         cluster.advance_to(target);
+    }
+
+    /// Apply one fault event at virtual time `now`.
+    fn apply_fault(&mut self, cluster: &mut ClusterSim, now: SimTime, ev: FaultEvent<FaultTarget>) {
+        match ev.target {
+            FaultTarget::Daemon(kind) => match ev.action {
+                FaultAction::Kill => self.daemons.kill(kind),
+                FaultAction::Hang(d) => self.daemons.hang_until(kind, now + d),
+                FaultAction::Delay(d) => self.daemons.mute_until(kind, now + d),
+            },
+            FaultTarget::Node(node) => {
+                cluster.set_node_up(node, false);
+                match ev.action {
+                    FaultAction::Kill => {}
+                    FaultAction::Hang(d) | FaultAction::Delay(d) => {
+                        cluster.schedule_recovery(now + d, node);
+                    }
+                }
+            }
+            FaultTarget::Master => self.central.kill_master(),
+            FaultTarget::Slave => self.central.kill_slave(),
+        }
     }
 
     /// Assemble the allocator's snapshot from the store.
@@ -225,6 +277,69 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_plan_kills_hangs_and_recovers() {
+        use nlrm_sim_core::fault::FaultAction;
+        let mut cluster = small_cluster(6, 11);
+        let mut rt = MonitorRuntime::new(&cluster);
+        let mut plan = MonitorFaultPlan::new();
+        plan.schedule(
+            SimTime::from_secs(100),
+            FaultTarget::Daemon(DaemonKind::Latency),
+            FaultAction::Kill,
+        );
+        plan.schedule(
+            SimTime::from_secs(100),
+            FaultTarget::Node(NodeId(5)),
+            FaultAction::Hang(Duration::from_secs(120)),
+        );
+        plan.schedule(
+            SimTime::from_secs(120),
+            FaultTarget::Master,
+            FaultAction::Kill,
+        );
+        rt.set_fault_plan(plan);
+        rt.run_until(&mut cluster, SimTime::from_secs(150));
+        assert_eq!(rt.pending_faults(), 0);
+        assert!(!cluster.is_up(NodeId(5)), "node fault not applied");
+        rt.run_until(&mut cluster, SimTime::from_secs(400));
+        // the node recovered on schedule, the supervisor relaunched the
+        // killed prober, and the slave promoted itself to master
+        assert!(cluster.is_up(NodeId(5)));
+        assert_eq!(rt.dead_daemons(), 0);
+        assert!(rt.central().relaunch_count >= 1);
+        assert_eq!(rt.central().failover_count, 1);
+        let snap = rt.snapshot(cluster.now()).unwrap();
+        assert_eq!(snap.usable_nodes().len(), 6);
+    }
+
+    #[test]
+    fn delayed_daemon_serves_stale_rows() {
+        use nlrm_sim_core::fault::FaultAction;
+        let mut cluster = small_cluster(4, 11);
+        let mut rt = MonitorRuntime::new(&cluster);
+        rt.run_until(&mut cluster, SimTime::from_secs(360));
+        let before = rt
+            .store()
+            .get(&crate::store::paths::bandwidth_row(NodeId(0)));
+        let mut plan = MonitorFaultPlan::new();
+        plan.schedule(
+            SimTime::from_secs(400),
+            FaultTarget::Daemon(DaemonKind::Bandwidth),
+            FaultAction::Delay(Duration::from_secs(600)),
+        );
+        rt.set_fault_plan(plan);
+        rt.run_until(&mut cluster, SimTime::from_secs(900));
+        let during = rt
+            .store()
+            .get(&crate::store::paths::bandwidth_row(NodeId(0)));
+        assert_eq!(
+            before.unwrap().written_at,
+            during.unwrap().written_at,
+            "muted daemon should not publish"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::codec::{decode, CodecError, MonitorRecord};
 use crate::matrix::SymMatrix;
 use crate::sample::{LatencyStat, NodeSample};
 use crate::store::{paths, SharedStore};
-use nlrm_sim_core::time::SimTime;
+use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_topology::NodeId;
 use std::fmt;
 
@@ -39,6 +39,11 @@ pub struct ClusterSnapshot {
     pub bandwidth_bps: SymMatrix<f64>,
     /// Pairwise peak bandwidth, bits/s.
     pub peak_bandwidth_bps: SymMatrix<f64>,
+    /// Age of each node's latency row at assembly time (`None`: the node
+    /// never published one). A delayed or hung prober shows up here.
+    pub latency_row_age: Vec<Option<Duration>>,
+    /// Age of each node's bandwidth row at assembly time.
+    pub bandwidth_row_age: Vec<Option<Duration>>,
 }
 
 /// Snapshot assembly failures.
@@ -78,19 +83,18 @@ impl ClusterSnapshot {
                     sample,
                     live: live.contains(&node),
                 }),
-                Ok(_) => {
-                    return Err(SnapshotError::Corrupt(
-                        path,
-                        CodecError::BadTag(0),
-                    ))
-                }
+                Ok(_) => return Err(SnapshotError::Corrupt(path, CodecError::BadTag(0))),
                 Err(e) => return Err(SnapshotError::Corrupt(path, e)),
             }
         }
 
         let mut latency = SymMatrix::new(n, LatencyStat::constant(f64::INFINITY));
         for i in 0..n {
-            latency.set(NodeId(i as u32), NodeId(i as u32), LatencyStat::constant(0.0));
+            latency.set(
+                NodeId(i as u32),
+                NodeId(i as u32),
+                LatencyStat::constant(0.0),
+            );
         }
         let mut bandwidth = SymMatrix::new(n, 0.0f64);
         let mut peak = SymMatrix::new(n, 0.0f64);
@@ -99,9 +103,12 @@ impl ClusterSnapshot {
             peak.set(NodeId(i as u32), NodeId(i as u32), f64::INFINITY);
         }
 
+        let mut latency_row_age = vec![None; n];
+        let mut bandwidth_row_age = vec![None; n];
         for i in 0..n {
             let node = NodeId(i as u32);
             if let Some(rec) = store.get(&paths::latency_row(node)) {
+                latency_row_age[i] = Some(now.since(rec.written_at));
                 match decode(&rec.data) {
                     Ok(MonitorRecord::LatencyRow { node: u, stats }) => {
                         for (v, st) in stats.iter().enumerate().take(n) {
@@ -120,6 +127,7 @@ impl ClusterSnapshot {
                 }
             }
             if let Some(rec) = store.get(&paths::bandwidth_row(node)) {
+                bandwidth_row_age[i] = Some(now.since(rec.written_at));
                 match decode(&rec.data) {
                     Ok(MonitorRecord::BandwidthRow {
                         node: u,
@@ -150,7 +158,33 @@ impl ClusterSnapshot {
             latency,
             bandwidth_bps: bandwidth,
             peak_bandwidth_bps: peak,
+            latency_row_age,
+            bandwidth_row_age,
         })
+    }
+
+    /// Age of a node's published sample, if it has one.
+    pub fn sample_age(&self, node: NodeId) -> Option<Duration> {
+        self.info(node)
+            .map(|i| self.taken_at.since(i.sample.taken_at))
+    }
+
+    /// Age of the freshest latency row covering pair `(u, v)` — the entry
+    /// is overwritten by whichever endpoint's row was read, so the newer
+    /// row bounds how stale the value can be.
+    pub fn latency_age(&self, u: NodeId, v: NodeId) -> Option<Duration> {
+        min_age(
+            self.latency_row_age[u.index()],
+            self.latency_row_age[v.index()],
+        )
+    }
+
+    /// Age of the freshest bandwidth row covering pair `(u, v)`.
+    pub fn bandwidth_age(&self, u: NodeId, v: NodeId) -> Option<Duration> {
+        min_age(
+            self.bandwidth_row_age[u.index()],
+            self.bandwidth_row_age[v.index()],
+        )
     }
 
     /// Nodes that are live *and* have a sample: the allocatable universe.
@@ -174,6 +208,13 @@ impl ClusterSnapshot {
             .filter(|n| n.live)
             .map(|n| self.taken_at.since(n.sample.taken_at))
             .max()
+    }
+}
+
+fn min_age(a: Option<Duration>, b: Option<Duration>) -> Option<Duration> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
     }
 }
 
@@ -265,6 +306,23 @@ mod tests {
         let later = now + Duration::from_secs(120);
         let snap = ClusterSnapshot::assemble(&store, 3, later).unwrap();
         assert_eq!(snap.max_sample_age().unwrap(), Duration::from_secs(120));
+    }
+
+    #[test]
+    fn row_ages_track_publication_times() {
+        let (store, now) = populated(3);
+        let later = now + Duration::from_secs(120);
+        let snap = ClusterSnapshot::assemble(&store, 3, later).unwrap();
+        let age = Some(Duration::from_secs(120));
+        assert_eq!(snap.latency_age(NodeId(0), NodeId(1)), age);
+        assert_eq!(snap.bandwidth_age(NodeId(0), NodeId(2)), age);
+        assert_eq!(snap.sample_age(NodeId(1)), age);
+        assert_eq!(snap.sample_age(NodeId(9)), None);
+        // a pair with one missing row falls back to the other endpoint's
+        store.remove(&paths::latency_row(NodeId(0)));
+        let snap = ClusterSnapshot::assemble(&store, 3, later).unwrap();
+        assert!(snap.latency_row_age[0].is_none());
+        assert_eq!(snap.latency_age(NodeId(0), NodeId(1)), age);
     }
 
     #[test]

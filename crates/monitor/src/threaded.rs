@@ -78,16 +78,12 @@ impl ThreadedMonitor {
         let mut handles = Vec::new();
 
         // LivehostsD
-        handles.push(spawn_loop(
-            rx.clone(),
-            wall(config.livehosts_period),
-            {
-                let cluster = cluster.clone();
-                let store = store.clone();
-                let mut d = LivehostsD::new();
-                move || cluster.with_sync(|c| d.tick(c, &store))
-            },
-        ));
+        handles.push(spawn_loop(rx.clone(), wall(config.livehosts_period), {
+            let cluster = cluster.clone();
+            let store = store.clone();
+            let mut d = LivehostsD::new();
+            move || cluster.with_sync(|c| d.tick(c, &store))
+        }));
 
         // One NodeStateD per node, each its own thread (as in the paper).
         for i in 0..n {

@@ -61,7 +61,10 @@ fn arb_record() -> impl Strategy<Value = MonitorRecord> {
         proptest::collection::vec(0u32..512, 0..64)
             .prop_map(|v| MonitorRecord::Livehosts(v.into_iter().map(NodeId).collect())),
         arb_sample().prop_map(MonitorRecord::Sample),
-        (0u32..64, proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 0..64))
+        (
+            0u32..64,
+            proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 0..64)
+        )
             .prop_map(|(node, stats)| MonitorRecord::LatencyRow {
                 node: NodeId(node),
                 stats: stats

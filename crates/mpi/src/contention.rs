@@ -177,7 +177,10 @@ mod tests {
         let rated = fair_share_rates(&cluster, &flows);
         let total: f64 = rated.iter().map(|r| r.rate_bps).sum();
         let residual = cluster.link_residual_bps(cluster.topology().access_link(NodeId(0)));
-        assert!(total <= residual * 1.001, "total {total} > residual {residual}");
+        assert!(
+            total <= residual * 1.001,
+            "total {total} > residual {residual}"
+        );
         assert!((rated[0].rate_bps - rated[1].rate_bps).abs() < 1.0);
     }
 

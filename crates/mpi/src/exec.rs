@@ -110,7 +110,11 @@ fn run_round(
 /// run, and each step's communication traffic is registered on the links it
 /// used while the clock advances across that step — so a concurrently
 /// running monitor sees the job, and a second job would contend with it.
-pub fn execute(cluster: &mut ClusterSim, comm: &Communicator, workload: &dyn Workload) -> JobTiming {
+pub fn execute(
+    cluster: &mut ClusterSim,
+    comm: &Communicator,
+    workload: &dyn Workload,
+) -> JobTiming {
     // register job load
     for (node, procs) in comm.placement() {
         cluster.add_job_load(node, procs as f64);
@@ -398,7 +402,11 @@ mod tests {
             },
         );
         // all messages intra-node: memory-speed copies
-        assert!(t.comm_fraction() < 0.05, "comm fraction {}", t.comm_fraction());
+        assert!(
+            t.comm_fraction() < 0.05,
+            "comm fraction {}",
+            t.comm_fraction()
+        );
     }
 
     #[test]

@@ -156,7 +156,10 @@ pub fn execute_concurrent(cluster: &mut ClusterSim, jobs: &[ConcurrentJob]) -> V
         .iter()
         .enumerate()
         .map(|(i, j)| {
-            queue.push(t0 + Duration::from_secs_f64(j.start_offset_s), Event::Start(i));
+            queue.push(
+                t0 + Duration::from_secs_f64(j.start_offset_s),
+                Event::Start(i),
+            );
             JobState {
                 comm: j.comm.clone(),
                 step: 0,
@@ -487,7 +490,10 @@ mod tests {
         );
         // cluster clock must cover offset + second job's duration
         let elapsed = (cluster.now() - t0).as_secs_f64();
-        assert!(elapsed >= 100.0 + timings[1].total_s * 0.9, "elapsed {elapsed}");
+        assert!(
+            elapsed >= 100.0 + timings[1].total_s * 0.9,
+            "elapsed {elapsed}"
+        );
     }
 
     #[test]
@@ -516,7 +522,10 @@ mod tests {
         );
         let after: f64 = (0..4).map(|i| cluster.node_state(NodeId(i)).cpu_load).sum();
         // only background drift should remain (quiet profile: small)
-        assert!((after - before).abs() < 1.0, "leaked load: {before} -> {after}");
+        assert!(
+            (after - before).abs() < 1.0,
+            "leaked load: {before} -> {after}"
+        );
     }
 
     #[test]

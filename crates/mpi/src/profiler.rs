@@ -123,9 +123,7 @@ mod tests {
     fn setup() -> (ClusterSim, Communicator) {
         let mut c = small_cluster_with_profile(4, ClusterProfile::quiet(), 3);
         c.advance(Duration::from_secs(30));
-        let comm = Communicator::new(
-            (0..8).map(|i| NodeId(i / 2)).collect::<Vec<_>>(),
-        );
+        let comm = Communicator::new((0..8).map(|i| NodeId(i / 2)).collect::<Vec<_>>());
         (c, comm)
     }
 
@@ -185,7 +183,15 @@ mod tests {
         let (cluster, comm) = setup();
         let before = cluster.now();
         let load_before = cluster.node_state(NodeId(0)).cpu_load;
-        profile(&cluster, &comm, &Tunable { gcycles: 1.0, bytes: 1e5 }, 5);
+        profile(
+            &cluster,
+            &comm,
+            &Tunable {
+                gcycles: 1.0,
+                bytes: 1e5,
+            },
+            5,
+        );
         assert_eq!(cluster.now(), before);
         assert_eq!(cluster.node_state(NodeId(0)).cpu_load, load_before);
     }
@@ -193,7 +199,15 @@ mod tests {
     #[test]
     fn truncation_respects_short_workloads() {
         let (cluster, comm) = setup();
-        let report = profile(&cluster, &comm, &Tunable { gcycles: 0.1, bytes: 1e4 }, 500);
+        let report = profile(
+            &cluster,
+            &comm,
+            &Tunable {
+                gcycles: 0.1,
+                bytes: 1e4,
+            },
+            500,
+        );
         assert_eq!(report.steps, 100, "cannot profile more steps than exist");
     }
 }

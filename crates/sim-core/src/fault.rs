@@ -1,0 +1,143 @@
+//! Scheduled fault injection for virtual-time simulations.
+//!
+//! A [`FaultPlan`] is a time-ordered schedule of [`FaultEvent`]s against
+//! arbitrary targets (the monitor layer instantiates `T` with its daemons
+//! and nodes). The simulation driver drains due events with
+//! [`FaultPlan::due`] as virtual time advances and applies each
+//! [`FaultAction`] to the target. The plan itself is pure data — fully
+//! deterministic and replayable, like everything else in the simulator.
+
+use crate::time::{Duration, SimTime};
+
+/// What happens to the target when its fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The process dies. It stays dead until a supervisor relaunches it
+    /// (state is lost across the relaunch, as for a freshly exec'd process).
+    Kill,
+    /// The process hangs: it stays nominally alive but does no work for the
+    /// given duration, then resumes on its own — unless a supervisor
+    /// restarts it first.
+    Hang(Duration),
+    /// The process keeps working but its outputs are withheld for the given
+    /// duration (an NFS write stall, a full pipe): observers see stale data
+    /// while internal state keeps advancing.
+    Delay(Duration),
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent<T> {
+    /// Virtual time the fault fires.
+    pub at: SimTime,
+    /// What the fault hits.
+    pub target: T,
+    /// What happens to it.
+    pub action: FaultAction,
+}
+
+/// A deterministic, time-ordered schedule of faults.
+///
+/// ```
+/// use nlrm_sim_core::fault::{FaultAction, FaultPlan};
+/// use nlrm_sim_core::time::SimTime;
+///
+/// let mut plan: FaultPlan<&'static str> = FaultPlan::new();
+/// plan.schedule(SimTime::from_secs(30), "latencyd", FaultAction::Kill);
+/// plan.schedule(SimTime::from_secs(10), "nodestated", FaultAction::Kill);
+/// let due = plan.due(SimTime::from_secs(20));
+/// assert_eq!(due.len(), 1);
+/// assert_eq!(due[0].target, "nodestated");
+/// assert_eq!(plan.remaining(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan<T> {
+    /// Pending events, ascending by time (stable for equal times).
+    events: Vec<FaultEvent<T>>,
+}
+
+impl<T> FaultPlan<T> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Add a fault at `at`. Events inserted for the same instant fire in
+    /// insertion order.
+    pub fn schedule(&mut self, at: SimTime, target: T, action: FaultAction) -> &mut Self {
+        // insert before the first later event, keeping same-time order stable
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, target, action });
+        self
+    }
+
+    /// Remove and return every event with `at <= now`, in firing order.
+    pub fn due(&mut self, now: SimTime) -> Vec<FaultEvent<T>> {
+        let split = self.events.partition_point(|e| e.at <= now);
+        self.events.drain(..split).collect()
+    }
+
+    /// The pending events, ascending by firing time.
+    pub fn events(&self) -> &[FaultEvent<T>] {
+        &self.events
+    }
+
+    /// Virtual time of the next pending event.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.events.first().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn remaining(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn due_drains_in_time_order() {
+        let mut plan = FaultPlan::new();
+        plan.schedule(t(30), 2u32, FaultAction::Kill)
+            .schedule(t(10), 0, FaultAction::Kill)
+            .schedule(t(20), 1, FaultAction::Hang(Duration::from_secs(5)));
+        let due = plan.due(t(25));
+        assert_eq!(due.iter().map(|e| e.target).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(plan.remaining(), 1);
+        assert_eq!(plan.next_at(), Some(t(30)));
+        assert_eq!(plan.due(t(9999)).len(), 1);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn same_instant_fires_in_insertion_order() {
+        let mut plan = FaultPlan::new();
+        plan.schedule(t(5), "a", FaultAction::Kill)
+            .schedule(t(5), "b", FaultAction::Kill)
+            .schedule(t(5), "c", FaultAction::Kill);
+        let due = plan.due(t(5));
+        assert_eq!(
+            due.iter().map(|e| e.target).collect::<Vec<_>>(),
+            ["a", "b", "c"]
+        );
+    }
+
+    #[test]
+    fn nothing_due_before_first_event() {
+        let mut plan = FaultPlan::new();
+        plan.schedule(t(100), 0u8, FaultAction::Delay(Duration::from_secs(1)));
+        assert!(plan.due(t(99)).is_empty());
+        assert_eq!(plan.remaining(), 1);
+    }
+}

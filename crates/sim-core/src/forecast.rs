@@ -234,10 +234,20 @@ impl Forecaster for LinearTrend {
 /// ```
 pub struct AdaptiveEnsemble {
     members: Vec<Box<dyn Forecaster>>,
-    /// Exponentially-decayed mean absolute error per member.
+    /// Exponentially-decayed mean *squared* error per member. Squared (not
+    /// absolute) so that the rare large misses smoothing predictors make at
+    /// load-spike onsets dominate their score: on spiky series the tiny
+    /// quiet-period edge a smoother gains must never outweigh its tail risk.
     errors: Vec<f64>,
+    /// Scored predictions per member (drives the cold-start cumulative mean).
+    scored: Vec<usize>,
     /// Decay factor for the error tracker.
     error_decay: f64,
+    /// Currently trusted member. Sticky: a challenger must undercut the
+    /// incumbent's error by a clear margin before it takes over, so the
+    /// selector doesn't chase noise in near-tied error estimates (straying
+    /// from the best member costs more than the near-tie ever pays back).
+    current: usize,
     observations: usize,
 }
 
@@ -249,7 +259,9 @@ impl AdaptiveEnsemble {
         AdaptiveEnsemble {
             members,
             errors: vec![0.0; n],
+            scored: vec![0; n],
             error_decay: 0.1,
+            current: 0,
             observations: 0,
         }
     }
@@ -270,8 +282,11 @@ impl AdaptiveEnsemble {
 
     /// Name of the member currently trusted most.
     pub fn best_member(&self) -> &'static str {
-        self.members[self.best_index()].name()
+        self.members[self.current].name()
     }
+
+    /// Fraction a challenger's error must undercut the incumbent's by.
+    const SWITCH_MARGIN: f64 = 0.10;
 
     fn best_index(&self) -> usize {
         self.errors
@@ -294,21 +309,33 @@ impl Forecaster for AdaptiveEnsemble {
     }
 
     fn observe(&mut self, t: SimTime, value: f64) {
-        // score every member on the prediction it made *before* seeing value
+        // score every member on the prediction it made *before* seeing value;
+        // use the cumulative mean until the decayed tracker has enough
+        // samples to dominate its initialization, then switch to exponential
+        // decay so the ensemble keeps adapting to regime changes
         for (i, m) in self.members.iter().enumerate() {
             if let Some(pred) = m.predict() {
-                let err = (pred - value).abs();
-                self.errors[i] += self.error_decay * (err - self.errors[i]);
+                let err = (pred - value) * (pred - value);
+                self.scored[i] += 1;
+                let warmup = 1.0 / self.scored[i] as f64;
+                let w = warmup.max(self.error_decay);
+                self.errors[i] += w * (err - self.errors[i]);
             }
         }
         for m in &mut self.members {
             m.observe(t, value);
         }
+        let best = self.best_index();
+        if self.errors[best] < self.errors[self.current] * (1.0 - Self::SWITCH_MARGIN) {
+            self.current = best;
+        }
         self.observations += 1;
     }
 
     fn predict(&self) -> Option<f64> {
-        self.members[self.best_index()].predict()
+        self.members[self.current]
+            .predict()
+            .or_else(|| self.members[self.best_index()].predict())
     }
 }
 

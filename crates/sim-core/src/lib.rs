@@ -8,6 +8,8 @@
 //!
 //! * [`SimTime`] / [`Duration`] — a totally-ordered virtual clock,
 //! * [`EventQueue`] — a deterministic event queue with FIFO tie-breaking,
+//! * [`FaultPlan`] — scheduled kill/hang/delay fault injection against
+//!   arbitrary targets, drained as virtual time advances,
 //! * [`RngFactory`] — named, independent, reproducible RNG streams,
 //! * [`process`] — stochastic processes (Ornstein–Uhlenbeck, Poisson spike
 //!   trains, bounded random walks, Markov chains, diurnal modulation) that
@@ -25,6 +27,7 @@
 //! different allocation policies.
 
 pub mod event;
+pub mod fault;
 pub mod forecast;
 pub mod process;
 pub mod rng;
@@ -34,6 +37,7 @@ pub mod time;
 pub mod window;
 
 pub use event::EventQueue;
+pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use rng::RngFactory;
 pub use series::TimeSeries;
 pub use stats::{OnlineStats, Summary};

@@ -237,13 +237,21 @@ pub struct MarkovChain {
 
 impl MarkovChain {
     /// New chain starting in `start_state`.
-    pub fn new(levels: Vec<f64>, dwell: Vec<f64>, transition: Vec<Vec<f64>>, start_state: usize) -> Self {
+    pub fn new(
+        levels: Vec<f64>,
+        dwell: Vec<f64>,
+        transition: Vec<Vec<f64>>,
+        start_state: usize,
+    ) -> Self {
         let n = levels.len();
         assert!(n > 0 && dwell.len() == n && transition.len() == n);
         for row in &transition {
             assert_eq!(row.len(), n);
             let s: f64 = row.iter().sum();
-            assert!((s - 1.0).abs() < 1e-9, "transition rows must sum to 1, got {s}");
+            assert!(
+                (s - 1.0).abs() < 1e-9,
+                "transition rows must sum to 1, got {s}"
+            );
         }
         assert!(start_state < n);
         MarkovChain {
@@ -370,7 +378,11 @@ mod tests {
         let var: f64 =
             samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         let expected_std = 2.0 / (2.0_f64).sqrt();
-        assert!((var.sqrt() - expected_std).abs() < 0.15, "std {}", var.sqrt());
+        assert!(
+            (var.sqrt() - expected_std).abs() < 0.15,
+            "std {}",
+            var.sqrt()
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 impl RngFactory {
     /// A factory rooted at `master_seed`.
     pub fn new(master_seed: u64) -> Self {
-        RngFactory { master: master_seed }
+        RngFactory {
+            master: master_seed,
+        }
     }
 
     /// The master seed this factory was created with.
@@ -111,10 +113,7 @@ mod tests {
         let c2 = f.child("monitor");
         assert_ne!(take5(c1.named("s")), take5(c2.named("s")));
         // but reproducible
-        assert_eq!(
-            take5(f.child("cluster").named("s")),
-            take5(c1.named("s"))
-        );
+        assert_eq!(take5(f.child("cluster").named("s")), take5(c1.named("s")));
     }
 
     #[test]

@@ -12,11 +12,15 @@ use std::ops::{Add, AddAssign, Sub};
 const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// A point in virtual time, measured in microseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in microseconds. Always non-negative.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(u64);
 
 impl SimTime {
@@ -62,6 +66,9 @@ impl Duration {
     /// Zero-length span.
     pub const ZERO: Duration = Duration(0);
 
+    /// Largest representable span; used as a "never" staleness bound.
+    pub const MAX: Duration = Duration(u64::MAX);
+
     /// Construct from whole seconds.
     pub fn from_secs(secs: u64) -> Self {
         Duration(secs * MICROS_PER_SEC)
@@ -105,7 +112,10 @@ impl Duration {
 
     /// Multiply the span by a non-negative factor.
     pub fn mul_f64(self, factor: f64) -> Duration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor {factor}"
+        );
         Duration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -173,15 +183,20 @@ mod tests {
         assert_eq!(t, SimTime::from_secs(15));
         assert_eq!(t - SimTime::from_secs(12), Duration::from_secs(3));
         // saturating subtraction
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), Duration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(5),
+            Duration::ZERO
+        );
     }
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_secs_f64(0.5),
+        let mut v = [
+            SimTime::from_secs_f64(0.5),
             SimTime::ZERO,
             SimTime::from_secs(3),
-            SimTime::from_secs_f64(0.25)];
+            SimTime::from_secs_f64(0.25),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[3], SimTime::from_secs(3));

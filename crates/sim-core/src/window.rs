@@ -224,8 +224,12 @@ mod tests {
         for i in 0..200_000u64 {
             w.push(SimTime::from_secs(i), (i % 7) as f64);
         }
-        let direct: f64 =
-            (0..200_000u64).rev().take(61).map(|i| (i % 7) as f64).sum::<f64>() / 61.0;
+        let direct: f64 = (0..200_000u64)
+            .rev()
+            .take(61)
+            .map(|i| (i % 7) as f64)
+            .sum::<f64>()
+            / 61.0;
         assert!((w.mean().unwrap() - direct).abs() < 1e-9);
     }
 }

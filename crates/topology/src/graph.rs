@@ -134,7 +134,10 @@ impl Topology {
         let mut switches = Vec::with_capacity(switch_parents.len());
         for (i, parent) in switch_parents.iter().enumerate() {
             let uplink = parent.map(|p| {
-                assert!(p < switch_parents.len(), "switch {i} has invalid parent {p}");
+                assert!(
+                    p < switch_parents.len(),
+                    "switch {i} has invalid parent {p}"
+                );
                 assert!(p != i, "switch {i} cannot be its own parent");
                 let id = LinkId(links.len() as u32);
                 links.push(Link {
@@ -152,7 +155,10 @@ impl Topology {
         }
         let mut nodes = Vec::with_capacity(node_switches.len());
         for (j, &sw) in node_switches.iter().enumerate() {
-            assert!(sw < switches.len(), "node {j} attaches to invalid switch {sw}");
+            assert!(
+                sw < switches.len(),
+                "node {j} attaches to invalid switch {sw}"
+            );
             let id = LinkId(links.len() as u32);
             links.push(Link {
                 id,
@@ -306,7 +312,8 @@ mod tests {
 
     #[test]
     fn star_shape_counts() {
-        let t = Topology::star_of_switches(&[2, 3, 4], LinkParams::gigabit(), LinkParams::gigabit());
+        let t =
+            Topology::star_of_switches(&[2, 3, 4], LinkParams::gigabit(), LinkParams::gigabit());
         assert_eq!(t.num_nodes(), 9);
         assert_eq!(t.num_switches(), 3);
         // links: 2 trunks + 9 access

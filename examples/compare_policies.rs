@@ -34,7 +34,12 @@ fn main() {
     ];
 
     for (workload, request) in &workloads {
-        println!("== {} ({} procs, alpha={}) ==", workload.name(), request.procs, request.alpha);
+        println!(
+            "== {} ({} procs, alpha={}) ==",
+            workload.name(),
+            request.procs,
+            request.alpha
+        );
         let results = env
             .compare(&mut paper_policies(3), request, workload.as_ref())
             .expect("comparison");
@@ -49,7 +54,11 @@ fn main() {
                 r.timing.total_s,
                 r.timing.comm_fraction() * 100.0,
                 r.timing.mean_load_per_core,
-                if r.timing.total_s <= best { "  <- fastest" } else { "" }
+                if r.timing.total_s <= best {
+                    "  <- fastest"
+                } else {
+                    ""
+                }
             );
         }
         env.advance(Duration::from_secs(300));

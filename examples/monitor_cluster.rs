@@ -29,7 +29,10 @@ fn main() {
     // --- scenario 1: the bandwidth daemon crashes ---
     monitor.kill_daemon(DaemonKind::Bandwidth);
     monitor.kill_daemon(DaemonKind::NodeState(NodeId(3)));
-    println!("killed BandwidthD and NodeStateD(3): {} dead", monitor.dead_daemons());
+    println!(
+        "killed BandwidthD and NodeStateD(3): {} dead",
+        monitor.dead_daemons()
+    );
     let target = cluster.now() + Duration::from_secs(60);
     monitor.run_until(&mut cluster, target);
     println!(

@@ -25,7 +25,10 @@ fn main() {
     println!(
         "monitor: {} usable nodes, max sample age {}",
         snapshot.usable_nodes().len(),
-        snapshot.max_sample_age().map(|d| d.to_string()).unwrap_or_default()
+        snapshot
+            .max_sample_age()
+            .map(|d| d.to_string())
+            .unwrap_or_default()
     );
 
     // 3. Request 32 MPI processes, 4 per node, for a communication-bound

@@ -34,7 +34,10 @@ fn advise_on(profile: ClusterProfile, label: &str) {
                 timing.comm_fraction() * 100.0
             );
         }
-        Advice::Wait { reason, best_available } => {
+        Advice::Wait {
+            reason,
+            best_available,
+        } => {
             println!("verdict: WAIT — {reason}");
             println!(
                 "(best group available anyway: {:?})",
@@ -51,5 +54,8 @@ fn advise_on(profile: ClusterProfile, label: &str) {
 
 fn main() {
     advise_on(ClusterProfile::shared_lab(), "normal afternoon in the lab");
-    advise_on(ClusterProfile::overloaded(), "assignment-deadline night (overloaded)");
+    advise_on(
+        ClusterProfile::overloaded(),
+        "assignment-deadline night (overloaded)",
+    );
 }

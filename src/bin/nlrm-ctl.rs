@@ -200,7 +200,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let comm = Communicator::new(alloc.rank_map.clone());
     let mut sandbox = cluster.clone();
     let timing = execute(&mut sandbox, &comm, workload.as_ref());
-    println!("{} on {} nodes via {}:", workload.name(), alloc.node_list().len(), alloc.policy);
+    println!(
+        "{} on {} nodes via {}:",
+        workload.name(),
+        alloc.node_list().len(),
+        alloc.policy
+    );
     println!(
         "  total {:.2} s | compute {:.2} s | comm {:.2} s ({:.0}%)",
         timing.total_s,
@@ -208,7 +213,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         timing.comm_s,
         timing.comm_fraction() * 100.0
     );
-    println!("  mean CPU load/core during run: {:.2}", timing.mean_load_per_core);
+    println!(
+        "  mean CPU load/core during run: {:.2}",
+        timing.mean_load_per_core
+    );
     Ok(())
 }
 
@@ -223,12 +231,18 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     let comm = Communicator::new(alloc.rank_map.clone());
     let report = profiler::profile(&cluster, &comm, workload.as_ref(), 10);
     println!("profiled {} over {} steps:", report.workload, report.steps);
-    println!("  communication fraction: {:.0}%", report.comm_fraction * 100.0);
+    println!(
+        "  communication fraction: {:.0}%",
+        report.comm_fraction * 100.0
+    );
     println!(
         "  recommended mix: alpha = {:.2}, beta = {:.2}",
         report.alpha, report.beta
     );
-    println!("  (pass --alpha {:.2} to `nlrm-ctl allocate`)", report.alpha);
+    println!(
+        "  (pass --alpha {:.2} to `nlrm-ctl allocate`)",
+        report.alpha
+    );
     Ok(())
 }
 

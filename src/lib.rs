@@ -59,10 +59,13 @@ pub mod prelude {
     pub use nlrm_cluster::{ClusterProfile, ClusterSim, NodeSpec, NodeState};
     pub use nlrm_core::advisor::{advise, Advice, AdvisorConfig};
     pub use nlrm_core::{
-        AllocationRequest, ComputeWeights, LoadAwarePolicy, NetworkLoadAwarePolicy,
-        NetworkWeights, Policy, RandomPolicy, SequentialPolicy,
+        AllocationRequest, ComputeWeights, LoadAwarePolicy, Loads, NetworkLoadAwarePolicy,
+        NetworkWeights, Policy, RandomPolicy, SequentialPolicy, StalenessPolicy,
     };
-    pub use nlrm_monitor::{ClusterSnapshot, MonitorRuntime};
+    pub use nlrm_monitor::{
+        ClusterSnapshot, DaemonKind, FaultTarget, MonitorFaultPlan, MonitorRuntime,
+    };
     pub use nlrm_mpi::{execute, Communicator, JobTiming};
+    pub use nlrm_sim_core::fault::{FaultAction, FaultPlan};
     pub use nlrm_sim_core::time::{Duration, SimTime};
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha_beta-bd953cf34b016765.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/debug/deps/ablation_alpha_beta-bd953cf34b016765: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha_beta-c5fd71ae7888b871.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/debug/deps/ablation_alpha_beta-c5fd71ae7888b871: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

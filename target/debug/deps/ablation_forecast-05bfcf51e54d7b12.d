@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_forecast-05bfcf51e54d7b12.d: crates/bench/src/bin/ablation_forecast.rs
+
+/root/repo/target/debug/deps/ablation_forecast-05bfcf51e54d7b12: crates/bench/src/bin/ablation_forecast.rs
+
+crates/bench/src/bin/ablation_forecast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_forecast-21f34a2384a023a3.d: crates/bench/src/bin/ablation_forecast.rs
+
+/root/repo/target/debug/deps/ablation_forecast-21f34a2384a023a3: crates/bench/src/bin/ablation_forecast.rs
+
+crates/bench/src/bin/ablation_forecast.rs:

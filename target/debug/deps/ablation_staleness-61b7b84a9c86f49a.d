@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_staleness-61b7b84a9c86f49a.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/debug/deps/ablation_staleness-61b7b84a9c86f49a: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

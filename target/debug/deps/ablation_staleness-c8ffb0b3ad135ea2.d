@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_staleness-c8ffb0b3ad135ea2.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/debug/deps/ablation_staleness-c8ffb0b3ad135ea2: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

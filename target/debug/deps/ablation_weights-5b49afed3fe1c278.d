@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_weights-5b49afed3fe1c278.d: crates/bench/src/bin/ablation_weights.rs
+
+/root/repo/target/debug/deps/ablation_weights-5b49afed3fe1c278: crates/bench/src/bin/ablation_weights.rs
+
+crates/bench/src/bin/ablation_weights.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_weights-81ff7dfb55bd10f0.d: crates/bench/src/bin/ablation_weights.rs
+
+/root/repo/target/debug/deps/ablation_weights-81ff7dfb55bd10f0: crates/bench/src/bin/ablation_weights.rs
+
+crates/bench/src/bin/ablation_weights.rs:

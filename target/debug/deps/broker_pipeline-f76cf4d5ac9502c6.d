@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broker_pipeline-f76cf4d5ac9502c6.d: tests/broker_pipeline.rs
+
+/root/repo/target/debug/deps/broker_pipeline-f76cf4d5ac9502c6: tests/broker_pipeline.rs
+
+tests/broker_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broker_proptests-89ccd1d6127465ab.d: crates/core/tests/broker_proptests.rs
+
+/root/repo/target/debug/deps/broker_proptests-89ccd1d6127465ab: crates/core/tests/broker_proptests.rs
+
+crates/core/tests/broker_proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_interference-317115e44cdede22.d: crates/bench/src/bin/concurrent_interference.rs
+
+/root/repo/target/debug/deps/concurrent_interference-317115e44cdede22: crates/bench/src/bin/concurrent_interference.rs
+
+crates/bench/src/bin/concurrent_interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_interference-929446d2cdbb16bb.d: crates/bench/src/bin/concurrent_interference.rs
+
+/root/repo/target/debug/deps/concurrent_interference-929446d2cdbb16bb: crates/bench/src/bin/concurrent_interference.rs
+
+crates/bench/src/bin/concurrent_interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-06e27f1e98a11d01.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-06e27f1e98a11d01: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

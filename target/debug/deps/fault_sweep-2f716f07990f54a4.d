@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-2f716f07990f54a4.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-2f716f07990f54a4: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-cf8f521f170385d5.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-cf8f521f170385d5: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

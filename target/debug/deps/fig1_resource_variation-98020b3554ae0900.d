@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_resource_variation-98020b3554ae0900.d: crates/bench/src/bin/fig1_resource_variation.rs
+
+/root/repo/target/debug/deps/fig1_resource_variation-98020b3554ae0900: crates/bench/src/bin/fig1_resource_variation.rs
+
+crates/bench/src/bin/fig1_resource_variation.rs:

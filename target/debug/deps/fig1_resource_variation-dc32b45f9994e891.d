@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_resource_variation-dc32b45f9994e891.d: crates/bench/src/bin/fig1_resource_variation.rs
+
+/root/repo/target/debug/deps/fig1_resource_variation-dc32b45f9994e891: crates/bench/src/bin/fig1_resource_variation.rs
+
+crates/bench/src/bin/fig1_resource_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_bandwidth-81adfe8a410c3abe.d: crates/bench/src/bin/fig2_bandwidth.rs
+
+/root/repo/target/debug/deps/fig2_bandwidth-81adfe8a410c3abe: crates/bench/src/bin/fig2_bandwidth.rs
+
+crates/bench/src/bin/fig2_bandwidth.rs:

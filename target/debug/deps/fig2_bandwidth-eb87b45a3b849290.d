@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_bandwidth-eb87b45a3b849290.d: crates/bench/src/bin/fig2_bandwidth.rs
+
+/root/repo/target/debug/deps/fig2_bandwidth-eb87b45a3b849290: crates/bench/src/bin/fig2_bandwidth.rs
+
+crates/bench/src/bin/fig2_bandwidth.rs:

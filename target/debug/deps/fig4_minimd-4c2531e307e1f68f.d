@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_minimd-4c2531e307e1f68f.d: crates/bench/src/bin/fig4_minimd.rs
+
+/root/repo/target/debug/deps/fig4_minimd-4c2531e307e1f68f: crates/bench/src/bin/fig4_minimd.rs
+
+crates/bench/src/bin/fig4_minimd.rs:

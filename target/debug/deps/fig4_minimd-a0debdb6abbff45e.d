@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_minimd-a0debdb6abbff45e.d: crates/bench/src/bin/fig4_minimd.rs
+
+/root/repo/target/debug/deps/fig4_minimd-a0debdb6abbff45e: crates/bench/src/bin/fig4_minimd.rs
+
+crates/bench/src/bin/fig4_minimd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_minife-1247607ac158fcf2.d: crates/bench/src/bin/fig6_minife.rs
+
+/root/repo/target/debug/deps/fig6_minife-1247607ac158fcf2: crates/bench/src/bin/fig6_minife.rs
+
+crates/bench/src/bin/fig6_minife.rs:

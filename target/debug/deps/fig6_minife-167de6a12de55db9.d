@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_minife-167de6a12de55db9.d: crates/bench/src/bin/fig6_minife.rs
+
+/root/repo/target/debug/deps/fig6_minife-167de6a12de55db9: crates/bench/src/bin/fig6_minife.rs
+
+crates/bench/src/bin/fig6_minife.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heuristic_vs_optimal-05aaa664a3e20ef2.d: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+/root/repo/target/debug/deps/heuristic_vs_optimal-05aaa664a3e20ef2: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+crates/bench/src/bin/heuristic_vs_optimal.rs:

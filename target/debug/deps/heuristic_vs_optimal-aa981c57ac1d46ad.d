@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heuristic_vs_optimal-aa981c57ac1d46ad.d: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+/root/repo/target/debug/deps/heuristic_vs_optimal-aa981c57ac1d46ad: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+crates/bench/src/bin/heuristic_vs_optimal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_job_broker-98204b0e58239988.d: crates/bench/src/bin/multi_job_broker.rs
+
+/root/repo/target/debug/deps/multi_job_broker-98204b0e58239988: crates/bench/src/bin/multi_job_broker.rs
+
+crates/bench/src/bin/multi_job_broker.rs:

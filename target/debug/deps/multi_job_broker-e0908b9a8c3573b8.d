@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_job_broker-e0908b9a8c3573b8.d: crates/bench/src/bin/multi_job_broker.rs
+
+/root/repo/target/debug/deps/multi_job_broker-e0908b9a8c3573b8: crates/bench/src/bin/multi_job_broker.rs
+
+crates/bench/src/bin/multi_job_broker.rs:

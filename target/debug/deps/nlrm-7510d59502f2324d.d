@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlrm-7510d59502f2324d.d: src/lib.rs
+
+/root/repo/target/debug/deps/nlrm-7510d59502f2324d: src/lib.rs
+
+src/lib.rs:

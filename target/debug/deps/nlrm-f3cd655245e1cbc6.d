@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nlrm-f3cd655245e1cbc6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnlrm-f3cd655245e1cbc6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnlrm-f3cd655245e1cbc6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nlrm_apps-22c4b3121d907bce.d: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+/root/repo/target/debug/deps/libnlrm_apps-22c4b3121d907bce.rlib: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+/root/repo/target/debug/deps/libnlrm_apps-22c4b3121d907bce.rmeta: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/decomp.rs:
+crates/apps/src/minife.rs:
+crates/apps/src/minimd.rs:
+crates/apps/src/synthetic.rs:

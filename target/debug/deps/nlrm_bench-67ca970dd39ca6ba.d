@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nlrm_bench-67ca970dd39ca6ba.d: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/nlrm_bench-67ca970dd39ca6ba: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gains.rs:
+crates/bench/src/heatmap.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

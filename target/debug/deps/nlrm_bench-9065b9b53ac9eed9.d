@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nlrm_bench-9065b9b53ac9eed9.d: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm_bench-9065b9b53ac9eed9.rmeta: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/gains.rs:
+crates/bench/src/heatmap.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

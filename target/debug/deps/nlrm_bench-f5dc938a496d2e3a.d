@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nlrm_bench-f5dc938a496d2e3a.d: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libnlrm_bench-f5dc938a496d2e3a.rlib: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libnlrm_bench-f5dc938a496d2e3a.rmeta: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gains.rs:
+crates/bench/src/heatmap.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

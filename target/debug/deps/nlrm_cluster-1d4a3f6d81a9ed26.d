@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nlrm_cluster-1d4a3f6d81a9ed26.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/iitk.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/profiles.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libnlrm_cluster-1d4a3f6d81a9ed26.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/iitk.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/profiles.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libnlrm_cluster-1d4a3f6d81a9ed26.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/iitk.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/profiles.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/iitk.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/profiles.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nlrm_cluster-2c2454a09fc9af69.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/iitk.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/profiles.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/nlrm_cluster-2c2454a09fc9af69: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/iitk.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/profiles.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/iitk.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/profiles.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nlrm_cluster-f90087110672d2ab.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/iitk.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/profiles.rs crates/cluster/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm_cluster-f90087110672d2ab.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/iitk.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/profiles.rs crates/cluster/src/trace.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/iitk.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/profiles.rs:
+crates/cluster/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlrm_ctl-012ae5d9aa04d5d8.d: src/bin/nlrm-ctl.rs
+
+/root/repo/target/debug/deps/nlrm_ctl-012ae5d9aa04d5d8: src/bin/nlrm-ctl.rs
+
+src/bin/nlrm-ctl.rs:

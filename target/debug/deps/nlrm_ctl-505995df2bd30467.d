@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlrm_ctl-505995df2bd30467.d: src/bin/nlrm-ctl.rs
+
+/root/repo/target/debug/deps/nlrm_ctl-505995df2bd30467: src/bin/nlrm-ctl.rs
+
+src/bin/nlrm-ctl.rs:

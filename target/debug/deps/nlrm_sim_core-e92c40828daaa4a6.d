@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/nlrm_sim_core-e92c40828daaa4a6.d: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/fault.rs crates/sim-core/src/forecast.rs crates/sim-core/src/process.rs crates/sim-core/src/rng.rs crates/sim-core/src/series.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm_sim_core-e92c40828daaa4a6.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/fault.rs crates/sim-core/src/forecast.rs crates/sim-core/src/process.rs crates/sim-core/src/rng.rs crates/sim-core/src/series.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/window.rs Cargo.toml
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/event.rs:
+crates/sim-core/src/fault.rs:
+crates/sim-core/src/forecast.rs:
+crates/sim-core/src/process.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/series.rs:
+crates/sim-core/src/stats.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nlrm_topology-53a5a7e6a9fd84a4.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm_topology-53a5a7e6a9fd84a4.rmeta: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/route.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nlrm_topology-7cf3fded51389e34.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs
+
+/root/repo/target/debug/deps/libnlrm_topology-7cf3fded51389e34.rlib: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs
+
+/root/repo/target/debug/deps/libnlrm_topology-7cf3fded51389e34.rmeta: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/route.rs:

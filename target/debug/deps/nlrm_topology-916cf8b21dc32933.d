@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nlrm_topology-916cf8b21dc32933.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs
+
+/root/repo/target/debug/deps/nlrm_topology-916cf8b21dc32933: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/route.rs:

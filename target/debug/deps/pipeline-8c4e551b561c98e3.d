@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-8c4e551b561c98e3.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-8c4e551b561c98e3: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_ordering-4f8dc9af83674600.d: tests/policy_ordering.rs
+
+/root/repo/target/debug/deps/policy_ordering-4f8dc9af83674600: tests/policy_ordering.rs
+
+tests/policy_ordering.rs:

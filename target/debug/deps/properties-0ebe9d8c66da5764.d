@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0ebe9d8c66da5764.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0ebe9d8c66da5764: tests/properties.rs
+
+tests/properties.rs:

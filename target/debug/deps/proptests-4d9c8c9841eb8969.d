@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4d9c8c9841eb8969.d: crates/sim-core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4d9c8c9841eb8969: crates/sim-core/tests/proptests.rs
+
+crates/sim-core/tests/proptests.rs:

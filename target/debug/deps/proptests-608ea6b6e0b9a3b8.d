@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-608ea6b6e0b9a3b8.d: crates/mpi/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-608ea6b6e0b9a3b8: crates/mpi/tests/proptests.rs
+
+crates/mpi/tests/proptests.rs:

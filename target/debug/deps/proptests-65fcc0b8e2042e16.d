@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-65fcc0b8e2042e16.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-65fcc0b8e2042e16: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

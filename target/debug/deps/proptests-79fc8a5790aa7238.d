@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-79fc8a5790aa7238.d: crates/apps/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-79fc8a5790aa7238: crates/apps/tests/proptests.rs
+
+crates/apps/tests/proptests.rs:

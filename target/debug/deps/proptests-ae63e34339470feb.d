@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ae63e34339470feb.d: crates/topology/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ae63e34339470feb: crates/topology/tests/proptests.rs
+
+crates/topology/tests/proptests.rs:

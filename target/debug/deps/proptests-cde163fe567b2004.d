@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cde163fe567b2004.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cde163fe567b2004: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d4d085a058f7e3d2.d: crates/monitor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d4d085a058f7e3d2: crates/monitor/tests/proptests.rs
+
+crates/monitor/tests/proptests.rs:

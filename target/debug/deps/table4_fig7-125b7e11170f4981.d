@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_fig7-125b7e11170f4981.d: crates/bench/src/bin/table4_fig7.rs
+
+/root/repo/target/debug/deps/table4_fig7-125b7e11170f4981: crates/bench/src/bin/table4_fig7.rs
+
+crates/bench/src/bin/table4_fig7.rs:

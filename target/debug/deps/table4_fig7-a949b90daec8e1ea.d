@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_fig7-a949b90daec8e1ea.d: crates/bench/src/bin/table4_fig7.rs
+
+/root/repo/target/debug/deps/table4_fig7-a949b90daec8e1ea: crates/bench/src/bin/table4_fig7.rs
+
+crates/bench/src/bin/table4_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_policies-9046bc73420c1c71.d: examples/compare_policies.rs
+
+/root/repo/target/debug/examples/compare_policies-9046bc73420c1c71: examples/compare_policies.rs
+
+examples/compare_policies.rs:

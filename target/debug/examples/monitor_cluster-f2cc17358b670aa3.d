@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/monitor_cluster-f2cc17358b670aa3.d: examples/monitor_cluster.rs
+
+/root/repo/target/debug/examples/monitor_cluster-f2cc17358b670aa3: examples/monitor_cluster.rs
+
+examples/monitor_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0a93d869f5606d50.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0a93d869f5606d50: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/urgent_job-7e19d5595439dd76.d: examples/urgent_job.rs
+
+/root/repo/target/debug/examples/urgent_job-7e19d5595439dd76: examples/urgent_job.rs
+
+examples/urgent_job.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-33e79e0924ab61c0.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-33e79e0924ab61c0: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

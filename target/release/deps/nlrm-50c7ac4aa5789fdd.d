@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nlrm-50c7ac4aa5789fdd.d: src/lib.rs
+
+/root/repo/target/release/deps/libnlrm-50c7ac4aa5789fdd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnlrm-50c7ac4aa5789fdd.rmeta: src/lib.rs
+
+src/lib.rs:

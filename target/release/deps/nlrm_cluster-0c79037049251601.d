@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nlrm_cluster-0c79037049251601.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/iitk.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/profiles.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libnlrm_cluster-0c79037049251601.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/iitk.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/profiles.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libnlrm_cluster-0c79037049251601.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/iitk.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/profiles.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/iitk.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/profiles.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nlrm_ctl-de8ebd3d80eb1947.d: src/bin/nlrm-ctl.rs
+
+/root/repo/target/release/deps/nlrm_ctl-de8ebd3d80eb1947: src/bin/nlrm-ctl.rs
+
+src/bin/nlrm-ctl.rs:

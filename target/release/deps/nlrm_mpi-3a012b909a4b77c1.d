@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nlrm_mpi-3a012b909a4b77c1.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+/root/repo/target/release/deps/libnlrm_mpi-3a012b909a4b77c1.rlib: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+/root/repo/target/release/deps/libnlrm_mpi-3a012b909a4b77c1.rmeta: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/contention.rs:
+crates/mpi/src/exec.rs:
+crates/mpi/src/multi.rs:
+crates/mpi/src/pattern.rs:
+crates/mpi/src/profiler.rs:

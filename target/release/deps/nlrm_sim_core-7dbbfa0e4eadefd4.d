@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/nlrm_sim_core-7dbbfa0e4eadefd4.d: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/fault.rs crates/sim-core/src/forecast.rs crates/sim-core/src/process.rs crates/sim-core/src/rng.rs crates/sim-core/src/series.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/window.rs
+
+/root/repo/target/release/deps/libnlrm_sim_core-7dbbfa0e4eadefd4.rlib: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/fault.rs crates/sim-core/src/forecast.rs crates/sim-core/src/process.rs crates/sim-core/src/rng.rs crates/sim-core/src/series.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/window.rs
+
+/root/repo/target/release/deps/libnlrm_sim_core-7dbbfa0e4eadefd4.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/fault.rs crates/sim-core/src/forecast.rs crates/sim-core/src/process.rs crates/sim-core/src/rng.rs crates/sim-core/src/series.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/window.rs
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/event.rs:
+crates/sim-core/src/fault.rs:
+crates/sim-core/src/forecast.rs:
+crates/sim-core/src/process.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/series.rs:
+crates/sim-core/src/stats.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/window.rs:

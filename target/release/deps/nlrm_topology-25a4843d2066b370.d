@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nlrm_topology-25a4843d2066b370.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs
+
+/root/repo/target/release/deps/libnlrm_topology-25a4843d2066b370.rlib: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs
+
+/root/repo/target/release/deps/libnlrm_topology-25a4843d2066b370.rmeta: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/route.rs:

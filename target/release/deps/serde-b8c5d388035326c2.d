@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-b8c5d388035326c2.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b8c5d388035326c2.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b8c5d388035326c2.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

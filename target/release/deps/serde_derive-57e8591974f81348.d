@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-57e8591974f81348.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-57e8591974f81348.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compare_policies-383915348daca8c7.d: examples/compare_policies.rs
+
+/root/repo/target/release/examples/compare_policies-383915348daca8c7: examples/compare_policies.rs
+
+examples/compare_policies.rs:

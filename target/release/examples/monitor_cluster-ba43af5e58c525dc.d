@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/monitor_cluster-ba43af5e58c525dc.d: examples/monitor_cluster.rs
+
+/root/repo/target/release/examples/monitor_cluster-ba43af5e58c525dc: examples/monitor_cluster.rs
+
+examples/monitor_cluster.rs:

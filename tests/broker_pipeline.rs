@@ -94,7 +94,10 @@ fn broker_respects_capacity_under_pressure() {
     for i in 0..5 {
         ids.push(
             broker
-                .submit(format!("j{i}"), AllocationRequest::new(8, Some(4), 0.3, 0.7))
+                .submit(
+                    format!("j{i}"),
+                    AllocationRequest::new(8, Some(4), 0.3, 0.7),
+                )
                 .unwrap(),
         );
     }

@@ -1,0 +1,162 @@
+//! Fault-tolerance integration tests: the monitor→allocator path must keep
+//! producing valid allocations while daemons crash, hang, delay their
+//! writes, and the master central monitor dies mid-run.
+
+use nlrm::bench::runner::Experiment;
+use nlrm::prelude::*;
+use nlrm::sim::rng::RngFactory;
+use nlrm::topology::NodeId;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Random per-round fault plan, same shape as the `fault_sweep` bench:
+/// every `round_s` seconds each daemon is hit with probability `rate`.
+fn random_plan(
+    rate: f64,
+    n_nodes: usize,
+    start_s: u64,
+    end_s: u64,
+    round_s: u64,
+    rng: &mut impl Rng,
+) -> MonitorFaultPlan {
+    let mut plan = MonitorFaultPlan::new();
+    let mut kinds: Vec<DaemonKind> = vec![
+        DaemonKind::Livehosts,
+        DaemonKind::Latency,
+        DaemonKind::Bandwidth,
+    ];
+    kinds.extend((0..n_nodes).map(|i| DaemonKind::NodeState(NodeId(i as u32))));
+    let mut t = start_s;
+    while t < end_s {
+        for &kind in &kinds {
+            if rng.gen_bool(rate) {
+                let action = match rng.gen_range(0..4) {
+                    0 | 1 => FaultAction::Kill,
+                    2 => FaultAction::Hang(Duration::from_secs(rng.gen_range(60..300))),
+                    _ => FaultAction::Delay(Duration::from_secs(rng.gen_range(60..300))),
+                };
+                plan.schedule(SimTime::from_secs(t), FaultTarget::Daemon(kind), action);
+            }
+        }
+        t += round_s;
+    }
+    plan
+}
+
+/// The ISSUE acceptance scenario: per-round daemon kill probability 0.2
+/// plus one master death mid-run. Allocations must keep succeeding via the
+/// promoted slave, never panic, and never select a node whose only samples
+/// are stale.
+#[test]
+fn allocations_survive_daemon_kills_and_master_death() {
+    let seed = 11;
+    let mut env = Experiment::new(iitk_cluster(seed));
+    let n_nodes = env.cluster.num_nodes();
+    env.advance(Duration::from_secs(360));
+
+    let mut rng = RngFactory::new(seed).stream("fault-plan", 0);
+    let mut plan = random_plan(0.2, n_nodes, 400, 2700, 60, &mut rng);
+    plan.schedule(
+        SimTime::from_secs(1500),
+        FaultTarget::Master,
+        FaultAction::Kill,
+    );
+    env.monitor.set_fault_plan(plan);
+
+    let req = AllocationRequest::minimd(16);
+    let staleness = StalenessPolicy::default();
+    for cp in [600u64, 1200, 1800, 2400, 3000] {
+        let target = SimTime::from_secs(cp);
+        env.advance(target.since(env.cluster.now()));
+        let snap = env.snapshot();
+        let alloc = NetworkLoadAwarePolicy::new()
+            .allocate(&snap, &req)
+            .unwrap_or_else(|e| panic!("allocation failed at t={cp}s: {e:?}"));
+        assert_eq!(alloc.total_procs(), 16);
+        for node in alloc.node_list() {
+            let age = snap
+                .sample_age(node)
+                .unwrap_or_else(|| panic!("selected node {node:?} has no sample at t={cp}s"));
+            assert!(
+                age <= staleness.max_sample_age,
+                "selected node {node:?} has stale sample (age {age:?}) at t={cp}s"
+            );
+        }
+    }
+
+    let central = env.monitor.central();
+    assert!(
+        central.failover_count >= 1,
+        "master was killed at t=1500s but no failover happened"
+    );
+    assert!(
+        central.relaunch_count >= 1,
+        "daemons were killed but none were relaunched"
+    );
+}
+
+/// Map a proptest-generated index to a fault target on a 6-node cluster.
+fn target_from_index(i: usize) -> FaultTarget {
+    match i {
+        0 => FaultTarget::Master,
+        1 => FaultTarget::Slave,
+        2 => FaultTarget::Daemon(DaemonKind::Livehosts),
+        3 => FaultTarget::Daemon(DaemonKind::Latency),
+        4 => FaultTarget::Daemon(DaemonKind::Bandwidth),
+        i if i < 11 => FaultTarget::Daemon(DaemonKind::NodeState(NodeId((i - 5) as u32))),
+        i => FaultTarget::Node(NodeId(((i - 11) % 6) as u32)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under arbitrary fault schedules, `Loads::derive` never panics and
+    /// never returns a node whose monitoring samples are older than the
+    /// staleness bound. A clean error (e.g. no usable nodes) is an
+    /// acceptable degraded outcome; a panic or a stale node is not.
+    #[test]
+    fn derive_never_returns_stale_only_nodes(
+        seed in 0u64..100,
+        faults in proptest::collection::vec(
+            (420u64..1500, 0usize..14, 0u8..3, 30u64..600),
+            0..40,
+        ),
+    ) {
+        let mut env = Experiment::new(small_cluster(6, seed));
+        let mut plan = MonitorFaultPlan::new();
+        for &(t, target_idx, action_idx, dur) in &faults {
+            let action = match action_idx {
+                0 => FaultAction::Kill,
+                1 => FaultAction::Hang(Duration::from_secs(dur)),
+                _ => FaultAction::Delay(Duration::from_secs(dur)),
+            };
+            plan.schedule(SimTime::from_secs(t), target_from_index(target_idx), action);
+        }
+        env.monitor.set_fault_plan(plan);
+        env.advance(Duration::from_secs(1600));
+
+        let now = env.cluster.now();
+        if let Ok(snap) = env.monitor.snapshot(now) {
+            let staleness = StalenessPolicy::default();
+            match Loads::derive(
+                &snap,
+                &ComputeWeights::paper_default(),
+                &NetworkWeights::paper_default(),
+                Some(2),
+            ) {
+                Err(_) => {} // clean refusal is fine under heavy faults
+                Ok(loads) => {
+                    for &n in &loads.usable {
+                        let age = snap.sample_age(n);
+                        prop_assert!(
+                            age.is_some_and(|a| a <= staleness.max_sample_age),
+                            "usable node {:?} has stale/missing sample (age {:?})",
+                            n, age
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

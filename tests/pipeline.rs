@@ -111,7 +111,9 @@ fn job_execution_is_visible_to_monitoring() {
     env.advance(Duration::from_secs(400));
     let snap0 = env.snapshot();
     let req = AllocationRequest::new(16, Some(4), 0.5, 0.5);
-    let alloc = NetworkLoadAwarePolicy::new().allocate(&snap0, &req).unwrap();
+    let alloc = NetworkLoadAwarePolicy::new()
+        .allocate(&snap0, &req)
+        .unwrap();
     let comm = Communicator::new(alloc.rank_map.clone());
 
     // run a long job on the master timeline while monitoring continues

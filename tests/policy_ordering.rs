@@ -75,9 +75,17 @@ fn on_a_quiet_cluster_all_policies_converge() {
     env.advance(Duration::from_secs(600));
     let req = AllocationRequest::minimd(16);
     let workload = MiniMd::new(16).with_steps(20);
-    let results = env.compare(&mut paper_policies(9), &req, &workload).unwrap();
-    let best = results.iter().map(|r| r.timing.total_s).fold(f64::INFINITY, f64::min);
-    let worst = results.iter().map(|r| r.timing.total_s).fold(0.0f64, f64::max);
+    let results = env
+        .compare(&mut paper_policies(9), &req, &workload)
+        .unwrap();
+    let best = results
+        .iter()
+        .map(|r| r.timing.total_s)
+        .fold(f64::INFINITY, f64::min);
+    let worst = results
+        .iter()
+        .map(|r| r.timing.total_s)
+        .fold(0.0f64, f64::max);
     assert!(
         worst / best < 2.0,
         "policies should converge on a quiet cluster: best {best:.2}, worst {worst:.2}"

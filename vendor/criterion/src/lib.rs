@@ -1,0 +1,204 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Keeps the workspace's benches compiling and *usefully runnable* without
+//! network access: each benchmark is timed with `std::time::Instant` over an
+//! adaptively chosen iteration count and reported as a mean per-iteration
+//! time on stdout. No statistics engine, no HTML reports, no comparison
+//! against saved baselines — run the real criterion when the environment
+//! can fetch it.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall time per benchmark (split between warm-up and measurement).
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(400);
+
+/// How a batched iteration's inputs are grouped (accepted, not used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Benchmark identifier inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures; handed to `bench_function` callbacks.
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // warm up and estimate cost with a geometric ramp
+        let mut per_iter = Duration::from_nanos(0);
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            per_iter = start.elapsed() / batch as u32;
+            if start.elapsed() > TARGET_MEASURE_TIME / 8 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let iters = (TARGET_MEASURE_TIME.as_nanos() as u64)
+            .checked_div(per_iter.as_nanos().max(1) as u64)
+            .unwrap_or(1)
+            .clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Measure `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let iters = 16u64;
+        let mut total = Duration::from_nanos(0);
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let mean = bencher.mean_ns;
+    let human = if mean >= 1e9 {
+        format!("{:.3} s", mean / 1e9)
+    } else if mean >= 1e6 {
+        format!("{:.3} ms", mean / 1e6)
+    } else if mean >= 1e3 {
+        format!("{:.3} µs", mean / 1e3)
+    } else {
+        format!("{mean:.1} ns")
+    };
+    println!(
+        "bench: {name:<48} {human:>12}/iter ({} iters)",
+        bencher.iters
+    );
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample size (accepted for API compatibility; unused).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), &bencher);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

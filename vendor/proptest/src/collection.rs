@@ -1,0 +1,86 @@
+//! Collection strategies.
+
+use crate::{Strategy, TestRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specification for [`vec`]: a fixed size or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive minimum length.
+    pub min: usize,
+    /// Exclusive maximum length (always > `min`).
+    pub max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: fmt::Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.max_exclusive - self.size.min;
+        let len = self.size.min + if span == 0 { 0 } else { rng.next_usize(span) };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_sizes() {
+        let mut rng = TestRng::from_name("collection");
+        for _ in 0..50 {
+            assert_eq!(vec(0u8..10, 3).new_value(&mut rng).len(), 3);
+            let v = vec(0u8..10, 1..5).new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}

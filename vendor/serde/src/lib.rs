@@ -1,0 +1,22 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` names the workspace imports —
+//! both the traits (type namespace) and the derive macros (macro
+//! namespace). Nothing in the workspace serializes through serde (the
+//! monitor codec is hand-rolled; reports emit JSON by hand), so the traits
+//! are markers and the derives are no-ops. If real serialization is ever
+//! needed, replace this shim with the actual crate once the build has
+//! network access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes through serde (the store codec is hand-rolled and the
+//! bench reports emit JSON by hand), so the derives only need to exist, not
+//! generate real impls. Emitting nothing keeps the build dependency-free:
+//! real `serde_derive` needs `syn`/`quote`, which cannot be fetched in this
+//! offline environment.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
