@@ -7,4 +7,28 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
+
+# observability smoke: the report must build, run bounded, and emit valid
+# JSON with the expected top-level sections
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+NLRM_RESULTS_DIR="$OBS_DIR" NLRM_QUICK=1 NLRM_QUIET=1 \
+    cargo run --release -q -p nlrm-bench --bin obs_report
+python3 - "$OBS_DIR/obs_report.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+expected = {"params", "summary", "decisions", "events", "metrics"}
+missing = expected - report.keys()
+assert not missing, f"obs_report.json missing sections: {missing}"
+assert report["summary"]["failovers"] >= 1, "no failover captured"
+assert report["summary"]["relaunches"] >= 1, "no relaunch captured"
+assert report["summary"]["stale_node_exclusions"] >= 1, "no stale exclusions"
+assert all(d["winner_matches_placement"] for d in report["decisions"])
+PY
+test -s "$OBS_DIR/obs_timeline.txt"
+
+# rustdoc for the observability crate is part of its API contract
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p nlrm-obs
+
 echo "ci: all green"

@@ -14,9 +14,11 @@ use nlrm_bench::runner::Experiment;
 use nlrm_cluster::iitk::iitk_cluster;
 use nlrm_core::{AllocationRequest, NetworkLoadAwarePolicy};
 use nlrm_mpi::pattern::Workload;
+use nlrm_obs::Progress;
 use nlrm_sim_core::time::Duration;
 
 fn main() {
+    let progress = Progress::start("ablation_alpha_beta");
     let quick = std::env::var("NLRM_QUICK").is_ok();
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
@@ -25,7 +27,9 @@ fn main() {
     let reps = if quick { 2 } else { 5 };
     let alphas: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
 
-    println!("== Ablation: α/β mix of Eq. 4 (reps {reps}, seed {seed}) ==\n");
+    progress.block(format!(
+        "== Ablation: α/β mix of Eq. 4 (reps {reps}, seed {seed}) ==\n"
+    ));
     let mut env = Experiment::new(iitk_cluster(seed));
     env.advance(Duration::from_secs(600));
 
@@ -62,11 +66,13 @@ fn main() {
         ]);
         rows.push(means);
     }
-    println!("{}", table.to_markdown());
+    progress.block(table.to_markdown());
     let best_md = alphas[argmin(rows.iter().map(|r| r[0]))];
     let best_fe = alphas[argmin(rows.iter().map(|r| r[1]))];
-    println!("best α: miniMD {best_md:.1} (paper used 0.3), miniFE {best_fe:.1} (paper used 0.4)");
-    write_result("ablation_alpha_beta.csv", &csv);
+    progress.block(format!(
+        "best α: miniMD {best_md:.1} (paper used 0.3), miniFE {best_fe:.1} (paper used 0.4)"
+    ));
+    write_result("ablation_alpha_beta.csv", &csv).expect("write result");
 }
 
 fn argmin(iter: impl Iterator<Item = f64>) -> usize {

@@ -18,9 +18,11 @@ use nlrm_bench::runner::Experiment;
 use nlrm_cluster::iitk::iitk_cluster;
 use nlrm_core::{AllocationRequest, NetworkLoadAwarePolicy};
 use nlrm_monitor::forecast::ForecastEngine;
+use nlrm_obs::Progress;
 use nlrm_sim_core::time::Duration;
 
 fn main() {
+    let progress = Progress::start("ablation_forecast");
     let quick = std::env::var("NLRM_QUICK").is_ok();
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
@@ -30,7 +32,9 @@ fn main() {
     let steps = if quick { 30 } else { 100 };
     let delays_s: Vec<u64> = vec![300, 900, 1800];
 
-    println!("== Ablation: forecasting vs staleness (reps {reps}, seed {seed}) ==\n");
+    progress.block(format!(
+        "== Ablation: forecasting vs staleness (reps {reps}, seed {seed}) ==\n"
+    ));
     let mut env = Experiment::new(iitk_cluster(seed));
     env.advance(Duration::from_secs(600));
     let workload = MiniMd::new(16).with_steps(steps);
@@ -95,7 +99,7 @@ fn main() {
             format!("{recovered:.0}%"),
         ]);
     }
-    println!("{}", table.to_markdown());
-    println!("('recovered' = share of the stale-vs-oracle gap closed by forecasting)");
-    write_result("ablation_forecast.csv", &csv);
+    progress.block(table.to_markdown());
+    progress.block("('recovered' = share of the stale-vs-oracle gap closed by forecasting)");
+    write_result("ablation_forecast.csv", &csv).expect("write result");
 }

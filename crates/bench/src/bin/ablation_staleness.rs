@@ -14,9 +14,11 @@ use nlrm_bench::report::{fmt_secs, write_result, Table};
 use nlrm_bench::runner::Experiment;
 use nlrm_cluster::iitk::iitk_cluster;
 use nlrm_core::{AllocationRequest, NetworkLoadAwarePolicy};
+use nlrm_obs::Progress;
 use nlrm_sim_core::time::Duration;
 
 fn main() {
+    let progress = Progress::start("ablation_staleness");
     let quick = std::env::var("NLRM_QUICK").is_ok();
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
@@ -26,7 +28,9 @@ fn main() {
     let steps = if quick { 30 } else { 100 };
     let delays_s: Vec<u64> = vec![0, 60, 300, 900, 1800, 3600, 7200];
 
-    println!("== Ablation: snapshot staleness (reps {reps}, seed {seed}) ==\n");
+    progress.block(format!(
+        "== Ablation: snapshot staleness (reps {reps}, seed {seed}) ==\n"
+    ));
     let mut env = Experiment::new(iitk_cluster(seed));
     env.advance(Duration::from_secs(600));
     let workload = MiniMd::new(16).with_steps(steps);
@@ -59,8 +63,8 @@ fn main() {
             format!("{:+.1}%", (means[i] / means[0] - 1.0) * 100.0),
         ]);
     }
-    println!("{}", table.to_markdown());
-    println!("(expected: fresh ≈ minute-old snapshots, degradation growing past the");
-    println!(" background processes' correlation time — stale data ≈ random placement)");
-    write_result("ablation_staleness.csv", &csv);
+    progress.block(table.to_markdown());
+    progress.block("(expected: fresh ≈ minute-old snapshots, degradation growing past the");
+    progress.block(" background processes' correlation time — stale data ≈ random placement)");
+    write_result("ablation_staleness.csv", &csv).expect("write result");
 }

@@ -15,6 +15,7 @@ use nlrm_bench::report::{fmt_secs, write_result, Table};
 use nlrm_bench::runner::Experiment;
 use nlrm_cluster::iitk::iitk_cluster;
 use nlrm_core::{AllocationRequest, ComputeWeights, NetworkLoadAwarePolicy, NetworkWeights};
+use nlrm_obs::Progress;
 use nlrm_sim_core::time::Duration;
 
 fn uniform_weights() -> ComputeWeights {
@@ -31,6 +32,7 @@ fn uniform_weights() -> ComputeWeights {
 }
 
 fn main() {
+    let progress = Progress::start("ablation_weights");
     let quick = std::env::var("NLRM_QUICK").is_ok();
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
@@ -39,7 +41,9 @@ fn main() {
     let reps = if quick { 2 } else { 5 };
     let steps = if quick { 30 } else { 100 };
 
-    println!("== Ablation: attribute weights (reps {reps}, seed {seed}) ==\n");
+    progress.block(format!(
+        "== Ablation: attribute weights (reps {reps}, seed {seed}) ==\n"
+    ));
     let mut env = Experiment::new(iitk_cluster(seed));
     env.advance(Duration::from_secs(600));
     let workload = MiniMd::new(16).with_steps(steps);
@@ -117,6 +121,6 @@ fn main() {
             format!("{:+.1}%", (means[i] / means[0] - 1.0) * 100.0),
         ]);
     }
-    println!("{}", table.to_markdown());
-    write_result("ablation_weights.csv", &csv);
+    progress.block(table.to_markdown());
+    write_result("ablation_weights.csv", &csv).expect("write result");
 }

@@ -19,9 +19,11 @@ use nlrm_core::broker::{Broker, BrokerConfig, BrokerEvent};
 use nlrm_core::{AllocationRequest, NetworkLoadAwarePolicy, Policy};
 use nlrm_mpi::multi::{execute_concurrent, ConcurrentJob};
 use nlrm_mpi::{execute, Communicator};
+use nlrm_obs::Progress;
 use nlrm_sim_core::time::Duration;
 
 fn main() {
+    let progress = Progress::start("concurrent_interference");
     let quick = std::env::var("NLRM_QUICK").is_ok();
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
@@ -30,7 +32,9 @@ fn main() {
     let reps = if quick { 2 } else { 5 };
     let steps = if quick { 30 } else { 100 };
 
-    println!("== Concurrent-job interference (reps {reps}, seed {seed}) ==\n");
+    progress.block(format!(
+        "== Concurrent-job interference (reps {reps}, seed {seed}) ==\n"
+    ));
     let mut env = Experiment::new(iitk_cluster(seed));
     env.advance(Duration::from_secs(600));
     let workload = MiniMd::new(16).with_steps(steps);
@@ -113,7 +117,7 @@ fn main() {
             format!("{:+.0}%", (sums[i] / sums[0] - 1.0) * 100.0),
         ]);
     }
-    println!("{}", table.to_markdown());
-    println!("(broker-disjoint should sit near sequential; naive overlap pays for\n sharing cores and links between both jobs)");
-    write_result("concurrent_interference.csv", &csv);
+    progress.block(table.to_markdown());
+    progress.block("(broker-disjoint should sit near sequential; naive overlap pays for\n sharing cores and links between both jobs)");
+    write_result("concurrent_interference.csv", &csv).expect("write result");
 }

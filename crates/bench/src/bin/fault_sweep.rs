@@ -18,6 +18,7 @@ use nlrm_bench::runner::Experiment;
 use nlrm_cluster::iitk::iitk_cluster;
 use nlrm_core::{AllocationRequest, NetworkLoadAwarePolicy};
 use nlrm_monitor::{DaemonKind, FaultTarget, MonitorFaultPlan};
+use nlrm_obs::Progress;
 use nlrm_sim_core::fault::FaultAction;
 use nlrm_sim_core::rng::RngFactory;
 use nlrm_sim_core::time::{Duration, SimTime};
@@ -81,6 +82,7 @@ fn random_plan(
 }
 
 fn main() {
+    let progress = Progress::start("fault_sweep");
     let quick = std::env::var("NLRM_QUICK").is_ok();
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
@@ -95,9 +97,9 @@ fn main() {
     };
     let rates = [0.0, 0.05, 0.1, 0.2, 0.3];
 
-    println!(
+    progress.block(format!(
         "== Fault sweep: daemon kill-rate vs allocation quality (reps {reps}, seed {seed}) ==\n"
-    );
+    ));
 
     let factory = RngFactory::new(seed);
     let workload = MiniMd::new(16).with_steps(steps);
@@ -172,9 +174,9 @@ fn main() {
             format!("{failovers}"),
         ]);
     }
-    println!("{}", table.to_markdown());
-    println!("(expected: success stays 100% and time degrades gracefully while the");
-    println!(" supervisor keeps relaunching daemons; stale data, not crashes, costs time)");
+    progress.block(table.to_markdown());
+    progress.block("(expected: success stays 100% and time degrades gracefully while the");
+    progress.block(" supervisor keeps relaunching daemons; stale data, not crashes, costs time)");
 
     // hand-rolled JSON (no serde_json in the tree)
     let mut json = String::from("{\n");
@@ -214,5 +216,5 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    write_result("fault_sweep.json", &json);
+    write_result("fault_sweep.json", &json).expect("write result");
 }

@@ -11,11 +11,13 @@
 
 use nlrm_bench::plot::LinePlot;
 use nlrm_cluster::iitk::iitk_cluster;
+use nlrm_obs::Progress;
 use nlrm_sim_core::series::TimeSeries;
 use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_topology::NodeId;
 
 fn main() {
+    let progress = Progress::start("fig1_resource_variation");
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -25,7 +27,9 @@ fn main() {
     } else {
         48
     };
-    println!("== Fig. 1: resource-usage variation over {hours} h (seed {seed}) ==\n");
+    progress.block(format!(
+        "== Fig. 1: resource-usage variation over {hours} h (seed {seed}) ==\n"
+    ));
 
     let mut cluster = iitk_cluster(seed);
     // Node A: a hot node; node B: a quiet one. Pick by observed mean load
@@ -48,11 +52,11 @@ fn main() {
             .min_by(|&a, &b| means[a].total_cmp(&means[b]))
             .unwrap() as u32,
     );
-    println!(
+    progress.block(format!(
         "node A = {} (busiest in first hour), node B = {} (quietest)\n",
         cluster.spec(node_a).hostname,
         cluster.spec(node_b).hostname
-    );
+    ));
 
     let mut load_a = TimeSeries::new("load_node_A");
     let mut load_b = TimeSeries::new("load_node_B");
@@ -93,7 +97,7 @@ fn main() {
     let buckets = (hours * 6) as usize;
     let grid = |s: &TimeSeries| s.resample(SimTime::ZERO, Duration::from_mins(10), buckets);
     let w = |name: &str, series: &[&TimeSeries]| {
-        nlrm_bench::report::write_result(name, &TimeSeries::to_csv(series));
+        nlrm_bench::report::write_result(name, &TimeSeries::to_csv(series)).expect("write result");
     };
     let (ra, rb, ravg) = (grid(&load_a), grid(&load_b), grid(&load_avg));
     w("fig1a_cpu_load.csv", &[&ra, &rb, &ravg]);
@@ -113,39 +117,42 @@ fn main() {
     f1a.series("node A", to_pts(&ra))
         .series("node B", to_pts(&rb))
         .series("20-node avg", to_pts(&ravg));
-    nlrm_bench::report::write_result("fig1a_cpu_load.svg", &f1a.to_svg(760, 360));
+    nlrm_bench::report::write_result("fig1a_cpu_load.svg", &f1a.to_svg(760, 360))
+        .expect("write result");
     let mut f1b = LinePlot::new("Fig. 1(b): network I/O variation", "hours", "Mbit/s");
     f1b.series("node A", to_pts(&ia))
         .series("node B", to_pts(&ib))
         .series("20-node avg", to_pts(&iavg));
-    nlrm_bench::report::write_result("fig1b_network_io.svg", &f1b.to_svg(760, 360));
+    nlrm_bench::report::write_result("fig1b_network_io.svg", &f1b.to_svg(760, 360))
+        .expect("write result");
     let mut f1c = LinePlot::new("Fig. 1(c): CPU utilization & memory", "hours", "fraction");
     f1c.series("cpu util (avg)", to_pts(&ua))
         .series("mem used (avg)", to_pts(&ma));
-    nlrm_bench::report::write_result("fig1c_util_mem.svg", &f1c.to_svg(760, 360));
+    nlrm_bench::report::write_result("fig1c_util_mem.svg", &f1c.to_svg(760, 360))
+        .expect("write result");
 
     // paper-band check
     let us = util_avg.summary().unwrap();
     let ms = mem_avg.summary().unwrap();
     let ls = load_avg.summary().unwrap();
-    println!(
+    progress.block(format!(
         "average CPU utilization: mean {:.1}% (paper: 20–35%), range [{:.1}%, {:.1}%]",
         us.mean * 100.0,
         us.min * 100.0,
         us.max * 100.0
-    );
-    println!(
+    ));
+    progress.block(format!(
         "average memory usage:    mean {:.1}% (paper: ~25%)",
         ms.mean * 100.0
-    );
-    println!(
+    ));
+    progress.block(format!(
         "average CPU load:        mean {:.2}, max {:.2} (paper: mostly low, occasional spikes)",
         ls.mean, ls.max
-    );
+    ));
     let a_peak = load_a.summary().unwrap().max;
     let b_mean = load_b.summary().unwrap().mean;
-    println!(
+    progress.block(format!(
         "node A peak load {:.1}; node B mean load {:.2} (paper: B typically quite low)",
         a_peak, b_mean
-    );
+    ));
 }

@@ -14,11 +14,13 @@ use nlrm_bench::plot::{heatmap_svg, LinePlot};
 use nlrm_bench::report::write_result;
 use nlrm_cluster::iitk::iitk30;
 use nlrm_monitor::SymMatrix;
+use nlrm_obs::Progress;
 use nlrm_sim_core::series::TimeSeries;
 use nlrm_sim_core::time::Duration;
 use nlrm_topology::NodeId;
 
 fn main() {
+    let progress = Progress::start("fig2_bandwidth");
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -28,7 +30,9 @@ fn main() {
     } else {
         48
     };
-    println!("== Fig. 2: P2P bandwidth variation (seed {seed}) ==\n");
+    progress.block(format!(
+        "== Fig. 2: P2P bandwidth variation (seed {seed}) ==\n"
+    ));
 
     let mut cluster = iitk30(seed);
     cluster.advance(Duration::from_mins(30)); // settle
@@ -57,9 +61,9 @@ fn main() {
         .map(|i| cluster.spec(NodeId(i as u32)).hostname.clone())
         .collect();
     let art = heatmap::render(&complement, &labels);
-    println!("-- Fig. 2(a): complement of available bandwidth (Mbit/s), 10-sweep average --");
-    println!("{art}");
-    write_result("fig2a_heatmap.txt", &art);
+    progress.block("-- Fig. 2(a): complement of available bandwidth (Mbit/s), 10-sweep average --");
+    progress.block(&art);
+    write_result("fig2a_heatmap.txt", &art).expect("write result");
     write_result(
         "fig2a_heatmap.svg",
         &heatmap_svg(
@@ -67,7 +71,8 @@ fn main() {
             &labels,
             "Fig. 2(a): complement of available P2P bandwidth (Mbit/s)",
         ),
-    );
+    )
+    .expect("write result");
 
     let mut csv = String::from("u,v,avail_mbps,complement_mbps,same_switch\n");
     let mut same_sum = (0.0, 0usize);
@@ -88,16 +93,16 @@ fn main() {
             cross_sum = (cross_sum.0 + bw / 1e6, cross_sum.1 + 1);
         }
     }
-    write_result("fig2a_bandwidth.csv", &csv);
-    println!(
+    write_result("fig2a_bandwidth.csv", &csv).expect("write result");
+    progress.block(format!(
         "same-switch mean available: {:.0} Mbit/s over {} pairs; cross-switch: {:.0} Mbit/s over {} pairs",
         same_sum.0 / same_sum.1 as f64,
         same_sum.1,
         cross_sum.0 / cross_sum.1 as f64,
         cross_sum.1
-    );
-    println!(
-        "(paper: closer nodes have somewhat higher bandwidth, with strong per-pair variation)\n"
+    ));
+    progress.block(
+        "(paper: closer nodes have somewhat higher bandwidth, with strong per-pair variation)\n",
     );
 
     // --- Fig. 2(b): three pairs over 48 h at 5-minute probes ---
@@ -126,7 +131,7 @@ fn main() {
         }
     }
     let refs: Vec<&TimeSeries> = series.iter().collect();
-    write_result("fig2b_pairs.csv", &TimeSeries::to_csv(&refs));
+    write_result("fig2b_pairs.csv", &TimeSeries::to_csv(&refs)).expect("write result");
     let mut f2b = LinePlot::new("Fig. 2(b): P2P bandwidth over time", "hours", "Mbit/s");
     for s in &series {
         f2b.series(
@@ -137,17 +142,18 @@ fn main() {
                 .collect(),
         );
     }
-    write_result("fig2b_pairs.svg", &f2b.to_svg(760, 360));
+    write_result("fig2b_pairs.svg", &f2b.to_svg(760, 360)).expect("write result");
     for s in &series {
         let sm = s.summary().unwrap();
-        println!(
+        progress.block(format!(
             "pair {:<18} mean {:>6.0} Mbit/s, min {:>6.0}, max {:>6.0}, CoV {:.2}",
             s.name,
             sm.mean,
             sm.min,
             sm.max,
             sm.cov()
-        );
+        ));
     }
-    println!("(paper: per-pair bandwidth fluctuates significantly around a topology base value)");
+    progress
+        .block("(paper: per-pair bandwidth fluctuates significantly around a topology base value)");
 }

@@ -21,10 +21,12 @@ use nlrm_bench::report::{fmt_secs, write_result, Table};
 use nlrm_bench::runner::{paper_policies, Experiment};
 use nlrm_cluster::iitk::iitk_cluster;
 use nlrm_core::AllocationRequest;
+use nlrm_obs::Progress;
 use nlrm_sim_core::time::Duration;
 use std::collections::BTreeMap;
 
 fn main() {
+    let progress = Progress::start("fig4_minimd");
     let quick = std::env::var("NLRM_QUICK").is_ok();
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
@@ -41,8 +43,10 @@ fn main() {
         )
     };
 
-    println!("== Fig. 4 / Table 2 / Fig. 5: miniMD strong scaling ==");
-    println!("grid: procs={procs_grid:?} sizes={sizes:?} reps={reps} steps={steps} seed={seed}\n");
+    progress.block("== Fig. 4 / Table 2 / Fig. 5: miniMD strong scaling ==");
+    progress.block(format!(
+        "grid: procs={procs_grid:?} sizes={sizes:?} reps={reps} steps={steps} seed={seed}\n"
+    ));
 
     let mut env = Experiment::new(iitk_cluster(seed));
     env.advance(Duration::from_secs(600)); // warm the monitor
@@ -111,8 +115,10 @@ fn main() {
                 fmt_secs(mean("network-load-aware")),
             ]);
         }
-        println!("-- execution time (s), {procs} processes (mean of {reps} reps) --");
-        println!("{}", fig.to_markdown());
+        progress.block(format!(
+            "-- execution time (s), {procs} processes (mean of {reps} reps) --"
+        ));
+        progress.block(fig.to_markdown());
         let mut svg = LinePlot::new(
             &format!("fig4: {procs} processes"),
             "s",
@@ -130,13 +136,13 @@ fn main() {
                     .collect(),
             );
         }
-        write_result(&format!("fig4_p{procs}.svg"), &svg.to_svg(560, 340));
+        write_result(&format!("fig4_p{procs}.svg"), &svg.to_svg(560, 340)).expect("write result");
     }
 
     // Table 2
     let table2 = GainTable::build(&times, "network-load-aware");
-    println!("-- Table 2: percentage gain of network-and-load-aware --");
-    println!("{}", table2.to_markdown());
+    progress.block("-- Table 2: percentage gain of network-and-load-aware --");
+    progress.block(table2.to_markdown());
 
     // Fig. 5 + CoV
     let mut fig5 = Table::new(&["policy", "mean load per logical core", "CoV of exec times"]);
@@ -149,10 +155,10 @@ fn main() {
             format!("{:.2}", covs.iter().sum::<f64>() / covs.len() as f64),
         ]);
     }
-    println!("-- Fig. 5: CPU load per logical core during runs --");
-    println!("{}", fig5.to_markdown());
+    progress.block("-- Fig. 5: CPU load per logical core during runs --");
+    progress.block(fig5.to_markdown());
 
-    write_result("fig4_minimd.csv", &csv);
-    write_result("table2_minimd_gains.md", &table2.to_markdown());
-    write_result("fig5_load_per_core.md", &fig5.to_markdown());
+    write_result("fig4_minimd.csv", &csv).expect("write result");
+    write_result("table2_minimd_gains.md", &table2.to_markdown()).expect("write result");
+    write_result("fig5_load_per_core.md", &fig5.to_markdown()).expect("write result");
 }

@@ -17,10 +17,12 @@ use nlrm_bench::report::{fmt_secs, write_result, Table};
 use nlrm_bench::runner::{paper_policies, Experiment};
 use nlrm_cluster::iitk::iitk_cluster;
 use nlrm_core::AllocationRequest;
+use nlrm_obs::Progress;
 use nlrm_sim_core::time::Duration;
 use std::collections::BTreeMap;
 
 fn main() {
+    let progress = Progress::start("fig6_minife");
     let quick = std::env::var("NLRM_QUICK").is_ok();
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
@@ -37,8 +39,10 @@ fn main() {
         )
     };
 
-    println!("== Fig. 6 / Table 3: miniFE strong scaling ==");
-    println!("grid: procs={procs_grid:?} nx={sizes:?} reps={reps} iters={iters} seed={seed}\n");
+    progress.block("== Fig. 6 / Table 3: miniFE strong scaling ==");
+    progress.block(format!(
+        "grid: procs={procs_grid:?} nx={sizes:?} reps={reps} iters={iters} seed={seed}\n"
+    ));
 
     let mut env = Experiment::new(iitk_cluster(seed));
     env.advance(Duration::from_secs(600));
@@ -100,8 +104,10 @@ fn main() {
                 fmt_secs(mean("network-load-aware")),
             ]);
         }
-        println!("-- execution time (s), {procs} processes (mean of {reps} reps) --");
-        println!("{}", fig.to_markdown());
+        progress.block(format!(
+            "-- execution time (s), {procs} processes (mean of {reps} reps) --"
+        ));
+        progress.block(fig.to_markdown());
         let mut svg = LinePlot::new(
             &format!("fig6: {procs} processes"),
             "nx",
@@ -119,12 +125,12 @@ fn main() {
                     .collect(),
             );
         }
-        write_result(&format!("fig6_p{procs}.svg"), &svg.to_svg(560, 340));
+        write_result(&format!("fig6_p{procs}.svg"), &svg.to_svg(560, 340)).expect("write result");
     }
 
     let table3 = GainTable::build(&times, "network-load-aware");
-    println!("-- Table 3: percentage gain of network-and-load-aware --");
-    println!("{}", table3.to_markdown());
+    progress.block("-- Table 3: percentage gain of network-and-load-aware --");
+    progress.block(table3.to_markdown());
 
     let mut cov = Table::new(&["policy", "CoV of exec times"]);
     for policy in times.policies() {
@@ -134,9 +140,10 @@ fn main() {
             format!("{:.2}", covs.iter().sum::<f64>() / covs.len() as f64),
         ]);
     }
-    println!("-- run stability (paper §5.2: NLA 0.05 < load-aware 0.08 < sequential 0.11) --");
-    println!("{}", cov.to_markdown());
+    progress
+        .block("-- run stability (paper §5.2: NLA 0.05 < load-aware 0.08 < sequential 0.11) --");
+    progress.block(cov.to_markdown());
 
-    write_result("fig6_minife.csv", &csv);
-    write_result("table3_minife_gains.md", &table3.to_markdown());
+    write_result("fig6_minife.csv", &csv).expect("write result");
+    write_result("table3_minife_gains.md", &table3.to_markdown()).expect("write result");
 }

@@ -17,9 +17,11 @@ use nlrm_cluster::iitk::small_cluster;
 use nlrm_core::loads::Loads;
 use nlrm_core::select::group_cost;
 use nlrm_core::{AllocationRequest, BruteForcePolicy, NetworkLoadAwarePolicy};
+use nlrm_obs::Progress;
 use nlrm_sim_core::time::Duration;
 
 fn main() {
+    let progress = Progress::start("heuristic_vs_optimal");
     let quick = std::env::var("NLRM_QUICK").is_ok();
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
@@ -28,7 +30,9 @@ fn main() {
     let trials = if quick { 5 } else { 20 };
     let cluster_sizes = [10usize, 12, 14, 16];
 
-    println!("== Heuristic vs brute-force optimum (trials {trials}/size, seed {seed}) ==\n");
+    progress.block(format!(
+        "== Heuristic vs brute-force optimum (trials {trials}/size, seed {seed}) ==\n"
+    ));
     let mut table = Table::new(&[
         "cluster size",
         "mean cost gap",
@@ -87,7 +91,7 @@ fn main() {
             format!("{:+.1}%", mean(&time_gaps) * 100.0),
         ]);
     }
-    println!("{}", table.to_markdown());
-    println!("(cost gap: Eq. 4 objective of greedy ÷ optimum − 1; time gap: execution time)");
-    write_result("heuristic_vs_optimal.csv", &csv);
+    progress.block(table.to_markdown());
+    progress.block("(cost gap: Eq. 4 objective of greedy ÷ optimum − 1; time gap: execution time)");
+    write_result("heuristic_vs_optimal.csv", &csv).expect("write result");
 }

@@ -23,6 +23,7 @@ use nlrm_core::loads::Loads;
 use nlrm_core::AllocationRequest;
 use nlrm_monitor::MonitorRuntime;
 use nlrm_mpi::{execute, Communicator};
+use nlrm_obs::Progress;
 use nlrm_sim_core::rng::RngFactory;
 use nlrm_sim_core::time::Duration;
 use rand::Rng;
@@ -183,13 +184,16 @@ fn broker_force_lease(broker: &mut Broker, lease: Lease) {
 }
 
 fn main() {
+    let progress = Progress::start("multi_job_broker");
     let quick = std::env::var("NLRM_QUICK").is_ok();
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2028);
     let n_jobs = if quick { 8 } else { 30 };
-    println!("== Broker under a job stream ({n_jobs} jobs, seed {seed}) ==\n");
+    progress.block(format!(
+        "== Broker under a job stream ({n_jobs} jobs, seed {seed}) ==\n"
+    ));
     let jobs = job_stream(n_jobs, seed);
 
     let mut table = Table::new(&["setting", "mean job time (s)", "p95 (s)", "total core-time"]);
@@ -215,6 +219,6 @@ fn main() {
             fmt_secs(total),
         ]);
     }
-    println!("{}", table.to_markdown());
-    write_result("multi_job_broker.csv", &csv);
+    progress.block(table.to_markdown());
+    write_result("multi_job_broker.csv", &csv).expect("write result");
 }

@@ -18,15 +18,19 @@ use nlrm_bench::runner::{paper_policies, Experiment};
 use nlrm_cluster::iitk::iitk_cluster;
 use nlrm_core::AllocationRequest;
 use nlrm_monitor::SymMatrix;
+use nlrm_obs::Progress;
 use nlrm_sim_core::time::Duration;
 use nlrm_topology::NodeId;
 
 fn main() {
+    let progress = Progress::start("table4_fig7");
     let seed: u64 = std::env::var("NLRM_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2022);
-    println!("== Table 4 / Fig. 7: allocation analysis, miniMD 32 procs, s=16 (seed {seed}) ==\n");
+    progress.block(format!(
+        "== Table 4 / Fig. 7: allocation analysis, miniMD 32 procs, s=16 (seed {seed}) ==\n"
+    ));
 
     let mut env = Experiment::new(iitk_cluster(seed));
     env.advance(Duration::from_secs(900));
@@ -123,12 +127,12 @@ fn main() {
         }
     }
 
-    println!("-- Table 4: state of each policy's allocated group --");
-    println!("{}", table4.to_markdown());
-    println!("(paper: NLA group had the lowest complement BW and latency, and\n low CPU load — slightly above load-aware's — yet ran fastest)\n");
-    println!("{fig7}");
-    write_result("table4_group_state.md", &table4.to_markdown());
-    write_result("fig7_analysis.txt", &fig7);
+    progress.block("-- Table 4: state of each policy's allocated group --");
+    progress.block(table4.to_markdown());
+    progress.block("(paper: NLA group had the lowest complement BW and latency, and\n low CPU load — slightly above load-aware's — yet ran fastest)\n");
+    progress.block(&fig7);
+    write_result("table4_group_state.md", &table4.to_markdown()).expect("write result");
+    write_result("fig7_analysis.txt", &fig7).expect("write result");
     write_result(
         "fig7_heatmap.svg",
         &heatmap_svg(
@@ -136,7 +140,8 @@ fn main() {
             &labels,
             "Fig. 7: complement of available P2P bandwidth at allocation time",
         ),
-    );
+    )
+    .expect("write result");
 
     // headline sanity line like the paper's §5.3 narrative
     let by_policy = |name: &str| {
@@ -146,11 +151,11 @@ fn main() {
             .map(|r| r.timing.total_s)
             .unwrap_or(f64::NAN)
     };
-    println!(
+    progress.block(format!(
         "execution times: NLA {:.2} s | load-aware {:.2} s | sequential {:.2} s | random {:.2} s",
         by_policy("network-load-aware"),
         by_policy("load-aware"),
         by_policy("sequential"),
         by_policy("random"),
-    );
+    ));
 }

@@ -1,0 +1,185 @@
+//! The faulted broker scenario behind the `obs_report` binary and the
+//! observability integration test.
+//!
+//! One deterministic storyline exercises every event the journal knows
+//! about: daemons die and get relaunched, the master central monitor dies
+//! and fails over, then the whole supervision plane goes headless so two
+//! node-state daemons stay dead and their samples age into staleness.
+//! A broker schedules jobs through that degradation, so granted
+//! allocations carry explain traces shaped by the stale exclusions.
+
+use nlrm_cluster::iitk::small_cluster;
+use nlrm_core::broker::{Broker, BrokerConfig, BrokerEvent};
+use nlrm_core::AllocationRequest;
+use nlrm_monitor::{DaemonKind, FaultTarget, MonitorFaultPlan};
+use nlrm_obs::{install, ExplainTrace, Obs, Severity};
+use nlrm_sim_core::fault::FaultAction;
+use nlrm_sim_core::time::{Duration, SimTime};
+use nlrm_topology::NodeId;
+use std::collections::BTreeMap;
+
+use crate::runner::Experiment;
+
+/// One granted allocation with its decision context.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Job display name.
+    pub job: String,
+    /// Virtual time the broker granted it.
+    pub granted_at: SimTime,
+    /// The nodes actually placed on.
+    pub nodes: Vec<NodeId>,
+    /// Eq. 4 cost of the winning group.
+    pub cost: f64,
+    /// The ranking that produced the grant.
+    pub explain: ExplainTrace,
+}
+
+/// Everything the scenario produced.
+#[derive(Debug, Clone)]
+pub struct ObsScenarioResult {
+    /// Journal + metrics captured during the run.
+    pub obs: Obs,
+    /// Granted allocations in grant order.
+    pub decisions: Vec<Decision>,
+    /// `(job, reason)` per deferral, in occurrence order.
+    pub deferred: Vec<(String, String)>,
+    /// Relaunches counted by the central monitor itself (ground truth for
+    /// cross-checking the journal).
+    pub relaunches: usize,
+    /// Failovers counted by the central monitor itself.
+    pub failovers: usize,
+}
+
+/// Virtual-second checkpoints for the full run.
+pub const FULL_CHECKPOINTS: &[u64] = &[1100, 1300, 1500];
+/// Checkpoints for `NLRM_QUICK` / CI smoke runs.
+pub const QUICK_CHECKPOINTS: &[u64] = &[1100, 1300];
+
+/// Run the faulted broker scenario and capture its observability output.
+///
+/// The fault storyline, all in virtual seconds on an 8-node cluster
+/// warmed to t=360:
+///
+/// | t   | fault                         | expected journal reaction        |
+/// |-----|-------------------------------|----------------------------------|
+/// | 400 | bandwidth daemon killed       | `daemon_relaunched`              |
+/// | 450 | node-state daemon on n3 killed| `daemon_relaunched`              |
+/// | 700 | master killed                 | `failover` + fresh `slave_spawned` |
+/// | 900 | master *and* slave killed     | supervision plane goes headless  |
+/// | 950 | node-state daemons n5, n6 killed | never relaunched → `stale_node_excluded` once their samples age past the 60 s bound |
+///
+/// At each checkpoint the broker completes the previously running job,
+/// submits a fresh 16-process job, and reschedules; an oversized
+/// 64-process job submitted up front stays queued forever, producing an
+/// `alloc_deferred` at every pass.
+pub fn run_faulted_broker_scenario(seed: u64, checkpoints: &[u64]) -> ObsScenarioResult {
+    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+    let obs = Obs::with_capacity(16 * 1024);
+    // Debug-level ticks and publishes would dominate the ring over a
+    // 1500 s run; the report keeps the decision-relevant layer.
+    obs.journal.set_min_severity(Severity::Info);
+    let guard = install(&obs);
+
+    let mut env = Experiment::new(small_cluster(8, seed));
+    env.advance(Duration::from_secs(360));
+
+    let mut plan = MonitorFaultPlan::new();
+    let kill = FaultAction::Kill;
+    plan.schedule(
+        SimTime::from_secs(400),
+        FaultTarget::Daemon(DaemonKind::Bandwidth),
+        kill,
+    );
+    plan.schedule(
+        SimTime::from_secs(450),
+        FaultTarget::Daemon(DaemonKind::NodeState(NodeId(3))),
+        kill,
+    );
+    plan.schedule(SimTime::from_secs(700), FaultTarget::Master, kill);
+    plan.schedule(SimTime::from_secs(900), FaultTarget::Master, kill);
+    plan.schedule(SimTime::from_secs(900), FaultTarget::Slave, kill);
+    for node in [NodeId(5), NodeId(6)] {
+        plan.schedule(
+            SimTime::from_secs(950),
+            FaultTarget::Daemon(DaemonKind::NodeState(node)),
+            kill,
+        );
+    }
+    env.monitor.set_fault_plan(plan);
+
+    let mut broker = Broker::new(BrokerConfig {
+        backfill: true,
+        max_load_per_core: None,
+    });
+    let mut names: BTreeMap<nlrm_core::broker::JobId, String> = BTreeMap::new();
+    let huge = broker
+        .submit_at("huge-64", AllocationRequest::minimd(64), env.cluster.now())
+        .expect("valid request");
+    names.insert(huge, "huge-64".to_string());
+
+    let mut decisions = Vec::new();
+    let mut deferred = Vec::new();
+    let mut last_started: Option<nlrm_core::broker::JobId> = None;
+    for (i, &cp) in checkpoints.iter().enumerate() {
+        let target = SimTime::from_secs(cp);
+        env.advance(target.since(env.cluster.now()));
+        let snap = env.snapshot();
+        if let Some(prev) = last_started.take() {
+            broker.complete(prev);
+        }
+        let name = format!("md16-{i}");
+        let id = broker
+            .submit_at(&name, AllocationRequest::minimd(16), snap.taken_at)
+            .expect("valid request");
+        names.insert(id, name);
+        for event in broker.tick(&snap) {
+            match event {
+                BrokerEvent::Started(lease) => {
+                    last_started = Some(lease.id);
+                    decisions.push(Decision {
+                        job: lease.name.clone(),
+                        granted_at: snap.taken_at,
+                        nodes: lease.allocation.node_list(),
+                        cost: lease.allocation.diagnostics.total_cost,
+                        explain: lease
+                            .allocation
+                            .diagnostics
+                            .explain
+                            .clone()
+                            .expect("broker grants carry explain traces"),
+                    });
+                }
+                BrokerEvent::Deferred { id, reason } => {
+                    let job = names.get(&id).cloned().unwrap_or_else(|| format!("{id:?}"));
+                    deferred.push((job, reason));
+                }
+            }
+        }
+    }
+
+    let relaunches = env.monitor.central().relaunch_count;
+    let failovers = env.monitor.central().failover_count;
+    drop(guard);
+    ObsScenarioResult {
+        obs,
+        decisions,
+        deferred,
+        relaunches,
+        failovers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_grants_and_defers() {
+        let r = run_faulted_broker_scenario(7, QUICK_CHECKPOINTS);
+        assert_eq!(r.decisions.len(), QUICK_CHECKPOINTS.len());
+        assert!(!r.deferred.is_empty(), "oversized job never deferred");
+        assert!(r.failovers >= 1, "master kill at t=700 must fail over");
+        assert!(r.relaunches >= 2, "daemon kills at t=400/450 must relaunch");
+    }
+}

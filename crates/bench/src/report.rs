@@ -2,28 +2,37 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
 
-/// Resolve (and create) the results directory. Experiments write next to
-/// the workspace root: `<workspace>/results/`.
+/// Resolve (and create) the results directory. Defaults to
+/// `<workspace>/results/`; the `NLRM_RESULTS_DIR` environment variable
+/// overrides the location (CI points it at a temp dir).
 pub fn results_dir() -> PathBuf {
-    // bench crate lives at <ws>/crates/bench
-    let ws = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root exists")
-        .to_path_buf();
-    let dir = ws.join("results");
+    let dir = match std::env::var("NLRM_RESULTS_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => {
+            // bench crate lives at <ws>/crates/bench
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("workspace root exists")
+                .join("results")
+        }
+    };
     fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
 
-/// Write `contents` to `results/<name>` and echo the path.
-pub fn write_result(name: &str, contents: &str) -> PathBuf {
+/// Write `contents` to `results/<name>` and echo the path (suppressed
+/// under `NLRM_QUIET`).
+pub fn write_result(name: &str, contents: &str) -> io::Result<PathBuf> {
     let path = results_dir().join(name);
-    fs::write(&path, contents).expect("write result file");
-    println!("wrote {}", path.display());
-    path
+    fs::write(&path, contents)?;
+    if !nlrm_obs::progress::quiet() {
+        println!("wrote {}", path.display());
+    }
+    Ok(path)
 }
 
 /// A simple column-aligned text/markdown table builder.
@@ -124,9 +133,18 @@ mod tests {
 
     #[test]
     fn results_dir_exists() {
+        // Default and override cases share one invariant: the directory is
+        // created. (The env var itself is not mutated here — parallel tests
+        // share the process environment.)
         let d = results_dir();
-        assert!(d.ends_with("results"));
         assert!(d.is_dir());
+    }
+
+    #[test]
+    fn write_result_roundtrips() {
+        let path = write_result("report_test_scratch.txt", "ok\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "ok\n");
+        let _ = fs::remove_file(path);
     }
 
     #[test]

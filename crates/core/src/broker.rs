@@ -10,10 +10,17 @@
 use crate::candidate::generate_all_candidates;
 use crate::loads::Loads;
 use crate::request::{AllocError, Allocation, AllocationRequest, Diagnostics};
-use crate::select::{group_mean_network_load, select_best};
+use crate::select::{explain_selection, group_mean_network_load, select_best};
 use nlrm_monitor::ClusterSnapshot;
+use nlrm_sim_core::time::SimTime;
 use nlrm_topology::NodeId;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Histogram bucket bounds (seconds) for job queue-wait time.
+const JOB_WAIT_BOUNDS: &[f64] = &[0.0, 10.0, 30.0, 60.0, 120.0, 300.0, 900.0, 3600.0];
+
+/// Top-k candidate groups kept in a decision's explain trace.
+const EXPLAIN_TOP_K: usize = 3;
 
 /// Broker-assigned job identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -45,6 +52,11 @@ struct QueuedJob {
     id: JobId,
     name: String,
     request: AllocationRequest,
+    /// Virtual submit time, when known (`submit_at`); feeds the
+    /// queue-wait histogram.
+    submitted_at: Option<SimTime>,
+    /// Whether an `alloc_requested` event was already journaled.
+    announced: bool,
 }
 
 /// A running job's lease.
@@ -98,13 +110,35 @@ impl Broker {
         name: impl Into<String>,
         request: AllocationRequest,
     ) -> Result<JobId, AllocError> {
+        self.enqueue(name.into(), request, None)
+    }
+
+    /// Enqueue a job stamped with its virtual submit time, so scheduling
+    /// passes can report how long it waited in queue.
+    pub fn submit_at(
+        &mut self,
+        name: impl Into<String>,
+        request: AllocationRequest,
+        now: SimTime,
+    ) -> Result<JobId, AllocError> {
+        self.enqueue(name.into(), request, Some(now))
+    }
+
+    fn enqueue(
+        &mut self,
+        name: String,
+        request: AllocationRequest,
+        submitted_at: Option<SimTime>,
+    ) -> Result<JobId, AllocError> {
         request.validate()?;
         let id = JobId(self.next_id);
         self.next_id += 1;
         self.queue.push_back(QueuedJob {
             id,
-            name: name.into(),
+            name,
             request,
+            submitted_at,
+            announced: false,
         });
         Ok(id)
     }
@@ -160,16 +194,48 @@ impl Broker {
     /// (FIFO, with conservative backfill if configured) and reports what
     /// happened to every queued job it looked at.
     pub fn tick(&mut self, snap: &ClusterSnapshot) -> Vec<BrokerEvent> {
+        use nlrm_obs::{EventKind, Severity};
+        let observed = nlrm_obs::ctx::is_active();
+        let now = snap.taken_at;
         let mut events = Vec::new();
         let mut still_queued: VecDeque<QueuedJob> = VecDeque::new();
         let mut head_blocked = false;
-        while let Some(job) = self.queue.pop_front() {
+        while let Some(mut job) = self.queue.pop_front() {
             if head_blocked && !self.config.backfill {
                 still_queued.push_back(job);
                 continue;
             }
+            if observed && !job.announced {
+                job.announced = true;
+                nlrm_obs::ctx::emit(
+                    Severity::Info,
+                    job.submitted_at.unwrap_or(now),
+                    EventKind::AllocRequested {
+                        job: job.name.clone(),
+                        procs: job.request.procs,
+                    },
+                );
+            }
             match self.try_start(&job, snap) {
                 Ok(lease) => {
+                    if observed {
+                        nlrm_obs::ctx::emit(
+                            Severity::Info,
+                            now,
+                            EventKind::AllocGranted {
+                                job: job.name.clone(),
+                                nodes: lease.allocation.node_list().len(),
+                                cost: lease.allocation.diagnostics.total_cost,
+                            },
+                        );
+                        if let Some(at) = job.submitted_at {
+                            nlrm_obs::ctx::observe(
+                                "broker_job_wait_secs",
+                                JOB_WAIT_BOUNDS,
+                                (now - at).as_secs_f64(),
+                            );
+                        }
+                    }
                     events.push(BrokerEvent::Started(lease.clone()));
                     for &(node, procs) in &lease.allocation.nodes {
                         *self.reserved.entry(node).or_insert(0) += procs;
@@ -177,6 +243,16 @@ impl Broker {
                     self.running.insert(job.id, lease);
                 }
                 Err(reason) => {
+                    if observed {
+                        nlrm_obs::ctx::emit(
+                            Severity::Warn,
+                            now,
+                            EventKind::AllocDeferred {
+                                job: job.name.clone(),
+                                reason: reason.clone(),
+                            },
+                        );
+                    }
                     events.push(BrokerEvent::Deferred { id: job.id, reason });
                     head_blocked = true;
                     still_queued.push_back(job);
@@ -184,6 +260,10 @@ impl Broker {
             }
         }
         self.queue = still_queued;
+        if observed {
+            nlrm_obs::ctx::set_gauge("broker_queue_depth", self.queue.len() as f64);
+            nlrm_obs::ctx::set_gauge("broker_running_jobs", self.running.len() as f64);
+        }
         events
     }
 
@@ -250,6 +330,13 @@ impl Broker {
                     total_cost: selection.best_cost,
                     mean_compute_load: mean_cl,
                     mean_network_load: group_mean_network_load(&adjusted, &selected),
+                    explain: Some(explain_selection(
+                        &candidates,
+                        &selection,
+                        req.alpha,
+                        req.beta,
+                        EXPLAIN_TOP_K,
+                    )),
                     candidate_costs: selection.costs,
                 },
             },

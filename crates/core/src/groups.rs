@@ -13,7 +13,7 @@
 use crate::loads::Loads;
 use crate::policies::Policy;
 use crate::request::{AllocError, Allocation, AllocationRequest, Diagnostics};
-use crate::select::{group_mean_network_load, select_best};
+use crate::select::{explain_selection, group_mean_network_load, select_best};
 use nlrm_monitor::ClusterSnapshot;
 use nlrm_topology::{NodeId, Topology};
 use std::collections::BTreeMap;
@@ -150,6 +150,13 @@ impl ScalableAllocator {
                 total_cost: selection.best_cost,
                 mean_compute_load: mean_cl,
                 mean_network_load: group_mean_network_load(&sub_loads, &selected),
+                explain: Some(explain_selection(
+                    &candidates,
+                    &selection,
+                    req.alpha,
+                    req.beta,
+                    3,
+                )),
                 candidate_costs: selection.costs,
             },
         })

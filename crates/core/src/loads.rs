@@ -86,6 +86,9 @@ pub struct Loads {
     n_all: f64,
 }
 
+/// Histogram bucket bounds (seconds) for snapshot sample age.
+const SAMPLE_AGE_BOUNDS: &[f64] = &[5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 900.0, 3600.0];
+
 /// Representative value of a windowed attribute: the mean of the 1/5/15-min
 /// running means. Folding the windows keeps the paper's per-group weights
 /// intact while still using all three histories.
@@ -129,14 +132,34 @@ impl Loads {
             .validate()
             .map_err(AllocError::InvalidRequest)?;
         policy.validate()?;
-        let usable: Vec<NodeId> = snap
-            .usable_nodes()
-            .into_iter()
-            .filter(|&n| {
-                snap.sample_age(n)
-                    .is_some_and(|a| a <= policy.max_sample_age)
-            })
-            .collect();
+        let mut usable: Vec<NodeId> = Vec::new();
+        let observed = nlrm_obs::ctx::is_active();
+        for n in snap.usable_nodes() {
+            let age = snap.sample_age(n);
+            if age.is_some_and(|a| a <= policy.max_sample_age) {
+                usable.push(n);
+            } else if observed {
+                // over-age (or missing) sample: the node leaves the universe
+                nlrm_obs::ctx::emit(
+                    nlrm_obs::Severity::Warn,
+                    snap.taken_at,
+                    nlrm_obs::EventKind::StaleNodeExcluded {
+                        node: n,
+                        age: age.unwrap_or(Duration::MAX),
+                    },
+                );
+                nlrm_obs::ctx::inc("loads_stale_node_excluded_total");
+            }
+        }
+        if observed {
+            if let Some(age) = snap.max_sample_age() {
+                nlrm_obs::ctx::observe(
+                    "snapshot_sample_age_secs",
+                    SAMPLE_AGE_BOUNDS,
+                    age.as_secs_f64(),
+                );
+            }
+        }
         if usable.is_empty() {
             return Err(AllocError::NoUsableNodes);
         }
@@ -399,6 +422,7 @@ fn derive_network_load(
     } else {
         1.0
     };
+    let mut blended = vec![false; pairs.len()];
     for (k, l) in lat.iter_mut().enumerate() {
         if !l.is_finite() {
             *l = penalty;
@@ -409,6 +433,7 @@ fn derive_network_load(
                 .is_none_or(|a| a > policy.max_pair_age);
             if stale {
                 *l += policy.stale_blend * (penalty - *l).max(0.0);
+                blended[k] = true;
             }
         }
     }
@@ -445,8 +470,21 @@ fn derive_network_load(
                 .is_none_or(|a| a > policy.max_pair_age);
             if stale {
                 *c += policy.stale_blend * (cbw_penalty - *c).max(0.0);
+                blended[k] = true;
             }
         }
+    }
+
+    let blended_count = blended.iter().filter(|&&b| b).count();
+    if blended_count > 0 && nlrm_obs::ctx::is_active() {
+        nlrm_obs::ctx::emit(
+            nlrm_obs::Severity::Warn,
+            snap.taken_at,
+            nlrm_obs::EventKind::StalePairsBlended {
+                count: blended_count,
+            },
+        );
+        nlrm_obs::ctx::add("loads_stale_pairs_blended_total", blended_count as u64);
     }
 
     let lat_n = crate::saw::normalize_sum(&lat);

@@ -12,7 +12,7 @@
 use crate::candidate::generate_all_candidates;
 use crate::loads::Loads;
 use crate::request::{AllocError, Allocation, AllocationRequest, Diagnostics};
-use crate::select::{group_cost, group_mean_network_load, select_best};
+use crate::select::{explain_selection, group_cost, group_mean_network_load, select_best};
 use crate::weights::ComputeWeights;
 use nlrm_monitor::ClusterSnapshot;
 use nlrm_sim_core::rng::RngFactory;
@@ -259,6 +259,7 @@ impl Policy for NetworkLoadAwarePolicy {
         let loads = derive(snap, req)?;
         let candidates = generate_all_candidates(&loads, req.procs, req.alpha, req.beta);
         let selection = select_best(&loads, &candidates, req.alpha, req.beta);
+        let explain = explain_selection(&candidates, &selection, req.alpha, req.beta, 3);
         let winner = &candidates[selection.best];
         Ok(build_allocation(
             "network-load-aware",
@@ -267,6 +268,7 @@ impl Policy for NetworkLoadAwarePolicy {
             Diagnostics {
                 total_cost: selection.best_cost,
                 candidate_costs: selection.costs,
+                explain: Some(explain),
                 ..Diagnostics::default()
             },
         ))

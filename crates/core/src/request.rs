@@ -120,6 +120,9 @@ pub struct Diagnostics {
     pub mean_network_load: f64,
     /// Per-candidate `(start node, T_G)` table (NLA policy only).
     pub candidate_costs: Vec<(NodeId, f64)>,
+    /// Why the winning group won: top-k ranking with cost components
+    /// (NLA policy and broker decisions only).
+    pub explain: Option<nlrm_obs::ExplainTrace>,
 }
 
 impl Allocation {

@@ -7,7 +7,11 @@
 
 use crate::candidate::Candidate;
 use crate::loads::Loads;
+use nlrm_obs::{ExplainTrace, GroupExplain};
 use nlrm_topology::NodeId;
+
+/// Histogram bucket bounds for candidate-set size.
+const CANDIDATE_COUNT_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
 
 /// Total compute load of a group: `C_G = Σ_{u ∈ G} CL_u`.
 pub fn group_compute_load(loads: &Loads, nodes: &[NodeId]) -> f64 {
@@ -53,6 +57,19 @@ pub fn group_cost(loads: &Loads, nodes: &[NodeId], alpha: f64, beta: f64) -> f64
     alpha * c_norm + beta * n_norm
 }
 
+/// One candidate's Eq. 4 score, split into its weighted components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateScore {
+    /// The candidate's start node.
+    pub start: NodeId,
+    /// `α · C_G / ΣC` over the candidate set.
+    pub compute_term: f64,
+    /// `β · N_G / ΣN` over the candidate set.
+    pub network_term: f64,
+    /// `T_G = compute_term + network_term`.
+    pub total: f64,
+}
+
 /// Outcome of Algorithm 2.
 #[derive(Debug, Clone)]
 pub struct Selection {
@@ -62,6 +79,8 @@ pub struct Selection {
     pub best_cost: f64,
     /// `(start node, T_G)` for every candidate, in input order.
     pub costs: Vec<(NodeId, f64)>,
+    /// Component breakdown for every candidate, in input order.
+    pub scores: Vec<CandidateScore>,
 }
 
 /// Select the candidate minimizing `T_G` (Algorithm 2). Ties break by the
@@ -78,25 +97,103 @@ pub fn select_best(loads: &Loads, candidates: &[Candidate], alpha: f64, beta: f6
         .collect();
     let c_sum: f64 = c.iter().sum();
     let n_sum: f64 = n.iter().sum();
-    let costs: Vec<(NodeId, f64)> = candidates
+    let scores: Vec<CandidateScore> = candidates
         .iter()
         .enumerate()
         .map(|(i, cand)| {
             let c_norm = if c_sum > 0.0 { c[i] / c_sum } else { 0.0 };
             let n_norm = if n_sum > 0.0 { n[i] / n_sum } else { 0.0 };
-            (cand.start, alpha * c_norm + beta * n_norm)
+            let compute_term = alpha * c_norm;
+            let network_term = beta * n_norm;
+            CandidateScore {
+                start: cand.start,
+                compute_term,
+                network_term,
+                total: compute_term + network_term,
+            }
         })
         .collect();
+    let costs: Vec<(NodeId, f64)> = scores.iter().map(|s| (s.start, s.total)).collect();
     let best = costs
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
         .map(|(i, _)| i)
         .expect("non-empty");
+    nlrm_obs::ctx::observe(
+        "alloc_candidate_groups",
+        CANDIDATE_COUNT_BOUNDS,
+        candidates.len() as f64,
+    );
     Selection {
         best,
         best_cost: costs[best].1,
         costs,
+        scores,
+    }
+}
+
+/// Build an [`ExplainTrace`] for a completed selection: the `k` cheapest
+/// candidate groups in rank order plus a verdict naming the cost component
+/// that separated the winner from the runner-up. Ranking reproduces
+/// `select_best`'s ordering exactly (ascending `T_G`, ties by input index).
+pub fn explain_selection(
+    candidates: &[Candidate],
+    selection: &Selection,
+    alpha: f64,
+    beta: f64,
+    k: usize,
+) -> ExplainTrace {
+    let mut order: Vec<usize> = (0..selection.scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        selection.scores[a]
+            .total
+            .total_cmp(&selection.scores[b].total)
+            .then(a.cmp(&b))
+    });
+    let top: Vec<GroupExplain> = order
+        .iter()
+        .take(k.max(1))
+        .enumerate()
+        .map(|(rank, &i)| {
+            let s = &selection.scores[i];
+            GroupExplain {
+                rank: rank + 1,
+                start: candidates[i].start,
+                nodes: candidates[i].nodes.clone(),
+                compute_term: s.compute_term,
+                network_term: s.network_term,
+                total: s.total,
+            }
+        })
+        .collect();
+    let margin = if order.len() >= 2 {
+        selection.scores[order[1]].total - selection.scores[order[0]].total
+    } else {
+        0.0
+    };
+    let verdict = if order.len() < 2 {
+        "only candidate group".to_string()
+    } else {
+        let w = &selection.scores[order[0]];
+        let r = &selection.scores[order[1]];
+        let dc = r.compute_term - w.compute_term;
+        let dn = r.network_term - w.network_term;
+        if margin <= f64::EPSILON {
+            "tie broken by candidate order".to_string()
+        } else if dn > dc {
+            format!("lower network load decided it (Δnetwork={dn:.4}, Δcompute={dc:.4})")
+        } else {
+            format!("lower compute load decided it (Δcompute={dc:.4}, Δnetwork={dn:.4})")
+        }
+    };
+    ExplainTrace {
+        alpha,
+        beta,
+        considered: candidates.len(),
+        top,
+        margin,
+        verdict,
     }
 }
 

@@ -12,7 +12,7 @@
 
 use crate::loads::Loads;
 use crate::request::{AllocError, Allocation, AllocationRequest};
-use crate::select::{group_mean_network_load, select_best};
+use crate::select::{explain_selection, group_mean_network_load, select_best};
 use nlrm_monitor::ClusterSnapshot;
 use nlrm_topology::NodeId;
 
@@ -245,6 +245,13 @@ impl SelectPlugin for NlrmSelect {
                 total_cost: selection.best_cost,
                 mean_compute_load: mean_cl,
                 mean_network_load: group_mean_network_load(&restricted, &selected),
+                explain: Some(explain_selection(
+                    &candidates,
+                    &selection,
+                    req.alpha,
+                    req.beta,
+                    3,
+                )),
                 candidate_costs: selection.costs,
             },
         };

@@ -246,6 +246,11 @@ impl CentralMonitor {
                         incarnation: self.next_incarnation,
                     };
                     self.next_incarnation += 1;
+                    nlrm_obs::ctx::emit(
+                        nlrm_obs::Severity::Info,
+                        now,
+                        nlrm_obs::EventKind::SlaveSpawned { host },
+                    );
                 }
             }
         } else if self.slave.alive {
@@ -262,8 +267,18 @@ impl CentralMonitor {
             if master_stale {
                 // promote self to master, then spawn a fresh slave
                 self.failover_count += 1;
+                let dead_master = self.master.host;
                 self.master = self.slave;
                 self.slave.alive = false;
+                nlrm_obs::ctx::emit(
+                    nlrm_obs::Severity::Warn,
+                    now,
+                    nlrm_obs::EventKind::Failover {
+                        from: dead_master,
+                        to: self.master.host,
+                    },
+                );
+                nlrm_obs::ctx::inc("monitor_failover_total");
                 if let Some(host) = Self::pick_host(cluster, self.master.host) {
                     self.slave = Instance {
                         host,
@@ -271,6 +286,11 @@ impl CentralMonitor {
                         incarnation: self.next_incarnation,
                     };
                     self.next_incarnation += 1;
+                    nlrm_obs::ctx::emit(
+                        nlrm_obs::Severity::Info,
+                        now,
+                        nlrm_obs::EventKind::SlaveSpawned { host },
+                    );
                 }
             }
         }
@@ -349,6 +369,15 @@ impl CentralMonitor {
                 next_allowed: SimTime::ZERO,
             });
             if now < entry.next_allowed {
+                nlrm_obs::ctx::emit(
+                    nlrm_obs::Severity::Debug,
+                    now,
+                    nlrm_obs::EventKind::RelaunchSuppressed {
+                        daemon: kind.to_string(),
+                        until: entry.next_allowed,
+                    },
+                );
+                nlrm_obs::ctx::inc("monitor_relaunch_suppressed_total");
                 continue;
             }
             daemons.relaunch(kind);
@@ -359,6 +388,15 @@ impl CentralMonitor {
             // itself before it can be judged (and restarted) again
             entry.next_allowed = now + delay.max(stale_bound);
             entry.strikes += 1;
+            nlrm_obs::ctx::emit(
+                nlrm_obs::Severity::Warn,
+                now,
+                nlrm_obs::EventKind::DaemonRelaunched {
+                    daemon: kind.to_string(),
+                    strikes: entry.strikes,
+                },
+            );
+            nlrm_obs::ctx::inc("monitor_relaunch_total");
         }
     }
 }

@@ -35,6 +35,17 @@ pub enum DaemonKind {
     Bandwidth,
 }
 
+impl std::fmt::Display for DaemonKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonKind::Livehosts => f.write_str("livehosts"),
+            DaemonKind::NodeState(node) => write!(f, "nodestate({node})"),
+            DaemonKind::Latency => f.write_str("latency"),
+            DaemonKind::Bandwidth => f.write_str("bandwidth"),
+        }
+    }
+}
+
 /// Process-level health shared by every daemon: alive/dead plus the two
 /// degraded modes of [`FaultAction`](nlrm_sim_core::fault::FaultAction) —
 /// a *hang* (process stalls entirely, resumes at a deadline) and a *delay*

@@ -20,6 +20,9 @@ use nlrm_sim_core::fault::{FaultAction, FaultEvent, FaultPlan};
 use nlrm_sim_core::time::SimTime;
 use nlrm_topology::NodeId;
 
+/// Histogram bucket bounds (µs wall clock) for monitor tick latency.
+const TICK_WALL_BOUNDS: &[f64] = &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0];
+
 /// Which daemon a scheduled tick belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Tick {
@@ -138,6 +141,18 @@ impl MonitorRuntime {
         self.daemons.dead_count()
     }
 
+    /// Label for tick events and metrics.
+    fn tick_label(tick: Tick) -> &'static str {
+        match tick {
+            Tick::Livehosts => "livehosts",
+            Tick::NodeState => "nodestate",
+            Tick::Latency => "latency",
+            Tick::Bandwidth => "bandwidth",
+            Tick::Central => "central",
+            Tick::Fault => "fault",
+        }
+    }
+
     /// Run monitoring (and the cluster) forward to `target` virtual time.
     pub fn run_until(&mut self, cluster: &mut ClusterSim, target: SimTime) {
         while let Some(t) = self.queue.peek_time() {
@@ -146,6 +161,8 @@ impl MonitorRuntime {
             }
             let (t, tick) = self.queue.pop().expect("peeked");
             cluster.advance_to(t);
+            let observed = nlrm_obs::ctx::is_active();
+            let started = observed.then(std::time::Instant::now);
             match tick {
                 Tick::Livehosts => {
                     self.daemons.livehosts.tick(cluster, &self.store);
@@ -175,12 +192,49 @@ impl MonitorRuntime {
                     }
                 }
             }
+            if let Some(started) = started {
+                let label = Self::tick_label(tick);
+                if tick != Tick::Fault {
+                    nlrm_obs::ctx::emit(
+                        nlrm_obs::Severity::Debug,
+                        t,
+                        nlrm_obs::EventKind::DaemonTick {
+                            daemon: label.to_string(),
+                        },
+                    );
+                }
+                nlrm_obs::ctx::observe(
+                    "monitor_tick_wall_micros",
+                    TICK_WALL_BOUNDS,
+                    started.elapsed().as_secs_f64() * 1e6,
+                );
+                nlrm_obs::ctx::inc(&format!("monitor_tick_total_{label}"));
+            }
         }
         cluster.advance_to(target);
     }
 
     /// Apply one fault event at virtual time `now`.
     fn apply_fault(&mut self, cluster: &mut ClusterSim, now: SimTime, ev: FaultEvent<FaultTarget>) {
+        if nlrm_obs::ctx::is_active() {
+            let target = match ev.target {
+                FaultTarget::Daemon(kind) => format!("daemon:{kind}"),
+                FaultTarget::Node(node) => format!("node:{node}"),
+                FaultTarget::Master => "master".to_string(),
+                FaultTarget::Slave => "slave".to_string(),
+            };
+            let action = match ev.action {
+                FaultAction::Kill => "kill".to_string(),
+                FaultAction::Hang(d) => format!("hang({d})"),
+                FaultAction::Delay(d) => format!("delay({d})"),
+            };
+            nlrm_obs::ctx::emit(
+                nlrm_obs::Severity::Warn,
+                now,
+                nlrm_obs::EventKind::FaultApplied { target, action },
+            );
+            nlrm_obs::ctx::inc("monitor_fault_applied_total");
+        }
         match ev.target {
             FaultTarget::Daemon(kind) => match ev.action {
                 FaultAction::Kill => self.daemons.kill(kind),

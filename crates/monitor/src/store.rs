@@ -39,9 +39,21 @@ impl SharedStore {
 
     /// Write (or overwrite) the record at `path`.
     pub fn put(&self, path: impl Into<String>, written_at: SimTime, data: Bytes) {
+        let path = path.into();
+        if nlrm_obs::ctx::is_active() {
+            nlrm_obs::ctx::emit(
+                nlrm_obs::Severity::Debug,
+                written_at,
+                nlrm_obs::EventKind::Publish {
+                    daemon: daemon_of(&path).to_string(),
+                    path: path.clone(),
+                },
+            );
+            nlrm_obs::ctx::inc("store_publish_total");
+        }
         self.inner
             .write()
-            .insert(path.into(), StoreRecord { written_at, data });
+            .insert(path, StoreRecord { written_at, data });
     }
 
     /// Read the record at `path`, if present.
@@ -80,6 +92,18 @@ impl SharedStore {
     /// Drop everything (tests).
     pub fn clear(&self) {
         self.inner.write().clear();
+    }
+}
+
+/// Which daemon family owns a store path (for publish events).
+fn daemon_of(path: &str) -> &'static str {
+    match path.split('/').next().unwrap_or(path) {
+        "livehosts" => "livehosts",
+        "nodestate" => "nodestate",
+        "latency" => "latency",
+        "bandwidth" => "bandwidth",
+        "central" => "central",
+        _ => "other",
     }
 }
 

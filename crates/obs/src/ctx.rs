@@ -1,0 +1,182 @@
+//! The scoped thread-local observer context.
+//!
+//! Instrumented code deep in the stack (`Loads::derive`, `select_best`, the
+//! monitor runtime) has fixed signatures; threading an observer through them
+//! would churn every caller. Instead, the observer follows the
+//! `tracing`-dispatcher pattern: a scenario [`install`]s an [`Obs`] (a
+//! journal and metrics pair) into a thread-local slot, instrumentation calls
+//! the free functions in this module, and the returned [`ObsGuard`] restores
+//! the previous observer on drop.
+//!
+//! With nothing installed, every emission is a single thread-local check —
+//! cheap enough that benches which never install an observer (e.g.
+//! `alloc_overhead`) are unaffected.
+
+use crate::journal::{EventKind, Journal, Severity};
+use crate::metrics::Metrics;
+use nlrm_sim_core::time::SimTime;
+use std::cell::RefCell;
+
+/// A journal + metrics pair: the unit of observation for one scenario.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// The event journal.
+    pub journal: Journal,
+    /// The metrics registry.
+    pub metrics: Metrics,
+}
+
+impl Obs {
+    /// A fresh observer with default-capacity journal and empty registry.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// A fresh observer whose journal retains at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Obs {
+            journal: Journal::new(capacity),
+            metrics: Metrics::new(),
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Obs>> = const { RefCell::new(None) };
+}
+
+/// Install `obs` as this thread's observer. The previous observer (if any)
+/// is restored when the returned guard drops, so scopes nest.
+#[must_use = "dropping the guard immediately uninstalls the observer"]
+pub fn install(obs: &Obs) -> ObsGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(obs.clone()));
+    ObsGuard { prev }
+}
+
+/// Uninstalls the observer installed by [`install`] on drop, restoring the
+/// one that was active before.
+#[derive(Debug)]
+pub struct ObsGuard {
+    prev: Option<Obs>,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Is an observer installed on this thread?
+pub fn is_active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Run `f` against the installed observer, if any. The observer is cloned
+/// out of the slot first, so `f` may itself install/emit without
+/// re-entrancy panics.
+pub fn with<F: FnOnce(&Obs)>(f: F) {
+    let obs = CURRENT.with(|c| c.borrow().clone());
+    if let Some(obs) = obs {
+        f(&obs);
+    }
+}
+
+/// Record an event into the installed journal (no-op when inactive).
+pub fn emit(severity: Severity, at: SimTime, kind: EventKind) {
+    with(|obs| {
+        obs.journal.record(severity, at, kind);
+    });
+}
+
+/// Record an event with extra key/value fields (no-op when inactive).
+pub fn emit_kv(severity: Severity, at: SimTime, kind: EventKind, fields: Vec<(String, String)>) {
+    with(|obs| {
+        obs.journal.record_kv(severity, at, kind, fields);
+    });
+}
+
+/// Add 1 to the installed counter `name` (no-op when inactive).
+pub fn inc(name: &str) {
+    with(|obs| obs.metrics.inc(name));
+}
+
+/// Add `n` to the installed counter `name` (no-op when inactive).
+pub fn add(name: &str, n: u64) {
+    with(|obs| obs.metrics.add(name, n));
+}
+
+/// Set the installed gauge `name` to `v` (no-op when inactive).
+pub fn set_gauge(name: &str, v: f64) {
+    with(|obs| obs.metrics.set(name, v));
+}
+
+/// Record `v` into the installed histogram `name` (no-op when inactive).
+pub fn observe(name: &str, bounds: &[f64], v: f64) {
+    with(|obs| obs.metrics.observe(name, bounds, v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick() -> EventKind {
+        EventKind::DaemonTick {
+            daemon: "livehosts".into(),
+        }
+    }
+
+    #[test]
+    fn emissions_are_noops_without_an_observer() {
+        assert!(!is_active());
+        emit(Severity::Info, SimTime::ZERO, tick());
+        inc("x_total");
+        observe("h", &[1.0], 0.5);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn guard_installs_and_restores() {
+        let obs = Obs::new();
+        {
+            let _g = install(&obs);
+            assert!(is_active());
+            emit(Severity::Info, SimTime::from_secs(1), tick());
+            inc("ticks_total");
+            set_gauge("depth", 2.0);
+            observe("lat", &[1.0, 10.0], 0.3);
+        }
+        assert!(!is_active());
+        assert_eq!(obs.journal.len(), 1);
+        assert_eq!(obs.metrics.counter_value("ticks_total"), 1);
+        assert_eq!(obs.metrics.gauge_value("depth"), 2.0);
+        assert_eq!(obs.metrics.histogram_snapshot("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore_outer() {
+        let outer = Obs::new();
+        let inner = Obs::new();
+        let _g1 = install(&outer);
+        {
+            let _g2 = install(&inner);
+            emit(Severity::Info, SimTime::ZERO, tick());
+        }
+        emit(Severity::Info, SimTime::ZERO, tick());
+        assert_eq!(inner.journal.len(), 1);
+        assert_eq!(outer.journal.len(), 1);
+    }
+
+    #[test]
+    fn with_clones_out_allowing_reentrant_emits() {
+        let obs = Obs::new();
+        let _g = install(&obs);
+        with(|o| {
+            // emitting from inside `with` must not deadlock or panic
+            emit(Severity::Info, SimTime::ZERO, tick());
+            o.metrics.inc("nested_total");
+        });
+        assert_eq!(obs.journal.len(), 1);
+        assert_eq!(obs.metrics.counter_value("nested_total"), 1);
+    }
+}

@@ -1,0 +1,566 @@
+//! The virtual-time structured event journal.
+//!
+//! A [`Journal`] is a bounded ring of typed [`Event`]s. Every event carries
+//! its virtual timestamp, a severity, a typed [`EventKind`] (with the
+//! node/daemon identity baked into the variant), and optional free-form
+//! key/value fields. Events are stored strictly in emission order — two
+//! events at the same [`SimTime`] keep the order they were recorded in —
+//! and the ring drops the *oldest* events once capacity is reached, so
+//! memory stays bounded over arbitrarily long scenarios.
+//!
+//! The journal is a cheap clonable handle (`Arc` inside): the monitor
+//! runtime, the central monitor, load derivation, and the broker all write
+//! into the same ring.
+
+use crate::json;
+use nlrm_sim_core::time::{Duration, SimTime};
+use nlrm_topology::NodeId;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// High-volume trace detail (daemon ticks, publishes, backoff checks).
+    Debug,
+    /// Normal lifecycle (allocations granted, slaves spawned).
+    Info,
+    /// Degradation handled (relaunches, failovers, staleness exclusions).
+    Warn,
+    /// Lost capability (allocation failures).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label, as exported.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What happened. Variants carry the identity of the thing it happened to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// One scheduled daemon tick ran in the monitor runtime.
+    DaemonTick {
+        /// Daemon label (e.g. `livehosts`, `nodestate(n3)`).
+        daemon: String,
+    },
+    /// A daemon wrote a fresh record to the shared store.
+    Publish {
+        /// Daemon label.
+        daemon: String,
+        /// Store path written.
+        path: String,
+    },
+    /// A scheduled fault (kill/hang/delay) was applied to a target.
+    FaultApplied {
+        /// Target label (daemon, node, master, slave).
+        target: String,
+        /// Action label (`kill`, `hang(120s)`, `delay(60s)`).
+        action: String,
+    },
+    /// The central monitor relaunched a dead or hung daemon.
+    DaemonRelaunched {
+        /// Daemon label.
+        daemon: String,
+        /// Relaunches issued without an observed healthy publication since.
+        strikes: u32,
+    },
+    /// A relaunch was withheld by the crash-loop backoff.
+    RelaunchSuppressed {
+        /// Daemon label.
+        daemon: String,
+        /// Virtual time the next relaunch becomes allowed.
+        until: SimTime,
+    },
+    /// The slave promoted itself to master.
+    Failover {
+        /// Host of the dead master.
+        from: NodeId,
+        /// Host of the promoted instance.
+        to: NodeId,
+    },
+    /// A fresh slave instance was spawned.
+    SlaveSpawned {
+        /// Host it runs on.
+        host: NodeId,
+    },
+    /// Load derivation dropped a node whose newest sample was over-age.
+    StaleNodeExcluded {
+        /// The excluded node.
+        node: NodeId,
+        /// Sample age at the decision.
+        age: Duration,
+    },
+    /// Load derivation blended stale pair measurements toward the penalty.
+    StalePairsBlended {
+        /// Number of pairs blended in this derivation.
+        count: usize,
+    },
+    /// A job asked the broker/allocator for nodes.
+    AllocRequested {
+        /// Job display name.
+        job: String,
+        /// Requested process count.
+        procs: u32,
+    },
+    /// A job was granted an allocation.
+    AllocGranted {
+        /// Job display name.
+        job: String,
+        /// Distinct nodes granted.
+        nodes: usize,
+        /// Eq. 4 cost of the winning group.
+        cost: f64,
+    },
+    /// A job stayed queued this scheduling pass.
+    AllocDeferred {
+        /// Job display name.
+        job: String,
+        /// Why it did not start.
+        reason: String,
+    },
+    /// An allocation attempt failed outright.
+    AllocFailed {
+        /// Job display name.
+        job: String,
+        /// The error.
+        reason: String,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name of the variant, used for export and counting.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::DaemonTick { .. } => "daemon_tick",
+            EventKind::Publish { .. } => "publish",
+            EventKind::FaultApplied { .. } => "fault_applied",
+            EventKind::DaemonRelaunched { .. } => "daemon_relaunched",
+            EventKind::RelaunchSuppressed { .. } => "relaunch_suppressed",
+            EventKind::Failover { .. } => "failover",
+            EventKind::SlaveSpawned { .. } => "slave_spawned",
+            EventKind::StaleNodeExcluded { .. } => "stale_node_excluded",
+            EventKind::StalePairsBlended { .. } => "stale_pairs_blended",
+            EventKind::AllocRequested { .. } => "alloc_requested",
+            EventKind::AllocGranted { .. } => "alloc_granted",
+            EventKind::AllocDeferred { .. } => "alloc_deferred",
+            EventKind::AllocFailed { .. } => "alloc_failed",
+        }
+    }
+
+    /// The variant's payload as `(key, already-encoded JSON value)` pairs.
+    fn json_fields(&self) -> Vec<(&'static str, String)> {
+        match self {
+            EventKind::DaemonTick { daemon } => vec![("daemon", json::string(daemon))],
+            EventKind::Publish { daemon, path } => {
+                vec![
+                    ("daemon", json::string(daemon)),
+                    ("path", json::string(path)),
+                ]
+            }
+            EventKind::FaultApplied { target, action } => vec![
+                ("target", json::string(target)),
+                ("action", json::string(action)),
+            ],
+            EventKind::DaemonRelaunched { daemon, strikes } => vec![
+                ("daemon", json::string(daemon)),
+                ("strikes", strikes.to_string()),
+            ],
+            EventKind::RelaunchSuppressed { daemon, until } => vec![
+                ("daemon", json::string(daemon)),
+                ("until_s", json::num(until.as_secs_f64())),
+            ],
+            EventKind::Failover { from, to } => vec![
+                ("from", json::string(&from.to_string())),
+                ("to", json::string(&to.to_string())),
+            ],
+            EventKind::SlaveSpawned { host } => {
+                vec![("host", json::string(&host.to_string()))]
+            }
+            EventKind::StaleNodeExcluded { node, age } => vec![
+                ("node", json::string(&node.to_string())),
+                ("age_s", json::num(age.as_secs_f64())),
+            ],
+            EventKind::StalePairsBlended { count } => vec![("count", count.to_string())],
+            EventKind::AllocRequested { job, procs } => {
+                vec![("job", json::string(job)), ("procs", procs.to_string())]
+            }
+            EventKind::AllocGranted { job, nodes, cost } => vec![
+                ("job", json::string(job)),
+                ("nodes", nodes.to_string()),
+                ("cost", json::num(*cost)),
+            ],
+            EventKind::AllocDeferred { job, reason } => {
+                vec![("job", json::string(job)), ("reason", json::string(reason))]
+            }
+            EventKind::AllocFailed { job, reason } => {
+                vec![("job", json::string(job)), ("reason", json::string(reason))]
+            }
+        }
+    }
+
+    /// One-line human rendering of the payload.
+    fn describe(&self) -> String {
+        match self {
+            EventKind::DaemonTick { daemon } => format!("daemon={daemon}"),
+            EventKind::Publish { daemon, path } => format!("daemon={daemon} path={path}"),
+            EventKind::FaultApplied { target, action } => {
+                format!("target={target} action={action}")
+            }
+            EventKind::DaemonRelaunched { daemon, strikes } => {
+                format!("daemon={daemon} strikes={strikes}")
+            }
+            EventKind::RelaunchSuppressed { daemon, until } => {
+                format!("daemon={daemon} until={until}")
+            }
+            EventKind::Failover { from, to } => format!("from={from} to={to}"),
+            EventKind::SlaveSpawned { host } => format!("host={host}"),
+            EventKind::StaleNodeExcluded { node, age } => format!("node={node} age={age}"),
+            EventKind::StalePairsBlended { count } => format!("count={count}"),
+            EventKind::AllocRequested { job, procs } => format!("job={job} procs={procs}"),
+            EventKind::AllocGranted { job, nodes, cost } => {
+                format!("job={job} nodes={nodes} cost={cost:.4}")
+            }
+            EventKind::AllocDeferred { job, reason } => format!("job={job} reason={reason}"),
+            EventKind::AllocFailed { job, reason } => format!("job={job} reason={reason}"),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Emission order over the journal's whole lifetime (strictly
+    /// increasing, including events later dropped by the ring).
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Severity.
+    pub severity: Severity,
+    /// Typed payload.
+    pub kind: EventKind,
+    /// Extra free-form key/value fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// Export as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut pairs: Vec<(&str, String)> = vec![
+            ("seq", self.seq.to_string()),
+            ("t_s", json::num(self.at.as_secs_f64())),
+            ("severity", json::string(self.severity.label())),
+            ("kind", json::string(self.kind.name())),
+        ];
+        pairs.extend(self.kind.json_fields());
+        let extra: Vec<(&str, String)> = self
+            .fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), json::string(v)))
+            .collect();
+        pairs.extend(extra);
+        json::object(&pairs)
+    }
+
+    /// One human-readable timeline line.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "t={:>12} {:<5} {:<20} {}",
+            format!("{}", self.at),
+            self.severity.label().to_uppercase(),
+            self.kind.name(),
+            self.kind.describe(),
+        );
+        for (k, v) in &self.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: usize,
+    min_severity: Severity,
+    next_seq: u64,
+    /// Events evicted by the ring (recorded, then pushed out).
+    dropped: u64,
+    /// Events rejected by the severity filter (never recorded).
+    filtered: u64,
+    events: VecDeque<Event>,
+}
+
+/// Bounded-memory structured event journal (cheap clonable handle).
+#[derive(Debug, Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Journal {
+    /// A journal retaining at most `capacity` events (oldest dropped first),
+    /// recording every severity. Capacity 0 is clamped to 1.
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            inner: Arc::new(Mutex::new(Inner {
+                capacity: capacity.max(1),
+                min_severity: Severity::Debug,
+                next_seq: 0,
+                dropped: 0,
+                filtered: 0,
+                events: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Drop future events below `min` (already-recorded events stay).
+    pub fn set_min_severity(&self, min: Severity) {
+        self.inner.lock().unwrap().min_severity = min;
+    }
+
+    /// The current severity floor.
+    pub fn min_severity(&self) -> Severity {
+        self.inner.lock().unwrap().min_severity
+    }
+
+    /// Would an event at `severity` be recorded right now?
+    pub fn accepts(&self, severity: Severity) -> bool {
+        severity >= self.inner.lock().unwrap().min_severity
+    }
+
+    /// Record an event. Returns `false` if the severity filter rejected it.
+    pub fn record(&self, severity: Severity, at: SimTime, kind: EventKind) -> bool {
+        self.record_kv(severity, at, kind, Vec::new())
+    }
+
+    /// Record an event with extra key/value fields.
+    pub fn record_kv(
+        &self,
+        severity: Severity,
+        at: SimTime,
+        kind: EventKind,
+        fields: Vec<(String, String)>,
+    ) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if severity < inner.min_severity {
+            inner.filtered += 1;
+            return false;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back(Event {
+            seq,
+            at,
+            severity,
+            kind,
+            fields,
+        });
+        while inner.events.len() > inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        true
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().capacity
+    }
+
+    /// Events recorded over the journal's lifetime (retained + dropped).
+    pub fn total_recorded(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.next_seq
+    }
+
+    /// Events evicted by the ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Events rejected by the severity filter.
+    pub fn filtered(&self) -> u64 {
+        self.inner.lock().unwrap().filtered
+    }
+
+    /// Snapshot of the retained events, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// Retained events of one kind (by [`EventKind::name`]).
+    pub fn events_of(&self, kind_name: &str) -> Vec<Event> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.kind.name() == kind_name)
+            .collect()
+    }
+
+    /// Count of retained events of one kind.
+    pub fn count_of(&self, kind_name: &str) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .filter(|e| e.kind.name() == kind_name)
+            .count()
+    }
+
+    /// Export the retained events as JSON lines (one object per line).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Export the retained events as one JSON array.
+    pub fn to_json_array(&self) -> String {
+        let items: Vec<String> = self.events().iter().map(Event::to_json).collect();
+        json::array(&items)
+    }
+
+    /// Human-readable timeline of the retained events.
+    pub fn render_timeline(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Journal {
+    /// A journal with a 4096-event ring.
+    fn default() -> Self {
+        Journal::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(d: &str) -> EventKind {
+        EventKind::DaemonTick { daemon: d.into() }
+    }
+
+    #[test]
+    fn records_in_emission_order_with_increasing_seq() {
+        let j = Journal::new(16);
+        let t = SimTime::from_secs(5);
+        j.record(Severity::Info, t, tick("a"));
+        j.record(Severity::Info, t, tick("b"));
+        j.record(Severity::Info, SimTime::from_secs(1), tick("c"));
+        let ev = j.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].seq, 0);
+        assert_eq!(ev[1].seq, 1);
+        assert_eq!(ev[2].seq, 2);
+        // equal-SimTime events keep emission order
+        assert_eq!(ev[0].kind, tick("a"));
+        assert_eq!(ev[1].kind, tick("b"));
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let j = Journal::new(3);
+        for i in 0..10u64 {
+            j.record(Severity::Info, SimTime::from_secs(i), tick(&i.to_string()));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 7);
+        assert_eq!(j.total_recorded(), 10);
+        let seqs: Vec<u64> = j.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn severity_filter_rejects_below_floor() {
+        let j = Journal::new(8);
+        j.set_min_severity(Severity::Warn);
+        assert!(!j.record(Severity::Debug, SimTime::ZERO, tick("a")));
+        assert!(!j.record(Severity::Info, SimTime::ZERO, tick("b")));
+        assert!(j.record(Severity::Warn, SimTime::ZERO, tick("c")));
+        assert!(j.record(Severity::Error, SimTime::ZERO, tick("d")));
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.filtered(), 2);
+        assert!(j.accepts(Severity::Error));
+        assert!(!j.accepts(Severity::Info));
+    }
+
+    #[test]
+    fn severity_order_is_total() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn export_formats_are_well_formed() {
+        let j = Journal::new(8);
+        j.record_kv(
+            Severity::Warn,
+            SimTime::from_secs(700),
+            EventKind::Failover {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            vec![("incarnation".into(), "2".into())],
+        );
+        let json = j.to_json_lines();
+        assert!(json.contains("\"kind\":\"failover\""));
+        assert!(json.contains("\"from\":\"n0\""));
+        assert!(json.contains("\"incarnation\":\"2\""));
+        let arr = j.to_json_array();
+        assert!(arr.starts_with('[') && arr.trim_end().ends_with(']'));
+        let timeline = j.render_timeline();
+        assert!(timeline.contains("failover"));
+        assert!(timeline.contains("from=n0 to=n1"));
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let j = Journal::new(8);
+        j.record(Severity::Info, SimTime::ZERO, tick("a"));
+        j.record(
+            Severity::Warn,
+            SimTime::ZERO,
+            EventKind::StaleNodeExcluded {
+                node: NodeId(2),
+                age: Duration::from_secs(90),
+            },
+        );
+        assert_eq!(j.count_of("daemon_tick"), 1);
+        assert_eq!(j.count_of("stale_node_excluded"), 1);
+        assert_eq!(j.events_of("stale_node_excluded").len(), 1);
+        assert_eq!(j.count_of("failover"), 0);
+    }
+}

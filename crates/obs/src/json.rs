@@ -1,0 +1,81 @@
+//! Minimal JSON formatting helpers.
+//!
+//! The workspace's vendored `serde` is a no-op API shim, so every exporter
+//! in the tree hand-rolls its JSON. These helpers keep that output *valid*:
+//! proper string escaping and finite-number formatting in one place.
+
+/// Escape `s` into a JSON string literal, including the surrounding quotes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON value: finite numbers as-is, NaN/∞ as `null`
+/// (JSON has no non-finite literals).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        // trim the noise: integers print without a fraction
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Join already-encoded JSON values into an array literal.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Join `(key, already-encoded value)` pairs into an object literal.
+pub fn object(pairs: &[(&str, String)]) -> String {
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{}:{}", string(k), v))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(3.25), "3.25");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn composites_assemble() {
+        let obj = object(&[("a", num(1.0)), ("b", string("x"))]);
+        assert_eq!(obj, "{\"a\":1,\"b\":\"x\"}");
+        assert_eq!(array(&[num(1.0), num(2.0)]), "[1,2]");
+    }
+}

@@ -1,0 +1,39 @@
+//! # nlrm-obs
+//!
+//! The observability layer for the monitor→broker stack: PR 1 made the
+//! system fault-tolerant, this crate makes that machinery *observable*.
+//! Everything runs in virtual time and stays dependency-free beyond the
+//! vendored shims, so it is usable from the innermost simulation loops.
+//!
+//! * [`journal`] — a bounded, severity-filtered ring of typed [`Event`]s
+//!   (supervision, faults, staleness decisions, allocation lifecycle), each
+//!   stamped with its [`SimTime`](nlrm_sim_core::time::SimTime), exportable
+//!   as JSON lines or a human-readable timeline.
+//! * [`metrics`] — a registry of counters, gauges, and fixed-bucket
+//!   histograms behind cheap `Arc` handles, exported as JSON and
+//!   Prometheus-style text.
+//! * [`explain`] — allocation-decision explain traces: the top-k candidate
+//!   groups with their compute/network cost components and a verdict on why
+//!   the winner won (surfaced through `nlrm_core`'s `Diagnostics`).
+//! * [`ctx`] — a scoped, thread-local observer (the `tracing`-dispatcher
+//!   pattern): install an [`Obs`] around a scenario and every instrumented
+//!   layer (monitor runtime, central monitor, load derivation, broker)
+//!   emits into it; with nothing installed, instrumentation is a single
+//!   thread-local check.
+//! * [`progress`] — the shared structured progress logger for experiment
+//!   binaries (`NLRM_QUIET` silences it).
+//! * [`json`] — minimal JSON string escaping/formatting (the vendored serde
+//!   is a no-op shim, so all exporters hand-roll their JSON).
+
+pub mod ctx;
+pub mod explain;
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod progress;
+
+pub use ctx::{install, Obs, ObsGuard};
+pub use explain::{ExplainTrace, GroupExplain};
+pub use journal::{Event, EventKind, Journal, Severity};
+pub use metrics::{Counter, Gauge, Histogram, Metrics};
+pub use progress::Progress;

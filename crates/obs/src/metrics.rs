@@ -1,0 +1,438 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! A [`Metrics`] registry hands out cheap clonable handles ([`Counter`],
+//! [`Gauge`], and shared [`Histogram`]s) keyed by name. Instrumented code
+//! holds a handle and bumps it; exporters walk the registry and render
+//! everything as JSON or Prometheus-style text.
+//!
+//! Histograms use fixed upper-bound buckets (`value <= bound`, inclusive).
+//! Quantile estimates return the upper bound of the bucket containing the
+//! requested rank — deliberately conservative, and *exact* whenever the
+//! observed values sit on bucket boundaries.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<Mutex<f64>>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        *self.0.lock().unwrap() = v;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        *self.0.lock().unwrap()
+    }
+}
+
+/// Fixed-bucket histogram. Bucket `i` counts observations with
+/// `value <= bounds[i]` (and greater than the previous bound); values above
+/// the last bound land in an implicit overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `counts.len() == bounds.len() + 1`; the last slot is the overflow.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds. Bounds are sorted and
+    /// deduplicated; non-finite bounds are discarded.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// The configured upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Cumulative counts per bucket (last entry equals [`count`](Self::count)).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches rank `ceil(q * count)`. Returns
+    /// `None` when empty. Observations in the overflow bucket report the
+    /// maximum observed value.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .bounds
+            .iter()
+            .zip(&self.counts)
+            .map(|(b, c)| json::object(&[("le", json::num(*b)), ("count", c.to_string())]))
+            .collect();
+        let (min, max) = if self.total == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.min, self.max)
+        };
+        json::object(&[
+            ("count", self.total.to_string()),
+            ("sum", json::num(self.sum)),
+            ("mean", json::num(self.mean())),
+            ("min", json::num(min)),
+            ("max", json::num(max)),
+            ("overflow", self.counts[self.bounds.len()].to_string()),
+            ("buckets", json::array(&buckets)),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Arc<Mutex<Histogram>>>,
+}
+
+/// Registry of named metrics (cheap clonable handle).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The counter named `name`, creating it at 0 on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, creating it at 0 on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .lock()
+            .unwrap()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, creating it with `bounds` on first use
+    /// (later calls keep the original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Mutex<Histogram>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(Histogram::new(bounds))))
+            .clone()
+    }
+
+    /// Add 1 to the counter `name`.
+    pub fn inc(&self, name: &str) {
+        self.counter(name).inc();
+    }
+
+    /// Add `n` to the counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Set the gauge `name` to `v`.
+    pub fn set(&self, name: &str, v: f64) {
+        self.gauge(name).set(v);
+    }
+
+    /// Record `v` into the histogram `name` (created with `bounds` on first
+    /// use).
+    pub fn observe(&self, name: &str, bounds: &[f64], v: f64) {
+        self.histogram(name, bounds).lock().unwrap().observe(v);
+    }
+
+    /// Current value of the counter `name` (0 if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .map_or(0, Counter::get)
+    }
+
+    /// Current value of the gauge `name` (0 if absent).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .gauges
+            .get(name)
+            .map_or(0.0, Gauge::get)
+    }
+
+    /// Snapshot of the histogram `name`, if present.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .get(name)
+            .map(|h| h.lock().unwrap().clone())
+    }
+
+    /// Export the whole registry as one JSON object with `counters`,
+    /// `gauges`, and `histograms` sections.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let counters: Vec<(&str, String)> = inner
+            .counters
+            .iter()
+            .map(|(k, c)| (k.as_str(), c.get().to_string()))
+            .collect();
+        let gauges: Vec<(&str, String)> = inner
+            .gauges
+            .iter()
+            .map(|(k, g)| (k.as_str(), json::num(g.get())))
+            .collect();
+        let histograms: Vec<(&str, String)> = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.as_str(), h.lock().unwrap().to_json()))
+            .collect();
+        json::object(&[
+            ("counters", json::object(&counters)),
+            ("gauges", json::object(&gauges)),
+            ("histograms", json::object(&histograms)),
+        ])
+    }
+
+    /// Export the registry as Prometheus-style exposition text.
+    pub fn to_prometheus(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        }
+        for (name, g) in &inner.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        }
+        for (name, h) in &inner.histograms {
+            let h = h.lock().unwrap();
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut acc = 0;
+            for (b, c) in h.bounds.iter().zip(&h.counts) {
+                acc += c;
+                out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {acc}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                h.total, h.sum, h.total
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let m = Metrics::new();
+        m.inc("relaunch_total");
+        m.add("relaunch_total", 2);
+        m.set("queue_depth", 4.0);
+        assert_eq!(m.counter_value("relaunch_total"), 3);
+        assert_eq!(m.gauge_value("queue_depth"), 4.0);
+        // handles are shared, not copies
+        let c = m.counter("relaunch_total");
+        c.inc();
+        assert_eq!(m.counter_value("relaunch_total"), 4);
+        assert_eq!(m.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[1.0, 5.0, 10.0]);
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // bucket 0 (inclusive boundary)
+        h.observe(1.1); // bucket 1
+        h.observe(5.0); // bucket 1 (inclusive boundary)
+        h.observe(10.0); // bucket 2
+        h.observe(42.0); // overflow
+        assert_eq!(h.bucket_counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.cumulative(), vec![2, 4, 5, 6]);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_exact_at_boundaries() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        // all observations land exactly on bucket boundaries
+        for v in [1.0, 1.0, 2.0, 4.0, 4.0, 4.0, 8.0, 8.0] {
+            h.observe(v);
+        }
+        // exactness at boundaries
+        assert_eq!(h.quantile(0.25), Some(1.0)); // rank 2 of 8
+        assert_eq!(h.quantile(0.5), Some(4.0)); // rank 4
+        assert_eq!(h.quantile(1.0), Some(8.0)); // rank 8
+                                                // monotonicity over a fine sweep
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_overflow_reports_observed_max() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(0.5);
+        h.observe(99.0);
+        assert_eq!(h.quantile(1.0), Some(99.0));
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut h = Histogram::new(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(h.bounds(), &[1.0, 2.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let m = Metrics::new();
+        m.inc("a_total");
+        m.set("b", 1.5);
+        m.observe("c_secs", &[1.0, 10.0], 0.5);
+        let js = m.to_json();
+        assert!(js.contains("\"counters\":{\"a_total\":1}"));
+        assert!(js.contains("\"b\":1.5"));
+        assert!(js.contains("\"histograms\":{\"c_secs\":"));
+        let prom = m.to_prometheus();
+        assert!(prom.contains("# TYPE a_total counter"));
+        assert!(prom.contains("c_secs_bucket{le=\"1\"} 1"));
+        assert!(prom.contains("c_secs_count 1"));
+    }
+}

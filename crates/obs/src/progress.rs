@@ -1,0 +1,93 @@
+//! Structured progress logging for experiment binaries.
+//!
+//! Every bench binary used to narrate itself with ad-hoc `println!` lines.
+//! [`Progress`] replaces those with a uniform `[experiment] key=value`
+//! format and a single switch: setting the `NLRM_QUIET` environment
+//! variable (to anything but `0` or the empty string) silences all of it,
+//! which CI smoke runs use.
+
+use std::fmt::Display;
+
+/// Progress logger for one experiment run.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    name: String,
+    quiet: bool,
+}
+
+/// Is `NLRM_QUIET` set (non-empty, not `0`)?
+pub fn quiet() -> bool {
+    std::env::var("NLRM_QUIET").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+impl Progress {
+    /// A logger for the experiment `name`, honoring `NLRM_QUIET`.
+    pub fn start(name: &str) -> Self {
+        let p = Progress {
+            name: name.to_string(),
+            quiet: quiet(),
+        };
+        p.line("start");
+        p
+    }
+
+    fn line(&self, msg: &str) {
+        if !self.quiet {
+            println!("[{}] {}", self.name, msg);
+        }
+    }
+
+    /// Log entering a named phase.
+    pub fn phase(&self, phase: &str) {
+        self.line(&format!("phase={phase}"));
+    }
+
+    /// Log one `key=value` parameter or result.
+    pub fn kv(&self, key: &str, value: impl Display) {
+        self.line(&format!("{key}={value}"));
+    }
+
+    /// Log a free-form note.
+    pub fn note(&self, msg: &str) {
+        self.line(msg);
+    }
+
+    /// Log an output artifact path.
+    pub fn wrote(&self, path: impl Display) {
+        self.line(&format!("wrote={path}"));
+    }
+
+    /// Print a multi-line result block (a rendered table, a figure)
+    /// verbatim — no `[name]` prefix, still silenced by `NLRM_QUIET`.
+    pub fn block(&self, text: impl Display) {
+        if !self.quiet {
+            println!("{text}");
+        }
+    }
+
+    /// Log completion.
+    pub fn done(&self) {
+        self.line("done");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logger_constructs_and_logs_without_panicking() {
+        // Env-var behavior is covered by the ci.sh smoke run (mutating env
+        // vars in-process races parallel tests); here we exercise the API.
+        let p = Progress {
+            name: "test".into(),
+            quiet: true,
+        };
+        p.phase("warmup");
+        p.kv("seed", 42);
+        p.note("free-form");
+        p.wrote("/tmp/x.json");
+        p.block("| a | b |\n| 1 | 2 |");
+        p.done();
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the event journal.
+
+use nlrm_obs::{Event, EventKind, Journal, Severity};
+use nlrm_sim_core::time::SimTime;
+use proptest::prelude::*;
+
+fn sev(code: u8) -> Severity {
+    match code % 4 {
+        0 => Severity::Debug,
+        1 => Severity::Info,
+        2 => Severity::Warn,
+        _ => Severity::Error,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ring never exceeds its capacity, and the bookkeeping counters
+    /// add up: everything accepted is either retained or dropped.
+    #[test]
+    fn ring_respects_capacity(
+        capacity in 1usize..48,
+        stream in proptest::collection::vec((0u8..4, 0u64..10_000), 0..200),
+    ) {
+        let journal = Journal::new(capacity);
+        for &(code, t) in &stream {
+            journal.record(
+                sev(code),
+                SimTime::from_secs(t),
+                EventKind::DaemonTick { daemon: "p".into() },
+            );
+        }
+        prop_assert!(journal.len() <= capacity);
+        prop_assert_eq!(journal.total_recorded(), stream.len() as u64);
+        prop_assert_eq!(
+            journal.dropped(),
+            stream.len() as u64 - journal.len() as u64
+        );
+        prop_assert_eq!(journal.filtered(), 0);
+    }
+
+    /// Events with equal `SimTime` keep their emission order: the journal
+    /// stores in arrival order and `seq` is strictly increasing, so two
+    /// same-timestamp events can never swap.
+    #[test]
+    fn equal_sim_time_preserves_emission_order(
+        capacity in 1usize..64,
+        times in proptest::collection::vec(0u64..5, 0..150),
+    ) {
+        let journal = Journal::new(capacity);
+        for (i, &t) in times.iter().enumerate() {
+            journal.record_kv(
+                Severity::Info,
+                SimTime::from_secs(t),
+                EventKind::DaemonTick { daemon: "p".into() },
+                vec![("emit_index".into(), i.to_string())],
+            );
+        }
+        let events: Vec<Event> = journal.events();
+        // retained events are exactly the newest suffix of the stream,
+        // in emission order
+        let start = times.len().saturating_sub(capacity);
+        prop_assert_eq!(events.len(), times.len() - start);
+        let mut prev_seq = None;
+        for (offset, e) in events.iter().enumerate() {
+            let emit_index: usize = e.fields[0].1.parse().unwrap();
+            prop_assert_eq!(emit_index, start + offset);
+            prop_assert_eq!(e.at, SimTime::from_secs(times[emit_index]));
+            if let Some(p) = prev_seq {
+                prop_assert!(e.seq > p, "seq must be strictly increasing");
+            }
+            prev_seq = Some(e.seq);
+        }
+    }
+
+    /// A severity floor filters exactly the events below it, and the
+    /// `filtered` counter accounts for them.
+    #[test]
+    fn severity_floor_filters_exactly(
+        stream in proptest::collection::vec(0u8..4, 0..120),
+    ) {
+        let journal = Journal::new(1024);
+        journal.set_min_severity(Severity::Warn);
+        for &code in &stream {
+            journal.record(
+                sev(code),
+                SimTime::ZERO,
+                EventKind::DaemonTick { daemon: "p".into() },
+            );
+        }
+        let expected = stream.iter().filter(|&&c| c % 4 >= 2).count();
+        prop_assert_eq!(journal.len(), expected);
+        prop_assert_eq!(
+            journal.filtered(),
+            (stream.len() - expected) as u64
+        );
+    }
+}

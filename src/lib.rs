@@ -15,6 +15,8 @@
 //!   switch-group scaling extension,
 //! * [`mpi`] — the simulated MPI runtime (communicators, collectives,
 //!   contention-aware BSP executor),
+//! * [`obs`] — observability: virtual-time event journal, metrics registry,
+//!   allocation-decision explain traces, and the scoped observer context,
 //! * [`apps`] — miniMD/miniFE proxy applications and synthetic kernels,
 //! * [`bench`](mod@bench) — the experiment harness regenerating every paper figure.
 //!
@@ -49,6 +51,7 @@ pub use nlrm_cluster as cluster;
 pub use nlrm_core as core;
 pub use nlrm_monitor as monitor;
 pub use nlrm_mpi as mpi;
+pub use nlrm_obs as obs;
 pub use nlrm_sim_core as sim;
 pub use nlrm_topology as topology;
 
@@ -66,6 +69,7 @@ pub mod prelude {
         ClusterSnapshot, DaemonKind, FaultTarget, MonitorFaultPlan, MonitorRuntime,
     };
     pub use nlrm_mpi::{execute, Communicator, JobTiming};
+    pub use nlrm_obs::{ExplainTrace, Journal, Metrics, Obs, Severity};
     pub use nlrm_sim_core::fault::{FaultAction, FaultPlan};
     pub use nlrm_sim_core::time::{Duration, SimTime};
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_alpha_beta-68de0b55abc1505e.d: crates/bench/src/bin/ablation_alpha_beta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_alpha_beta-68de0b55abc1505e.rmeta: crates/bench/src/bin/ablation_alpha_beta.rs Cargo.toml
+
+crates/bench/src/bin/ablation_alpha_beta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha_beta-6c8d924e51acbe15.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/debug/deps/ablation_alpha_beta-6c8d924e51acbe15: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha_beta-fa27684c89868c31.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/debug/deps/ablation_alpha_beta-fa27684c89868c31: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

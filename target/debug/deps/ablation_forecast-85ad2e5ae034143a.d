@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_forecast-85ad2e5ae034143a.d: crates/bench/src/bin/ablation_forecast.rs
+
+/root/repo/target/debug/deps/ablation_forecast-85ad2e5ae034143a: crates/bench/src/bin/ablation_forecast.rs
+
+crates/bench/src/bin/ablation_forecast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_forecast-e1bf8f9baceee3e5.d: crates/bench/src/bin/ablation_forecast.rs
+
+/root/repo/target/debug/deps/ablation_forecast-e1bf8f9baceee3e5: crates/bench/src/bin/ablation_forecast.rs
+
+crates/bench/src/bin/ablation_forecast.rs:

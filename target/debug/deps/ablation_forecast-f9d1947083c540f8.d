@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_forecast-f9d1947083c540f8.d: crates/bench/src/bin/ablation_forecast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_forecast-f9d1947083c540f8.rmeta: crates/bench/src/bin/ablation_forecast.rs Cargo.toml
+
+crates/bench/src/bin/ablation_forecast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

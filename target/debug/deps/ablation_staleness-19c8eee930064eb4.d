@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_staleness-19c8eee930064eb4.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/debug/deps/ablation_staleness-19c8eee930064eb4: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_staleness-5e5b22aa37a92f92.d: crates/bench/src/bin/ablation_staleness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_staleness-5e5b22aa37a92f92.rmeta: crates/bench/src/bin/ablation_staleness.rs Cargo.toml
+
+crates/bench/src/bin/ablation_staleness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_staleness-bcee7fc08b3318d7.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/debug/deps/ablation_staleness-bcee7fc08b3318d7: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

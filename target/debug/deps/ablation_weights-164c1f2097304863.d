@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_weights-164c1f2097304863.d: crates/bench/src/bin/ablation_weights.rs
+
+/root/repo/target/debug/deps/ablation_weights-164c1f2097304863: crates/bench/src/bin/ablation_weights.rs
+
+crates/bench/src/bin/ablation_weights.rs:

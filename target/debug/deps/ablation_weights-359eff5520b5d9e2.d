@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_weights-359eff5520b5d9e2.d: crates/bench/src/bin/ablation_weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_weights-359eff5520b5d9e2.rmeta: crates/bench/src/bin/ablation_weights.rs Cargo.toml
+
+crates/bench/src/bin/ablation_weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

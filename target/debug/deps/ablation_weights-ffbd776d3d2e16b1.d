@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_weights-ffbd776d3d2e16b1.d: crates/bench/src/bin/ablation_weights.rs
+
+/root/repo/target/debug/deps/ablation_weights-ffbd776d3d2e16b1: crates/bench/src/bin/ablation_weights.rs
+
+crates/bench/src/bin/ablation_weights.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broker_pipeline-e4a1e24900bb87a7.d: tests/broker_pipeline.rs
+
+/root/repo/target/debug/deps/broker_pipeline-e4a1e24900bb87a7: tests/broker_pipeline.rs
+
+tests/broker_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broker_proptests-ec447cce060d8a58.d: crates/core/tests/broker_proptests.rs
+
+/root/repo/target/debug/deps/broker_proptests-ec447cce060d8a58: crates/core/tests/broker_proptests.rs
+
+crates/core/tests/broker_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent_interference-1416f263febe316f.d: crates/bench/src/bin/concurrent_interference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent_interference-1416f263febe316f.rmeta: crates/bench/src/bin/concurrent_interference.rs Cargo.toml
+
+crates/bench/src/bin/concurrent_interference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

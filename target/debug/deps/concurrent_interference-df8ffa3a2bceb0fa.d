@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_interference-df8ffa3a2bceb0fa.d: crates/bench/src/bin/concurrent_interference.rs
+
+/root/repo/target/debug/deps/concurrent_interference-df8ffa3a2bceb0fa: crates/bench/src/bin/concurrent_interference.rs
+
+crates/bench/src/bin/concurrent_interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_interference-e5013fd7c4232847.d: crates/bench/src/bin/concurrent_interference.rs
+
+/root/repo/target/debug/deps/concurrent_interference-e5013fd7c4232847: crates/bench/src/bin/concurrent_interference.rs
+
+crates/bench/src/bin/concurrent_interference.rs:

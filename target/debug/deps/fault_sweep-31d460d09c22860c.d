@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-31d460d09c22860c.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-31d460d09c22860c: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sweep-441a8425ab1232c5.d: crates/bench/src/bin/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sweep-441a8425ab1232c5.rmeta: crates/bench/src/bin/fault_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

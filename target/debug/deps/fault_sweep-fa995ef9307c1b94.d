@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-fa995ef9307c1b94.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-fa995ef9307c1b94: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

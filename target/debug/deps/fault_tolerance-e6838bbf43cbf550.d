@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-e6838bbf43cbf550.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-e6838bbf43cbf550: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

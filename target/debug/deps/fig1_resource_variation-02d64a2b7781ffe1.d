@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_resource_variation-02d64a2b7781ffe1.d: crates/bench/src/bin/fig1_resource_variation.rs
+
+/root/repo/target/debug/deps/fig1_resource_variation-02d64a2b7781ffe1: crates/bench/src/bin/fig1_resource_variation.rs
+
+crates/bench/src/bin/fig1_resource_variation.rs:

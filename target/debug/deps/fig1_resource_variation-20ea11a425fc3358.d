@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_resource_variation-20ea11a425fc3358.d: crates/bench/src/bin/fig1_resource_variation.rs
+
+/root/repo/target/debug/deps/fig1_resource_variation-20ea11a425fc3358: crates/bench/src/bin/fig1_resource_variation.rs
+
+crates/bench/src/bin/fig1_resource_variation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_resource_variation-6ffd1085d482ae7d.d: crates/bench/src/bin/fig1_resource_variation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_resource_variation-6ffd1085d482ae7d.rmeta: crates/bench/src/bin/fig1_resource_variation.rs Cargo.toml
+
+crates/bench/src/bin/fig1_resource_variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_bandwidth-28de771281f28edf.d: crates/bench/src/bin/fig2_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_bandwidth-28de771281f28edf.rmeta: crates/bench/src/bin/fig2_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/fig2_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

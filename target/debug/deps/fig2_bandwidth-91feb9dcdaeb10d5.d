@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_bandwidth-91feb9dcdaeb10d5.d: crates/bench/src/bin/fig2_bandwidth.rs
+
+/root/repo/target/debug/deps/fig2_bandwidth-91feb9dcdaeb10d5: crates/bench/src/bin/fig2_bandwidth.rs
+
+crates/bench/src/bin/fig2_bandwidth.rs:

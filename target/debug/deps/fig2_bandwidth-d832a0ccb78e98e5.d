@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_bandwidth-d832a0ccb78e98e5.d: crates/bench/src/bin/fig2_bandwidth.rs
+
+/root/repo/target/debug/deps/fig2_bandwidth-d832a0ccb78e98e5: crates/bench/src/bin/fig2_bandwidth.rs
+
+crates/bench/src/bin/fig2_bandwidth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_minimd-6a85caf755ecbb3d.d: crates/bench/src/bin/fig4_minimd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_minimd-6a85caf755ecbb3d.rmeta: crates/bench/src/bin/fig4_minimd.rs Cargo.toml
+
+crates/bench/src/bin/fig4_minimd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

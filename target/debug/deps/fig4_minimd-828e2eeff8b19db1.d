@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_minimd-828e2eeff8b19db1.d: crates/bench/src/bin/fig4_minimd.rs
+
+/root/repo/target/debug/deps/fig4_minimd-828e2eeff8b19db1: crates/bench/src/bin/fig4_minimd.rs
+
+crates/bench/src/bin/fig4_minimd.rs:

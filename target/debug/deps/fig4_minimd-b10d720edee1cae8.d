@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_minimd-b10d720edee1cae8.d: crates/bench/src/bin/fig4_minimd.rs
+
+/root/repo/target/debug/deps/fig4_minimd-b10d720edee1cae8: crates/bench/src/bin/fig4_minimd.rs
+
+crates/bench/src/bin/fig4_minimd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_minife-65324e14d56c716d.d: crates/bench/src/bin/fig6_minife.rs
+
+/root/repo/target/debug/deps/fig6_minife-65324e14d56c716d: crates/bench/src/bin/fig6_minife.rs
+
+crates/bench/src/bin/fig6_minife.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_minife-6ffac0d73fc34778.d: crates/bench/src/bin/fig6_minife.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_minife-6ffac0d73fc34778.rmeta: crates/bench/src/bin/fig6_minife.rs Cargo.toml
+
+crates/bench/src/bin/fig6_minife.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

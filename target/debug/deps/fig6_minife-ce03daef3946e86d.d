@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_minife-ce03daef3946e86d.d: crates/bench/src/bin/fig6_minife.rs
+
+/root/repo/target/debug/deps/fig6_minife-ce03daef3946e86d: crates/bench/src/bin/fig6_minife.rs
+
+crates/bench/src/bin/fig6_minife.rs:

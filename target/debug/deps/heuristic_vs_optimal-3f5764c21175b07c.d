@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heuristic_vs_optimal-3f5764c21175b07c.d: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+/root/repo/target/debug/deps/heuristic_vs_optimal-3f5764c21175b07c: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+crates/bench/src/bin/heuristic_vs_optimal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heuristic_vs_optimal-462b005ced702a6a.d: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+/root/repo/target/debug/deps/heuristic_vs_optimal-462b005ced702a6a: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+crates/bench/src/bin/heuristic_vs_optimal.rs:

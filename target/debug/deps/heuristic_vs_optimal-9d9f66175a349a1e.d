@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heuristic_vs_optimal-9d9f66175a349a1e.d: crates/bench/src/bin/heuristic_vs_optimal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheuristic_vs_optimal-9d9f66175a349a1e.rmeta: crates/bench/src/bin/heuristic_vs_optimal.rs Cargo.toml
+
+crates/bench/src/bin/heuristic_vs_optimal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_job_broker-2fe29cd5fc067f71.d: crates/bench/src/bin/multi_job_broker.rs
+
+/root/repo/target/debug/deps/multi_job_broker-2fe29cd5fc067f71: crates/bench/src/bin/multi_job_broker.rs
+
+crates/bench/src/bin/multi_job_broker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_job_broker-34e6e4dd31c4c53a.d: crates/bench/src/bin/multi_job_broker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_job_broker-34e6e4dd31c4c53a.rmeta: crates/bench/src/bin/multi_job_broker.rs Cargo.toml
+
+crates/bench/src/bin/multi_job_broker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

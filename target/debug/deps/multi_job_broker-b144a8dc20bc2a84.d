@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_job_broker-b144a8dc20bc2a84.d: crates/bench/src/bin/multi_job_broker.rs
+
+/root/repo/target/debug/deps/multi_job_broker-b144a8dc20bc2a84: crates/bench/src/bin/multi_job_broker.rs
+
+crates/bench/src/bin/multi_job_broker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nlrm-af0e5341e2bd85a2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm-af0e5341e2bd85a2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

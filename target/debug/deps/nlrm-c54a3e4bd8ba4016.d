@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlrm-c54a3e4bd8ba4016.d: src/lib.rs
+
+/root/repo/target/debug/deps/nlrm-c54a3e4bd8ba4016: src/lib.rs
+
+src/lib.rs:

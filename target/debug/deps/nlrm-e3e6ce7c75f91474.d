@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nlrm-e3e6ce7c75f91474.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnlrm-e3e6ce7c75f91474.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnlrm-e3e6ce7c75f91474.rmeta: src/lib.rs
+
+src/lib.rs:

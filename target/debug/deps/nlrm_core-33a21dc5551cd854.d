@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/nlrm_core-33a21dc5551cd854.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/broker.rs crates/core/src/candidate.rs crates/core/src/groups.rs crates/core/src/loads.rs crates/core/src/policies.rs crates/core/src/request.rs crates/core/src/saw.rs crates/core/src/select.rs crates/core/src/slurm.rs crates/core/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm_core-33a21dc5551cd854.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/broker.rs crates/core/src/candidate.rs crates/core/src/groups.rs crates/core/src/loads.rs crates/core/src/policies.rs crates/core/src/request.rs crates/core/src/saw.rs crates/core/src/select.rs crates/core/src/slurm.rs crates/core/src/weights.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/broker.rs:
+crates/core/src/candidate.rs:
+crates/core/src/groups.rs:
+crates/core/src/loads.rs:
+crates/core/src/policies.rs:
+crates/core/src/request.rs:
+crates/core/src/saw.rs:
+crates/core/src/select.rs:
+crates/core/src/slurm.rs:
+crates/core/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlrm_ctl-7d9c013358565a9f.d: src/bin/nlrm-ctl.rs
+
+/root/repo/target/debug/deps/nlrm_ctl-7d9c013358565a9f: src/bin/nlrm-ctl.rs
+
+src/bin/nlrm-ctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlrm_ctl-9f1807192ac85af0.d: src/bin/nlrm-ctl.rs
+
+/root/repo/target/debug/deps/nlrm_ctl-9f1807192ac85af0: src/bin/nlrm-ctl.rs
+
+src/bin/nlrm-ctl.rs:

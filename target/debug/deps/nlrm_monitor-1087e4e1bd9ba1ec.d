@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/nlrm_monitor-1087e4e1bd9ba1ec.d: crates/monitor/src/lib.rs crates/monitor/src/central.rs crates/monitor/src/codec.rs crates/monitor/src/daemons.rs crates/monitor/src/forecast.rs crates/monitor/src/matrix.rs crates/monitor/src/rounds.rs crates/monitor/src/runtime.rs crates/monitor/src/sample.rs crates/monitor/src/snapshot.rs crates/monitor/src/store.rs crates/monitor/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm_monitor-1087e4e1bd9ba1ec.rmeta: crates/monitor/src/lib.rs crates/monitor/src/central.rs crates/monitor/src/codec.rs crates/monitor/src/daemons.rs crates/monitor/src/forecast.rs crates/monitor/src/matrix.rs crates/monitor/src/rounds.rs crates/monitor/src/runtime.rs crates/monitor/src/sample.rs crates/monitor/src/snapshot.rs crates/monitor/src/store.rs crates/monitor/src/threaded.rs Cargo.toml
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/central.rs:
+crates/monitor/src/codec.rs:
+crates/monitor/src/daemons.rs:
+crates/monitor/src/forecast.rs:
+crates/monitor/src/matrix.rs:
+crates/monitor/src/rounds.rs:
+crates/monitor/src/runtime.rs:
+crates/monitor/src/sample.rs:
+crates/monitor/src/snapshot.rs:
+crates/monitor/src/store.rs:
+crates/monitor/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

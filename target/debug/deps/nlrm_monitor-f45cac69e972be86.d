@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/nlrm_monitor-f45cac69e972be86.d: crates/monitor/src/lib.rs crates/monitor/src/central.rs crates/monitor/src/codec.rs crates/monitor/src/daemons.rs crates/monitor/src/forecast.rs crates/monitor/src/matrix.rs crates/monitor/src/rounds.rs crates/monitor/src/runtime.rs crates/monitor/src/sample.rs crates/monitor/src/snapshot.rs crates/monitor/src/store.rs crates/monitor/src/threaded.rs
+
+/root/repo/target/debug/deps/libnlrm_monitor-f45cac69e972be86.rlib: crates/monitor/src/lib.rs crates/monitor/src/central.rs crates/monitor/src/codec.rs crates/monitor/src/daemons.rs crates/monitor/src/forecast.rs crates/monitor/src/matrix.rs crates/monitor/src/rounds.rs crates/monitor/src/runtime.rs crates/monitor/src/sample.rs crates/monitor/src/snapshot.rs crates/monitor/src/store.rs crates/monitor/src/threaded.rs
+
+/root/repo/target/debug/deps/libnlrm_monitor-f45cac69e972be86.rmeta: crates/monitor/src/lib.rs crates/monitor/src/central.rs crates/monitor/src/codec.rs crates/monitor/src/daemons.rs crates/monitor/src/forecast.rs crates/monitor/src/matrix.rs crates/monitor/src/rounds.rs crates/monitor/src/runtime.rs crates/monitor/src/sample.rs crates/monitor/src/snapshot.rs crates/monitor/src/store.rs crates/monitor/src/threaded.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/central.rs:
+crates/monitor/src/codec.rs:
+crates/monitor/src/daemons.rs:
+crates/monitor/src/forecast.rs:
+crates/monitor/src/matrix.rs:
+crates/monitor/src/rounds.rs:
+crates/monitor/src/runtime.rs:
+crates/monitor/src/sample.rs:
+crates/monitor/src/snapshot.rs:
+crates/monitor/src/store.rs:
+crates/monitor/src/threaded.rs:

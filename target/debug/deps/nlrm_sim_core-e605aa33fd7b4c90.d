@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nlrm_sim_core-e605aa33fd7b4c90.d: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/fault.rs crates/sim-core/src/forecast.rs crates/sim-core/src/process.rs crates/sim-core/src/rng.rs crates/sim-core/src/series.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/window.rs
+
+/root/repo/target/debug/deps/libnlrm_sim_core-e605aa33fd7b4c90.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/fault.rs crates/sim-core/src/forecast.rs crates/sim-core/src/process.rs crates/sim-core/src/rng.rs crates/sim-core/src/series.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/window.rs
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/event.rs:
+crates/sim-core/src/fault.rs:
+crates/sim-core/src/forecast.rs:
+crates/sim-core/src/process.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/series.rs:
+crates/sim-core/src/stats.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/window.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nlrm_topology-b525f7c38526b538.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs
+
+/root/repo/target/debug/deps/libnlrm_topology-b525f7c38526b538.rmeta: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/route.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/route.rs:

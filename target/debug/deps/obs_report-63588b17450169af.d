@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_report-63588b17450169af.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/debug/deps/obs_report-63588b17450169af: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_report-bd6bb39522914f5f.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/debug/deps/obs_report-bd6bb39522914f5f: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

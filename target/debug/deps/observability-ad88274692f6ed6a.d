@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-ad88274692f6ed6a.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-ad88274692f6ed6a: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-413fb552a63a0502.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-413fb552a63a0502: tests/pipeline.rs
+
+tests/pipeline.rs:

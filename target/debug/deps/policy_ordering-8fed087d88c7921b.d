@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_ordering-8fed087d88c7921b.d: tests/policy_ordering.rs
+
+/root/repo/target/debug/deps/policy_ordering-8fed087d88c7921b: tests/policy_ordering.rs
+
+tests/policy_ordering.rs:

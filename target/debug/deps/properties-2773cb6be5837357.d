@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2773cb6be5837357.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2773cb6be5837357: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-af4d93ed5652c7f9.d: crates/obs/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-af4d93ed5652c7f9: crates/obs/tests/properties.rs
+
+crates/obs/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-15cc166c122679ef.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-15cc166c122679ef: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

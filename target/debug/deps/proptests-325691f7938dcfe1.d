@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-325691f7938dcfe1.d: crates/monitor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-325691f7938dcfe1: crates/monitor/tests/proptests.rs
+
+crates/monitor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a066e7988007bb72.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a066e7988007bb72.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

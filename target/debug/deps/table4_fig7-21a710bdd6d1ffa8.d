@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_fig7-21a710bdd6d1ffa8.d: crates/bench/src/bin/table4_fig7.rs
+
+/root/repo/target/debug/deps/table4_fig7-21a710bdd6d1ffa8: crates/bench/src/bin/table4_fig7.rs
+
+crates/bench/src/bin/table4_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_fig7-c0d67d39a7825027.d: crates/bench/src/bin/table4_fig7.rs
+
+/root/repo/target/debug/deps/table4_fig7-c0d67d39a7825027: crates/bench/src/bin/table4_fig7.rs
+
+crates/bench/src/bin/table4_fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_fig7-fc139670f20b5f24.d: crates/bench/src/bin/table4_fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_fig7-fc139670f20b5f24.rmeta: crates/bench/src/bin/table4_fig7.rs Cargo.toml
+
+crates/bench/src/bin/table4_fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_policies-45dbcc4173f75fcb.d: examples/compare_policies.rs
+
+/root/repo/target/debug/examples/compare_policies-45dbcc4173f75fcb: examples/compare_policies.rs
+
+examples/compare_policies.rs:

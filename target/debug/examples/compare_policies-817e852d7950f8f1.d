@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_policies-817e852d7950f8f1.d: examples/compare_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_policies-817e852d7950f8f1.rmeta: examples/compare_policies.rs Cargo.toml
+
+examples/compare_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

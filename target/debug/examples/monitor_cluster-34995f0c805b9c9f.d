@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/monitor_cluster-34995f0c805b9c9f.d: examples/monitor_cluster.rs
+
+/root/repo/target/debug/examples/monitor_cluster-34995f0c805b9c9f: examples/monitor_cluster.rs
+
+examples/monitor_cluster.rs:

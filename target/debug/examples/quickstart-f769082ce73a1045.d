@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f769082ce73a1045.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f769082ce73a1045: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/urgent_job-435f9d79ba7550fb.d: examples/urgent_job.rs
+
+/root/repo/target/debug/examples/urgent_job-435f9d79ba7550fb: examples/urgent_job.rs
+
+examples/urgent_job.rs:

@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["nlrm_obs"];
+//{"start":21,"fragment_lengths":[10]}

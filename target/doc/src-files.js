@@ -1,0 +1,2 @@
+createSrcSidebar('[["nlrm_obs",["",[],["ctx.rs","explain.rs","journal.rs","json.rs","lib.rs","metrics.rs","progress.rs"]]]]');
+//{"start":19,"fragment_lengths":[103]}

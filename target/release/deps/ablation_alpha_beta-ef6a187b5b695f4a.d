@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alpha_beta-ef6a187b5b695f4a.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/release/deps/ablation_alpha_beta-ef6a187b5b695f4a: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

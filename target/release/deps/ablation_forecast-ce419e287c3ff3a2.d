@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_forecast-ce419e287c3ff3a2.d: crates/bench/src/bin/ablation_forecast.rs
+
+/root/repo/target/release/deps/ablation_forecast-ce419e287c3ff3a2: crates/bench/src/bin/ablation_forecast.rs
+
+crates/bench/src/bin/ablation_forecast.rs:

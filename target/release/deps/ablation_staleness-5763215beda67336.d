@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_staleness-5763215beda67336.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/release/deps/ablation_staleness-5763215beda67336: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_weights-0072640fd375dd33.d: crates/bench/src/bin/ablation_weights.rs
+
+/root/repo/target/release/deps/ablation_weights-0072640fd375dd33: crates/bench/src/bin/ablation_weights.rs
+
+crates/bench/src/bin/ablation_weights.rs:

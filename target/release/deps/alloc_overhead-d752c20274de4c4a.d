@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alloc_overhead-d752c20274de4c4a.d: crates/bench/benches/alloc_overhead.rs
+
+/root/repo/target/release/deps/alloc_overhead-d752c20274de4c4a: crates/bench/benches/alloc_overhead.rs
+
+crates/bench/benches/alloc_overhead.rs:

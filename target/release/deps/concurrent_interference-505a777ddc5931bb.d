@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrent_interference-505a777ddc5931bb.d: crates/bench/src/bin/concurrent_interference.rs
+
+/root/repo/target/release/deps/concurrent_interference-505a777ddc5931bb: crates/bench/src/bin/concurrent_interference.rs
+
+crates/bench/src/bin/concurrent_interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-5b9981de024cc8a4.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-5b9981de024cc8a4: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_resource_variation-213c090e5f5abb6f.d: crates/bench/src/bin/fig1_resource_variation.rs
+
+/root/repo/target/release/deps/fig1_resource_variation-213c090e5f5abb6f: crates/bench/src/bin/fig1_resource_variation.rs
+
+crates/bench/src/bin/fig1_resource_variation.rs:

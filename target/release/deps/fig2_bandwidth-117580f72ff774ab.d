@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_bandwidth-117580f72ff774ab.d: crates/bench/src/bin/fig2_bandwidth.rs
+
+/root/repo/target/release/deps/fig2_bandwidth-117580f72ff774ab: crates/bench/src/bin/fig2_bandwidth.rs
+
+crates/bench/src/bin/fig2_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_minimd-1833e6928f7c082f.d: crates/bench/src/bin/fig4_minimd.rs
+
+/root/repo/target/release/deps/fig4_minimd-1833e6928f7c082f: crates/bench/src/bin/fig4_minimd.rs
+
+crates/bench/src/bin/fig4_minimd.rs:

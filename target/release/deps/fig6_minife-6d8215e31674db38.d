@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_minife-6d8215e31674db38.d: crates/bench/src/bin/fig6_minife.rs
+
+/root/repo/target/release/deps/fig6_minife-6d8215e31674db38: crates/bench/src/bin/fig6_minife.rs
+
+crates/bench/src/bin/fig6_minife.rs:

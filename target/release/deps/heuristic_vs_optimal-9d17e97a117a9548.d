@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heuristic_vs_optimal-9d17e97a117a9548.d: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+/root/repo/target/release/deps/heuristic_vs_optimal-9d17e97a117a9548: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+crates/bench/src/bin/heuristic_vs_optimal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_job_broker-efb0f8d370faa1ca.d: crates/bench/src/bin/multi_job_broker.rs
+
+/root/repo/target/release/deps/multi_job_broker-efb0f8d370faa1ca: crates/bench/src/bin/multi_job_broker.rs
+
+crates/bench/src/bin/multi_job_broker.rs:

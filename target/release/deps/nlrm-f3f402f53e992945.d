@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nlrm-f3f402f53e992945.d: src/lib.rs
+
+/root/repo/target/release/deps/libnlrm-f3f402f53e992945.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnlrm-f3f402f53e992945.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/nlrm_core-57100b214ea9ddf4.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/broker.rs crates/core/src/candidate.rs crates/core/src/groups.rs crates/core/src/loads.rs crates/core/src/policies.rs crates/core/src/request.rs crates/core/src/saw.rs crates/core/src/select.rs crates/core/src/slurm.rs crates/core/src/weights.rs
+
+/root/repo/target/release/deps/libnlrm_core-57100b214ea9ddf4.rlib: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/broker.rs crates/core/src/candidate.rs crates/core/src/groups.rs crates/core/src/loads.rs crates/core/src/policies.rs crates/core/src/request.rs crates/core/src/saw.rs crates/core/src/select.rs crates/core/src/slurm.rs crates/core/src/weights.rs
+
+/root/repo/target/release/deps/libnlrm_core-57100b214ea9ddf4.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/broker.rs crates/core/src/candidate.rs crates/core/src/groups.rs crates/core/src/loads.rs crates/core/src/policies.rs crates/core/src/request.rs crates/core/src/saw.rs crates/core/src/select.rs crates/core/src/slurm.rs crates/core/src/weights.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/broker.rs:
+crates/core/src/candidate.rs:
+crates/core/src/groups.rs:
+crates/core/src/loads.rs:
+crates/core/src/policies.rs:
+crates/core/src/request.rs:
+crates/core/src/saw.rs:
+crates/core/src/select.rs:
+crates/core/src/slurm.rs:
+crates/core/src/weights.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nlrm_ctl-0d22fadbbcac575a.d: src/bin/nlrm-ctl.rs
+
+/root/repo/target/release/deps/nlrm_ctl-0d22fadbbcac575a: src/bin/nlrm-ctl.rs
+
+src/bin/nlrm-ctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_report-247a773acee96fb8.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/release/deps/obs_report-247a773acee96fb8: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_fig7-ebbd3fe928f8111b.d: crates/bench/src/bin/table4_fig7.rs
+
+/root/repo/target/release/deps/table4_fig7-ebbd3fe928f8111b: crates/bench/src/bin/table4_fig7.rs
+
+crates/bench/src/bin/table4_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/monitor_cluster-814b3dc2d6ce2b31.d: examples/monitor_cluster.rs
+
+/root/repo/target/release/examples/monitor_cluster-814b3dc2d6ce2b31: examples/monitor_cluster.rs
+
+examples/monitor_cluster.rs:
