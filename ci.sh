@@ -28,6 +28,28 @@ assert all(d["winner_matches_placement"] for d in report["decisions"])
 PY
 test -s "$OBS_DIR/obs_timeline.txt"
 
+# span-tracing smoke: both trace exports must parse as JSON, the Chrome
+# file must be trace-event shaped, and at least one job's critical path
+# must cross three span kinds (queue wait, execution, compute)
+NLRM_RESULTS_DIR="$OBS_DIR" NLRM_QUICK=1 NLRM_QUIET=1 \
+    cargo run --release -q -p nlrm-bench --bin trace_report
+python3 - "$OBS_DIR/trace_report.json" "$OBS_DIR/trace_report.chrome.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+with open(sys.argv[2]) as f:
+    chrome = json.load(f)
+assert report["jobs"], "trace_report.json has no jobs"
+assert report["summary"]["spans_open"] == 0, "dangling open spans"
+kinds = max(len(j["critical_path"]["by_kind"]) for j in report["jobs"])
+assert kinds >= 3, f"critical paths too shallow: {kinds} span kinds"
+events = chrome["traceEvents"]
+assert events, "chrome export has no events"
+assert all(e["ph"] in ("X", "M") for e in events), "unexpected phase"
+assert any(e.get("name") == "queue_wait" for e in events)
+PY
+test -s "$OBS_DIR/trace_summary.txt"
+
 # rustdoc for the observability crate is part of its API contract
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p nlrm-obs
 

@@ -114,7 +114,7 @@ fn run_stream(
                     broker_force_lease(&mut broker, random.clone());
                     random
                 } else {
-                    lease
+                    *lease
                 };
                 let job = submitted[&lease.id];
                 let comm = Communicator::new(lease.allocation.rank_map.clone());
@@ -169,6 +169,8 @@ fn random_lease(
     Lease {
         id,
         name: "random".into(),
+        trace: id.trace(),
+        root_span: None,
         allocation: nlrm_core::Allocation {
             policy: "broker/random".into(),
             rank_map: nlrm_core::Allocation::block_rank_map(&nodes),

@@ -31,6 +31,7 @@ fn decision_json(d: &Decision) -> String {
         .to_string();
     json::object(&[
         ("job", json::string(&d.job)),
+        ("trace", json::string(&d.trace.to_string())),
         ("granted_at_s", json::num(d.granted_at.as_secs_f64())),
         ("nodes", json::array(&nodes)),
         ("cost", json::num(d.cost)),

@@ -12,7 +12,7 @@ use nlrm_cluster::iitk::small_cluster;
 use nlrm_core::broker::{Broker, BrokerConfig, BrokerEvent};
 use nlrm_core::AllocationRequest;
 use nlrm_monitor::{DaemonKind, FaultTarget, MonitorFaultPlan};
-use nlrm_obs::{install, ExplainTrace, Obs, Severity};
+use nlrm_obs::{install, ExplainTrace, Obs, Severity, TraceId};
 use nlrm_sim_core::fault::FaultAction;
 use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_topology::NodeId;
@@ -25,6 +25,9 @@ use crate::runner::Experiment;
 pub struct Decision {
     /// Job display name.
     pub job: String,
+    /// The job's trace id: every journal line and span recorded on the
+    /// job's behalf carries it, so a timeline can be grepped per job.
+    pub trace: TraceId,
     /// Virtual time the broker granted it.
     pub granted_at: SimTime,
     /// The nodes actually placed on.
@@ -73,17 +76,9 @@ pub const QUICK_CHECKPOINTS: &[u64] = &[1100, 1300];
 /// submits a fresh 16-process job, and reschedules; an oversized
 /// 64-process job submitted up front stays queued forever, producing an
 /// `alloc_deferred` at every pass.
-pub fn run_faulted_broker_scenario(seed: u64, checkpoints: &[u64]) -> ObsScenarioResult {
-    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
-    let obs = Obs::with_capacity(16 * 1024);
-    // Debug-level ticks and publishes would dominate the ring over a
-    // 1500 s run; the report keeps the decision-relevant layer.
-    obs.journal.set_min_severity(Severity::Info);
-    let guard = install(&obs);
-
-    let mut env = Experiment::new(small_cluster(8, seed));
-    env.advance(Duration::from_secs(360));
-
+/// The shared fault storyline (see the table above), also reused by the
+/// traced scenario behind `trace_report`.
+pub fn fault_storyline() -> MonitorFaultPlan {
     let mut plan = MonitorFaultPlan::new();
     let kill = FaultAction::Kill;
     plan.schedule(
@@ -106,7 +101,20 @@ pub fn run_faulted_broker_scenario(seed: u64, checkpoints: &[u64]) -> ObsScenari
             kill,
         );
     }
-    env.monitor.set_fault_plan(plan);
+    plan
+}
+
+pub fn run_faulted_broker_scenario(seed: u64, checkpoints: &[u64]) -> ObsScenarioResult {
+    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+    let obs = Obs::with_capacity(16 * 1024);
+    // Debug-level ticks and publishes would dominate the ring over a
+    // 1500 s run; the report keeps the decision-relevant layer.
+    obs.journal.set_min_severity(Severity::Info);
+    let guard = install(&obs);
+
+    let mut env = Experiment::new(small_cluster(8, seed));
+    env.advance(Duration::from_secs(360));
+    env.monitor.set_fault_plan(fault_storyline());
 
     let mut broker = Broker::new(BrokerConfig {
         backfill: true,
@@ -139,6 +147,7 @@ pub fn run_faulted_broker_scenario(seed: u64, checkpoints: &[u64]) -> ObsScenari
                     last_started = Some(lease.id);
                     decisions.push(Decision {
                         job: lease.name.clone(),
+                        trace: lease.trace,
                         granted_at: snap.taken_at,
                         nodes: lease.allocation.node_list(),
                         cost: lease.allocation.diagnostics.total_cost,

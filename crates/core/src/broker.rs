@@ -12,6 +12,7 @@ use crate::loads::Loads;
 use crate::request::{AllocError, Allocation, AllocationRequest, Diagnostics};
 use crate::select::{explain_selection, group_mean_network_load, select_best};
 use nlrm_monitor::ClusterSnapshot;
+use nlrm_obs::span::{SpanId, TraceId};
 use nlrm_sim_core::time::SimTime;
 use nlrm_topology::NodeId;
 use std::collections::{BTreeMap, VecDeque};
@@ -25,6 +26,14 @@ const EXPLAIN_TOP_K: usize = 3;
 /// Broker-assigned job identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
+
+impl JobId {
+    /// The job's trace id: deterministic, so executors and reports can name
+    /// a job's trace without the broker in hand.
+    pub fn trace(self) -> TraceId {
+        TraceId::for_job(self.0)
+    }
+}
 
 /// Broker configuration.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +66,9 @@ struct QueuedJob {
     submitted_at: Option<SimTime>,
     /// Whether an `alloc_requested` event was already journaled.
     announced: bool,
+    /// Root span of the job's trace, opened when the job is announced to
+    /// an installed observer.
+    root_span: Option<SpanId>,
 }
 
 /// A running job's lease.
@@ -66,6 +78,11 @@ pub struct Lease {
     pub id: JobId,
     /// Job display name.
     pub name: String,
+    /// The job's trace id (always valid; equals `id.trace()`).
+    pub trace: TraceId,
+    /// Root span of the job's trace, when an observer recorded one — the
+    /// parent under which execution spans should hang.
+    pub root_span: Option<SpanId>,
     /// The allocation it holds.
     pub allocation: Allocation,
 }
@@ -73,8 +90,9 @@ pub struct Lease {
 /// What happened during one scheduling pass.
 #[derive(Debug, Clone)]
 pub enum BrokerEvent {
-    /// A job was granted nodes.
-    Started(Lease),
+    /// A job was granted nodes (boxed: a `Lease` carries a whole
+    /// `Allocation` and dwarfs the deferral variant).
+    Started(Box<Lease>),
     /// A job stayed queued.
     Deferred {
         /// The job.
@@ -139,6 +157,7 @@ impl Broker {
             request,
             submitted_at,
             announced: false,
+            root_span: None,
         });
         Ok(id)
     }
@@ -183,11 +202,39 @@ impl Broker {
         Some(lease)
     }
 
+    /// [`Broker::complete`], additionally closing the job's root trace span
+    /// at virtual time `now` so the trace's end-to-end duration matches the
+    /// job's actual lifetime.
+    pub fn complete_at(&mut self, id: JobId, now: SimTime) -> Option<Lease> {
+        let lease = self.complete(id)?;
+        if let Some(root) = lease.root_span {
+            nlrm_obs::ctx::span_end(root, now);
+        }
+        Some(lease)
+    }
+
     /// Cancel a queued job. Returns whether it was found in the queue.
     pub fn cancel(&mut self, id: JobId) -> bool {
         let before = self.queue.len();
         self.queue.retain(|j| j.id != id);
         self.queue.len() != before
+    }
+
+    /// [`Broker::cancel`], additionally closing the job's root trace span
+    /// at virtual time `now` (annotated `cancelled`) so a withdrawn job
+    /// leaves a complete trace rather than a dangling open span.
+    pub fn cancel_at(&mut self, id: JobId, now: SimTime) -> bool {
+        let root = self
+            .queue
+            .iter()
+            .find(|j| j.id == id)
+            .and_then(|j| j.root_span);
+        let found = self.cancel(id);
+        if let Some(root) = root.filter(|_| found) {
+            nlrm_obs::ctx::span_annotate(root, "cancelled", "true");
+            nlrm_obs::ctx::span_end(root, now);
+        }
+        found
     }
 
     /// One scheduling pass against a fresh snapshot: starts whatever fits
@@ -207,19 +254,32 @@ impl Broker {
             }
             if observed && !job.announced {
                 job.announced = true;
-                nlrm_obs::ctx::emit(
+                let at = job.submitted_at.unwrap_or(now);
+                job.root_span = nlrm_obs::ctx::span_start_kv(
+                    job.id.trace(),
+                    None,
+                    "job",
+                    "broker/jobs",
+                    at,
+                    vec![
+                        ("job".into(), job.name.clone()),
+                        ("procs".into(), job.request.procs.to_string()),
+                    ],
+                );
+                nlrm_obs::ctx::emit_kv(
                     Severity::Info,
-                    job.submitted_at.unwrap_or(now),
+                    at,
                     EventKind::AllocRequested {
                         job: job.name.clone(),
                         procs: job.request.procs,
                     },
+                    vec![("trace".into(), job.id.trace().to_string())],
                 );
             }
             match self.try_start(&job, snap) {
                 Ok(lease) => {
                     if observed {
-                        nlrm_obs::ctx::emit(
+                        nlrm_obs::ctx::emit_kv(
                             Severity::Info,
                             now,
                             EventKind::AllocGranted {
@@ -227,6 +287,18 @@ impl Broker {
                                 nodes: lease.allocation.node_list().len(),
                                 cost: lease.allocation.diagnostics.total_cost,
                             },
+                            vec![("trace".into(), job.id.trace().to_string())],
+                        );
+                        // the queue-wait span covers exactly the interval the
+                        // wait histogram observes
+                        nlrm_obs::ctx::span_closed(
+                            job.id.trace(),
+                            job.root_span,
+                            "queue_wait",
+                            "broker/queue",
+                            job.submitted_at.unwrap_or(now),
+                            now,
+                            vec![("job".into(), job.name.clone())],
                         );
                         if let Some(at) = job.submitted_at {
                             nlrm_obs::ctx::observe(
@@ -236,7 +308,7 @@ impl Broker {
                             );
                         }
                     }
-                    events.push(BrokerEvent::Started(lease.clone()));
+                    events.push(BrokerEvent::Started(Box::new(lease.clone())));
                     for &(node, procs) in &lease.allocation.nodes {
                         *self.reserved.entry(node).or_insert(0) += procs;
                     }
@@ -244,13 +316,25 @@ impl Broker {
                 }
                 Err(reason) => {
                     if observed {
-                        nlrm_obs::ctx::emit(
+                        nlrm_obs::ctx::emit_kv(
                             Severity::Warn,
                             now,
                             EventKind::AllocDeferred {
                                 job: job.name.clone(),
                                 reason: reason.clone(),
                             },
+                            vec![("trace".into(), job.id.trace().to_string())],
+                        );
+                        // instant mark on the trace; zero-width, so it never
+                        // perturbs the critical path
+                        nlrm_obs::ctx::span_closed(
+                            job.id.trace(),
+                            job.root_span,
+                            "defer",
+                            "broker/queue",
+                            now,
+                            now,
+                            vec![("reason".into(), reason.clone())],
                         );
                     }
                     events.push(BrokerEvent::Deferred { id: job.id, reason });
@@ -319,9 +403,49 @@ impl Broker {
         let selected = winner.nodes.clone();
         let mean_cl =
             selected.iter().map(|&u| adjusted.cl_of(u)).sum::<f64>() / selected.len() as f64;
+        if nlrm_obs::ctx::is_active() {
+            let now = snap.taken_at;
+            // instant marks: scoring and placement consume no virtual time
+            // in this simulation, but their attributes record what the
+            // decision saw (candidate count, winning cost, data freshness)
+            nlrm_obs::ctx::span_closed(
+                job.id.trace(),
+                job.root_span,
+                "scoring",
+                "broker/alloc",
+                now,
+                now,
+                vec![
+                    ("candidates".into(), candidates.len().to_string()),
+                    ("best_cost".into(), format!("{:.6}", selection.best_cost)),
+                    (
+                        "snapshot_age_s".into(),
+                        format!(
+                            "{:.3}",
+                            snap.max_sample_age().unwrap_or_default().as_secs_f64()
+                        ),
+                    ),
+                ],
+            );
+            let node_list: Vec<String> = selected.iter().map(|n| n.to_string()).collect();
+            nlrm_obs::ctx::span_closed(
+                job.id.trace(),
+                job.root_span,
+                "placement",
+                "broker/alloc",
+                now,
+                now,
+                vec![
+                    ("nodes".into(), node_list.join(",")),
+                    ("mean_compute_load".into(), format!("{mean_cl:.4}")),
+                ],
+            );
+        }
         Ok(Lease {
             id: job.id,
             name: job.name.clone(),
+            trace: job.id.trace(),
+            root_span: job.root_span,
             allocation: Allocation {
                 policy: "network-load-aware/broker".into(),
                 rank_map: Allocation::block_rank_map(&winner.assignment()),
@@ -490,6 +614,55 @@ mod tests {
         assert!(broker.cancel(z));
         assert!(!broker.cancel(z));
         assert!(broker.queued().is_empty());
+    }
+
+    #[test]
+    fn traces_follow_the_job_lifecycle() {
+        let snap = snapshot(8, 3);
+        let now = snap.taken_at;
+        let submit = SimTime::from_micros(now.as_micros().saturating_sub(60_000_000));
+        let obs = nlrm_obs::Obs::new();
+        let _g = nlrm_obs::install(&obs);
+        let mut broker = Broker::new(no_defer());
+        let a = broker.submit_at("traced", req(16), submit).unwrap();
+        let events = broker.tick(&snap);
+        assert!(matches!(&events[0], BrokerEvent::Started(l)
+            if l.trace == a.trace() && l.root_span.is_some()));
+        let done = now + Duration::from_secs(100);
+        let lease = broker.complete_at(a, done).unwrap();
+        assert_eq!(lease.id, a);
+
+        let spans = obs.spans.trace_spans(a.trace());
+        let root = spans.iter().find(|s| s.kind == "job").unwrap();
+        assert_eq!(root.start, submit);
+        assert_eq!(root.end, Some(done));
+        let kinds: Vec<&str> = spans.iter().map(|s| s.kind.as_str()).collect();
+        for k in ["queue_wait", "scoring", "placement"] {
+            assert!(kinds.contains(&k), "missing {k} span in {kinds:?}");
+        }
+        let wait = spans.iter().find(|s| s.kind == "queue_wait").unwrap();
+        assert_eq!(wait.parent, Some(root.id));
+        assert_eq!(wait.duration(), now - submit);
+        // the span and the histogram tell the same story
+        let h = obs
+            .metrics
+            .histogram_snapshot("broker_job_wait_secs")
+            .unwrap();
+        assert_eq!(h.sum(), wait.duration().as_secs_f64());
+        // every child nests inside the root
+        for s in &spans {
+            assert!(s.start >= root.start);
+            assert!(s.end.unwrap() <= done);
+        }
+        // critical path tiles the whole trace
+        let path = obs.spans.critical_path(a.trace()).unwrap();
+        assert_eq!(path.total(), done - submit);
+        // alloc events are greppable by trace id
+        let granted = &obs.journal.events_of("alloc_granted")[0];
+        assert!(granted
+            .fields
+            .iter()
+            .any(|(k, v)| k == "trace" && v == &a.trace().to_string()));
     }
 
     #[test]

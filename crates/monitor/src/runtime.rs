@@ -194,6 +194,7 @@ impl MonitorRuntime {
             }
             if let Some(started) = started {
                 let label = Self::tick_label(tick);
+                let wall_micros = started.elapsed().as_secs_f64() * 1e6;
                 if tick != Tick::Fault {
                     nlrm_obs::ctx::emit(
                         nlrm_obs::Severity::Debug,
@@ -202,12 +203,20 @@ impl MonitorRuntime {
                             daemon: label.to_string(),
                         },
                     );
+                    // instant span on the system trace: daemon ticks consume
+                    // no virtual time, but their marks let allocation traces
+                    // be correlated with the freshness of monitor data
+                    nlrm_obs::ctx::span_closed(
+                        nlrm_obs::TraceId::SYSTEM,
+                        None,
+                        "monitor_tick",
+                        &format!("monitor/{label}"),
+                        t,
+                        t,
+                        vec![("wall_micros".into(), format!("{wall_micros:.1}"))],
+                    );
                 }
-                nlrm_obs::ctx::observe(
-                    "monitor_tick_wall_micros",
-                    TICK_WALL_BOUNDS,
-                    started.elapsed().as_secs_f64() * 1e6,
-                );
+                nlrm_obs::ctx::observe("monitor_tick_wall_micros", TICK_WALL_BOUNDS, wall_micros);
                 nlrm_obs::ctx::inc(&format!("monitor_tick_total_{label}"));
             }
         }

@@ -18,10 +18,23 @@ use crate::comm::Communicator;
 use crate::contention::{fair_share_rates, round_duration_s, Flow};
 use crate::pattern::{Message, Phase, Workload};
 use nlrm_cluster::ClusterSim;
-use nlrm_sim_core::time::Duration;
+use nlrm_obs::span::{SpanId, TraceId};
+use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_topology::{LinkId, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Causal-trace context for one job execution: the job's trace and the
+/// broker span execution should hang under (typically the lease's
+/// `root_span`). Passed to [`execute_traced`] by callers that want per-rank
+/// compute and per-collective spans recorded in the installed observer.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCtx {
+    /// The job's trace.
+    pub trace: TraceId,
+    /// Parent span for the execution subtree (e.g. the job's root span).
+    pub parent: Option<SpanId>,
+}
 
 /// Timing breakdown of one job execution.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -115,10 +128,45 @@ pub fn execute(
     comm: &Communicator,
     workload: &dyn Workload,
 ) -> JobTiming {
+    execute_traced(cluster, comm, workload, None)
+}
+
+/// [`execute`], optionally recording the run as a span subtree of `trace`:
+/// an `exec` span over the whole run, a `step` span per BSP timestep, and
+/// under each step per-rank `compute` spans plus `p2p`/`collective` spans
+/// for the communication phases. With `None` (or no installed observer)
+/// this is exactly `execute` — no span bookkeeping happens at all.
+pub fn execute_traced(
+    cluster: &mut ClusterSim,
+    comm: &Communicator,
+    workload: &dyn Workload,
+    trace: Option<&TraceCtx>,
+) -> JobTiming {
     // register job load
     for (node, procs) in comm.placement() {
         cluster.add_job_load(node, procs as f64);
     }
+
+    // spans live on the virtual interval [t0, t0 + timing.total_s]; the
+    // cluster clock may overshoot past the end (5 s dynamics quanta), so
+    // span stamps derive from the job's own accumulated time, not `now()`
+    let t0 = cluster.now();
+    let job_track = format!("mpi:{}", workload.name());
+    let tracing = trace.filter(|_| nlrm_obs::ctx::is_active());
+    let exec_span = tracing.and_then(|tc| {
+        nlrm_obs::ctx::span_start_kv(
+            tc.trace,
+            tc.parent,
+            "exec",
+            &format!("{job_track}/exec"),
+            t0,
+            vec![
+                ("workload".into(), workload.name()),
+                ("ranks".into(), comm.size().to_string()),
+            ],
+        )
+    });
+    let at = |offset_s: f64| -> SimTime { t0 + Duration::from_secs_f64(offset_s) };
 
     let mut timing = JobTiming::default();
     let mut load_per_core_acc = 0.0;
@@ -134,6 +182,17 @@ pub fn execute(
             comm.size(),
             "phase work vector must match communicator size"
         );
+        let step_start_s = timing.total_s;
+        let step_span = exec_span.and_then(|es| {
+            nlrm_obs::ctx::span_start_kv(
+                tracing.expect("exec span implies trace ctx").trace,
+                Some(es),
+                "step",
+                &format!("{job_track}/exec"),
+                at(step_start_s),
+                vec![("step".into(), step.to_string())],
+            )
+        });
 
         // Fig. 5 metric: load per logical core over the job's nodes
         let mut load = 0.0;
@@ -151,7 +210,19 @@ pub fn execute(
             let own = comm.procs_on(node) as f64;
             let speed = effective_speed_ghz(cluster, node, comm.procs_on(node), own);
             if work > 0.0 {
-                compute_s = compute_s.max(work / speed.max(1e-6));
+                let rank_s = work / speed.max(1e-6);
+                compute_s = compute_s.max(rank_s);
+                if let (Some(ss), Some(tc)) = (step_span, tracing) {
+                    nlrm_obs::ctx::span_closed(
+                        tc.trace,
+                        Some(ss),
+                        "compute",
+                        &format!("{job_track}/rank{rank}"),
+                        at(step_start_s),
+                        at(step_start_s + rank_s),
+                        vec![("node".into(), node.to_string())],
+                    );
+                }
             }
         }
 
@@ -166,15 +237,52 @@ pub fn execute(
         let (d, util) = run_round(cluster, comm, &phase.messages);
         comm_s += d;
         weighted_util(util, d);
+        if d > 0.0 {
+            if let (Some(ss), Some(tc)) = (step_span, tracing) {
+                nlrm_obs::ctx::span_closed(
+                    tc.trace,
+                    Some(ss),
+                    "p2p",
+                    &format!("{job_track}/net"),
+                    at(step_start_s + compute_s),
+                    at(step_start_s + compute_s + d),
+                    vec![("messages".into(), phase.messages.len().to_string())],
+                );
+            }
+        }
         for coll in &phase.collectives {
+            let coll_start_s = compute_s + comm_s;
+            let mut coll_s = 0.0;
+            let mut rounds = 0usize;
             for round in expand(coll, comm) {
                 let (d, util) = run_round(cluster, comm, &round);
-                comm_s += d;
+                coll_s += d;
+                rounds += 1;
                 weighted_util(util, d);
+            }
+            comm_s += coll_s;
+            if coll_s > 0.0 {
+                if let (Some(ss), Some(tc)) = (step_span, tracing) {
+                    nlrm_obs::ctx::span_closed(
+                        tc.trace,
+                        Some(ss),
+                        "collective",
+                        &format!("{job_track}/net"),
+                        at(step_start_s + coll_start_s),
+                        at(step_start_s + coll_start_s + coll_s),
+                        vec![
+                            ("op".into(), coll.label().to_string()),
+                            ("rounds".into(), rounds.to_string()),
+                        ],
+                    );
+                }
             }
         }
 
         let step_s = compute_s + comm_s;
+        if let Some(ss) = step_span {
+            nlrm_obs::ctx::span_end(ss, at(step_start_s + step_s));
+        }
         timing.compute_s += compute_s;
         timing.comm_s += comm_s;
         timing.total_s += step_s;
@@ -215,6 +323,11 @@ pub fn execute(
     } else {
         0.0
     };
+    if let Some(es) = exec_span {
+        nlrm_obs::ctx::span_annotate(es, "compute_s", format!("{:.3}", timing.compute_s));
+        nlrm_obs::ctx::span_annotate(es, "comm_s", format!("{:.3}", timing.comm_s));
+        nlrm_obs::ctx::span_end(es, at(timing.total_s));
+    }
     timing
 }
 
@@ -407,6 +520,73 @@ mod tests {
             "comm fraction {}",
             t.comm_fraction()
         );
+    }
+
+    #[test]
+    fn traced_execution_records_a_nested_subtree() {
+        let mut cluster = quiet(2);
+        let comm = ring_comm(&[0, 1], 2);
+        let toy = Toy {
+            steps: 3,
+            gcycles: 3.0,
+            msg_bytes: 1e6,
+        };
+        let obs = nlrm_obs::Obs::new();
+        let trace = TraceId::for_job(9);
+        let timing = {
+            let _g = nlrm_obs::install(&obs);
+            let tc = TraceCtx {
+                trace,
+                parent: None,
+            };
+            execute_traced(&mut cluster, &comm, &toy, Some(&tc))
+        };
+        let spans = obs.spans.trace_spans(trace);
+        assert_eq!(obs.spans.open_count(), 0, "everything closed");
+        let exec = spans.iter().find(|s| s.kind == "exec").unwrap();
+        assert!(
+            (exec.duration().as_secs_f64() - timing.total_s).abs() < 1e-3,
+            "exec span covers the whole run"
+        );
+        let steps: Vec<_> = spans.iter().filter(|s| s.kind == "step").collect();
+        assert_eq!(steps.len(), 3);
+        // 4 ranks × 3 steps of compute, plus p2p and the allreduce per step
+        assert_eq!(spans.iter().filter(|s| s.kind == "compute").count(), 12);
+        assert_eq!(spans.iter().filter(|s| s.kind == "p2p").count(), 3);
+        assert_eq!(spans.iter().filter(|s| s.kind == "collective").count(), 3);
+        // everything nests: child interval inside its parent's
+        let by_id: std::collections::BTreeMap<u64, &nlrm_obs::Span> =
+            spans.iter().map(|s| (s.id.0, s)).collect();
+        for s in &spans {
+            if let Some(p) = s.parent {
+                let p = by_id[&p.0];
+                assert!(s.start >= p.start, "{} starts before parent", s.kind);
+                assert!(
+                    s.end.unwrap() <= p.end.unwrap(),
+                    "{} ends after parent",
+                    s.kind
+                );
+            }
+        }
+        // the critical path of the exec subtree tiles the exec duration
+        let path = obs.spans.critical_path(trace).unwrap();
+        assert_eq!(path.total(), exec.duration());
+        assert!(path.kind_count() >= 3, "kinds: {:?}", path.by_kind());
+    }
+
+    #[test]
+    fn untraced_execution_records_nothing() {
+        let mut cluster = quiet(2);
+        let comm = ring_comm(&[0, 1], 2);
+        let toy = Toy {
+            steps: 2,
+            gcycles: 1.0,
+            msg_bytes: 0.0,
+        };
+        let obs = nlrm_obs::Obs::new();
+        let _g = nlrm_obs::install(&obs);
+        execute(&mut cluster, &comm, &toy);
+        assert!(obs.spans.is_empty(), "plain execute must not trace");
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //!   each rank's effective CPU share (background load steals cores), then
 //!   communication runs under contention; the cluster's clock advances in
 //!   step with the job, and the job's own load/traffic are visible to the
-//!   monitoring daemons while it runs.
+//!   monitoring daemons while it runs. [`execute_traced`] additionally
+//!   records the run as a causal span subtree (per-step, per-rank compute,
+//!   per-collective) in the installed `nlrm-obs` observer.
 
 pub mod collectives;
 pub mod comm;
@@ -33,5 +35,5 @@ pub mod pattern;
 pub mod profiler;
 
 pub use comm::Communicator;
-pub use exec::{execute, JobTiming};
+pub use exec::{execute, execute_traced, JobTiming, TraceCtx};
 pub use pattern::{Collective, Message, Phase, Workload};

@@ -38,6 +38,18 @@ pub enum Collective {
     },
 }
 
+impl Collective {
+    /// Stable lower-case operation name, used in trace span attributes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Collective::Allreduce { .. } => "allreduce",
+            Collective::Bcast { .. } => "bcast",
+            Collective::Barrier => "barrier",
+            Collective::AllToAll { .. } => "alltoall",
+        }
+    }
+}
+
 /// One bulk-synchronous timestep: per-rank compute work, then P2P
 /// messages (concurrent), then collectives (in order).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]

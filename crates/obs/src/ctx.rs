@@ -14,16 +14,20 @@
 
 use crate::journal::{EventKind, Journal, Severity};
 use crate::metrics::Metrics;
+use crate::span::{SpanId, SpanStore, TraceId};
 use nlrm_sim_core::time::SimTime;
 use std::cell::RefCell;
 
-/// A journal + metrics pair: the unit of observation for one scenario.
+/// A journal + metrics + span-store triple: the unit of observation for one
+/// scenario.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// The event journal.
     pub journal: Journal,
     /// The metrics registry.
     pub metrics: Metrics,
+    /// The trace span store.
+    pub spans: SpanStore,
 }
 
 impl Obs {
@@ -37,6 +41,7 @@ impl Obs {
         Obs {
             journal: Journal::new(capacity),
             metrics: Metrics::new(),
+            spans: SpanStore::default(),
         }
     }
 }
@@ -82,6 +87,13 @@ pub fn with<F: FnOnce(&Obs)>(f: F) {
     }
 }
 
+/// Like [`with`], but `f` returns a value; `None` when no observer is
+/// installed.
+pub fn with_value<R, F: FnOnce(&Obs) -> R>(f: F) -> Option<R> {
+    let obs = CURRENT.with(|c| c.borrow().clone());
+    obs.map(|obs| f(&obs))
+}
+
 /// Record an event into the installed journal (no-op when inactive).
 pub fn emit(severity: Severity, at: SimTime, kind: EventKind) {
     with(|obs| {
@@ -114,6 +126,61 @@ pub fn set_gauge(name: &str, v: f64) {
 /// Record `v` into the installed histogram `name` (no-op when inactive).
 pub fn observe(name: &str, bounds: &[f64], v: f64) {
     with(|obs| obs.metrics.observe(name, bounds, v));
+}
+
+/// Open a span in the installed span store (`None` when inactive, the
+/// store is full, or `parent` is unknown).
+pub fn span_start(
+    trace: TraceId,
+    parent: Option<SpanId>,
+    kind: &str,
+    track: &str,
+    at: SimTime,
+) -> Option<SpanId> {
+    with_value(|obs| obs.spans.start(trace, parent, kind, track, at)).flatten()
+}
+
+/// [`span_start`] with initial attributes (no-op when inactive).
+pub fn span_start_kv(
+    trace: TraceId,
+    parent: Option<SpanId>,
+    kind: &str,
+    track: &str,
+    at: SimTime,
+    attrs: Vec<(String, String)>,
+) -> Option<SpanId> {
+    with_value(|obs| obs.spans.start_kv(trace, parent, kind, track, at, attrs)).flatten()
+}
+
+/// Close a span in the installed span store (no-op when inactive).
+pub fn span_end(id: SpanId, at: SimTime) {
+    with(|obs| {
+        obs.spans.end(id, at);
+    });
+}
+
+/// Record an already-finished span in the installed store (no-op when
+/// inactive).
+pub fn span_closed(
+    trace: TraceId,
+    parent: Option<SpanId>,
+    kind: &str,
+    track: &str,
+    start: SimTime,
+    end: SimTime,
+    attrs: Vec<(String, String)>,
+) -> Option<SpanId> {
+    with_value(|obs| {
+        obs.spans
+            .closed(trace, parent, kind, track, start, end, attrs)
+    })
+    .flatten()
+}
+
+/// Append an attribute to a span in the installed store (no-op when
+/// inactive).
+pub fn span_annotate(id: SpanId, key: &str, value: impl Into<String>) {
+    with(|obs| obs.spans.annotate(id, key, value.into()));
 }
 
 #[cfg(test)]
@@ -165,6 +232,39 @@ mod tests {
         emit(Severity::Info, SimTime::ZERO, tick());
         assert_eq!(inner.journal.len(), 1);
         assert_eq!(outer.journal.len(), 1);
+    }
+
+    #[test]
+    fn spans_record_through_the_context() {
+        let obs = Obs::new();
+        {
+            let _g = install(&obs);
+            let trace = TraceId::for_job(4);
+            let root = span_start(trace, None, "job", "broker/jobs", SimTime::from_secs(1))
+                .expect("observer installed");
+            span_annotate(root, "job", "md16-0");
+            let wait = span_closed(
+                trace,
+                Some(root),
+                "queue_wait",
+                "broker/queue",
+                SimTime::from_secs(1),
+                SimTime::from_secs(3),
+                vec![],
+            )
+            .expect("observer installed");
+            assert_ne!(root, wait);
+            span_end(root, SimTime::from_secs(5));
+        }
+        assert_eq!(obs.spans.len(), 2);
+        assert_eq!(obs.spans.open_count(), 0);
+        assert_eq!(
+            obs.spans.spans()[0].attrs,
+            vec![("job".into(), "md16-0".into())]
+        );
+        // without an observer, span calls are inert
+        assert!(span_start(TraceId::SYSTEM, None, "x", "x", SimTime::ZERO).is_none());
+        assert_eq!(obs.spans.len(), 2);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! into the same ring.
 
 use crate::json;
+use crate::lock;
 use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_topology::NodeId;
 use std::collections::VecDeque;
@@ -328,17 +329,17 @@ impl Journal {
 
     /// Drop future events below `min` (already-recorded events stay).
     pub fn set_min_severity(&self, min: Severity) {
-        self.inner.lock().unwrap().min_severity = min;
+        lock::lock(&self.inner).min_severity = min;
     }
 
     /// The current severity floor.
     pub fn min_severity(&self) -> Severity {
-        self.inner.lock().unwrap().min_severity
+        lock::lock(&self.inner).min_severity
     }
 
     /// Would an event at `severity` be recorded right now?
     pub fn accepts(&self, severity: Severity) -> bool {
-        severity >= self.inner.lock().unwrap().min_severity
+        severity >= lock::lock(&self.inner).min_severity
     }
 
     /// Record an event. Returns `false` if the severity filter rejected it.
@@ -354,7 +355,7 @@ impl Journal {
         kind: EventKind,
         fields: Vec<(String, String)>,
     ) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock::lock(&self.inner);
         if severity < inner.min_severity {
             inner.filtered += 1;
             return false;
@@ -377,7 +378,7 @@ impl Journal {
 
     /// Number of events currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().events.len()
+        lock::lock(&self.inner).events.len()
     }
 
     /// True when nothing is retained.
@@ -387,28 +388,28 @@ impl Journal {
 
     /// Ring capacity.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().unwrap().capacity
+        lock::lock(&self.inner).capacity
     }
 
     /// Events recorded over the journal's lifetime (retained + dropped).
     pub fn total_recorded(&self) -> u64 {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock::lock(&self.inner);
         inner.next_seq
     }
 
     /// Events evicted by the ring.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().unwrap().dropped
+        lock::lock(&self.inner).dropped
     }
 
     /// Events rejected by the severity filter.
     pub fn filtered(&self) -> u64 {
-        self.inner.lock().unwrap().filtered
+        lock::lock(&self.inner).filtered
     }
 
     /// Snapshot of the retained events, in emission order.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.lock().unwrap().events.iter().cloned().collect()
+        lock::lock(&self.inner).events.iter().cloned().collect()
     }
 
     /// Retained events of one kind (by [`EventKind::name`]).
@@ -421,9 +422,7 @@ impl Journal {
 
     /// Count of retained events of one kind.
     pub fn count_of(&self, kind_name: &str) -> usize {
-        self.inner
-            .lock()
-            .unwrap()
+        lock::lock(&self.inner)
             .events
             .iter()
             .filter(|e| e.kind.name() == kind_name)

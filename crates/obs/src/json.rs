@@ -52,6 +52,183 @@ pub fn object(pairs: &[(&str, String)]) -> String {
     format!("{{{}}}", body.join(","))
 }
 
+/// Maximum container nesting [`validate`] accepts, guarding its recursion.
+const MAX_DEPTH: usize = 256;
+
+/// Check that `s` is exactly one well-formed JSON value (RFC 8259 grammar:
+/// objects, arrays, strings with escapes, numbers, `true`/`false`/`null`).
+///
+/// The hand-rolled exporters in this workspace assemble JSON by string
+/// concatenation; this recursive-descent checker is how tests prove the
+/// output would survive a real parser without vendoring one.
+pub fn validate(s: &str) -> Result<(), String> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.value(0)?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.i))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'{') => self.container(depth, b'}', true),
+            Some(b'[') => self.container(depth, b']', false),
+            Some(b'"') => self.string_value(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.i)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    /// Parse `{...}` (`keyed`) or `[...]` — both are comma-separated lists
+    /// differing only in the `"key":` prefix per element.
+    fn container(&mut self, depth: usize, close: u8, keyed: bool) -> Result<(), String> {
+        self.i += 1; // opening bracket, dispatched on by value()
+        self.skip_ws();
+        if self.peek() == Some(close) {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            if keyed {
+                self.string_value()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+            }
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                    self.skip_ws();
+                }
+                Some(c) if c == close => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or container end at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string_value(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(format!("bad \\u escape at byte {}", self.i)),
+                                }
+                            }
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(format!("raw control byte in string at {}", self.i));
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(c) if c.is_ascii_digit() => self.digits(),
+            _ => return Err(format!("bad number at byte {}", self.i)),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(format!("bad fraction at byte {}", self.i));
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(format!("bad exponent at byte {}", self.i));
+            }
+            self.digits();
+        }
+        Ok(())
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +254,64 @@ mod tests {
         let obj = object(&[("a", num(1.0)), ("b", string("x"))]);
         assert_eq!(obj, "{\"a\":1,\"b\":\"x\"}");
         assert_eq!(array(&[num(1.0), num(2.0)]), "[1,2]");
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            " false ",
+            "0",
+            "-12.5e+3",
+            "\"a\\n\\u00e9\"",
+            r#"{"a":[1,2,{"b":null}],"c":"x"}"#,
+            "[0.25, 1e9, \"\\\\\"]",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "\"bad\\escape\"",
+            "\"ctrl\u{1}\"",
+            "[1] extra",
+            "'single'",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn validate_bounds_nesting_depth() {
+        let deep_ok = format!("{}0{}", "[".repeat(200), "]".repeat(200));
+        validate(&deep_ok).unwrap();
+        let too_deep = format!("{}0{}", "[".repeat(300), "]".repeat(300));
+        assert!(validate(&too_deep).is_err());
+    }
+
+    #[test]
+    fn own_helpers_produce_valid_json() {
+        let doc = object(&[
+            ("text", string("weird \"stuff\"\n\t\u{1}")),
+            ("nums", array(&[num(1.5), num(f64::NAN), num(-3.0)])),
+            ("nested", object(&[("empty", array(&[]))])),
+        ]);
+        validate(&doc).unwrap();
     }
 }

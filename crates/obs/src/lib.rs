@@ -15,25 +15,37 @@
 //! * [`explain`] — allocation-decision explain traces: the top-k candidate
 //!   groups with their compute/network cost components and a verdict on why
 //!   the winner won (surfaced through `nlrm_core`'s `Diagnostics`).
+//! * [`span`] — causal span tracing over virtual time: per-job trace trees
+//!   ([`TraceId`]/[`SpanId`], parent links, key/value attributes) with
+//!   enforced child-within-parent nesting, critical-path extraction
+//!   ([`CriticalPath`]), Chrome trace-event export (loadable in Perfetto),
+//!   and a per-trace text summary.
 //! * [`ctx`] — a scoped, thread-local observer (the `tracing`-dispatcher
 //!   pattern): install an [`Obs`] around a scenario and every instrumented
-//!   layer (monitor runtime, central monitor, load derivation, broker)
-//!   emits into it; with nothing installed, instrumentation is a single
-//!   thread-local check.
+//!   layer (monitor runtime, central monitor, load derivation, broker, MPI
+//!   executor) emits into it; with nothing installed, instrumentation is a
+//!   single thread-local check.
+//! * [`lock`] — poison-tolerant locking for all observer-internal state, so
+//!   a panic on one instrumented thread cannot cascade through unrelated
+//!   observers.
 //! * [`progress`] — the shared structured progress logger for experiment
 //!   binaries (`NLRM_QUIET` silences it).
-//! * [`json`] — minimal JSON string escaping/formatting (the vendored serde
-//!   is a no-op shim, so all exporters hand-roll their JSON).
+//! * [`json`] — minimal JSON string escaping/formatting plus a validity
+//!   checker (the vendored serde is a no-op shim, so all exporters
+//!   hand-roll their JSON and tests prove it parses).
 
 pub mod ctx;
 pub mod explain;
 pub mod journal;
 pub mod json;
+pub mod lock;
 pub mod metrics;
 pub mod progress;
+pub mod span;
 
 pub use ctx::{install, Obs, ObsGuard};
 pub use explain::{ExplainTrace, GroupExplain};
 pub use journal::{Event, EventKind, Journal, Severity};
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use progress::Progress;
+pub use span::{CriticalPath, PathSegment, Span, SpanId, SpanStore, TraceId};

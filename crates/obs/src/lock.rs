@@ -1,0 +1,40 @@
+//! Poison-tolerant locking.
+//!
+//! Observers are passive: a panic on an *instrumented* thread must never
+//! cascade into unrelated threads that happen to share a journal, metrics
+//! registry, or span store. `std::sync::Mutex` poisons itself when a holder
+//! panics, and every later `lock().unwrap()` then panics too — exactly the
+//! cascade we do not want from code whose whole job is to watch. All
+//! observer-internal state is plain data (counters, rings, maps) with no
+//! cross-field invariants that a mid-update panic could break mid-way, so
+//! recovering the guard from a poisoned lock is sound here.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn poisoned_mutex_still_locks() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::panic::catch_unwind(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        });
+        assert!(m.is_poisoned());
+        let mut guard = lock(&m);
+        *guard += 1;
+        drop(guard);
+        assert_eq!(*lock(&m), 8);
+    }
+}

@@ -11,6 +11,7 @@
 //! observed values sit on bucket boundaries.
 
 use crate::json;
+use crate::lock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -36,19 +37,22 @@ impl Counter {
     }
 }
 
-/// Last-value gauge handle.
+/// Last-value gauge handle. The `f64` travels as its bit pattern in an
+/// [`AtomicU64`], so hot-path updates never block and a panicking writer
+/// can never poison readers. (`0u64` is the bit pattern of `0.0`, so the
+/// derived default starts at zero like the old locked version did.)
 #[derive(Debug, Clone, Default)]
-pub struct Gauge(Arc<Mutex<f64>>);
+pub struct Gauge(Arc<AtomicU64>);
 
 impl Gauge {
     /// Overwrite the value.
     pub fn set(&self, v: f64) {
-        *self.0.lock().unwrap() = v;
+        self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
-        *self.0.lock().unwrap()
+        f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
 
@@ -211,9 +215,7 @@ impl Metrics {
 
     /// The counter named `name`, creating it at 0 on first use.
     pub fn counter(&self, name: &str) -> Counter {
-        self.inner
-            .lock()
-            .unwrap()
+        lock::lock(&self.inner)
             .counters
             .entry(name.to_string())
             .or_default()
@@ -222,9 +224,7 @@ impl Metrics {
 
     /// The gauge named `name`, creating it at 0 on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
-        self.inner
-            .lock()
-            .unwrap()
+        lock::lock(&self.inner)
             .gauges
             .entry(name.to_string())
             .or_default()
@@ -234,9 +234,7 @@ impl Metrics {
     /// The histogram named `name`, creating it with `bounds` on first use
     /// (later calls keep the original bounds).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Mutex<Histogram>> {
-        self.inner
-            .lock()
-            .unwrap()
+        lock::lock(&self.inner)
             .histograms
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Mutex::new(Histogram::new(bounds))))
@@ -261,14 +259,13 @@ impl Metrics {
     /// Record `v` into the histogram `name` (created with `bounds` on first
     /// use).
     pub fn observe(&self, name: &str, bounds: &[f64], v: f64) {
-        self.histogram(name, bounds).lock().unwrap().observe(v);
+        let h = self.histogram(name, bounds);
+        lock::lock(&h).observe(v);
     }
 
     /// Current value of the counter `name` (0 if absent).
     pub fn counter_value(&self, name: &str) -> u64 {
-        self.inner
-            .lock()
-            .unwrap()
+        lock::lock(&self.inner)
             .counters
             .get(name)
             .map_or(0, Counter::get)
@@ -276,9 +273,7 @@ impl Metrics {
 
     /// Current value of the gauge `name` (0 if absent).
     pub fn gauge_value(&self, name: &str) -> f64 {
-        self.inner
-            .lock()
-            .unwrap()
+        lock::lock(&self.inner)
             .gauges
             .get(name)
             .map_or(0.0, Gauge::get)
@@ -286,18 +281,16 @@ impl Metrics {
 
     /// Snapshot of the histogram `name`, if present.
     pub fn histogram_snapshot(&self, name: &str) -> Option<Histogram> {
-        self.inner
-            .lock()
-            .unwrap()
+        lock::lock(&self.inner)
             .histograms
             .get(name)
-            .map(|h| h.lock().unwrap().clone())
+            .map(|h| lock::lock(h).clone())
     }
 
     /// Export the whole registry as one JSON object with `counters`,
     /// `gauges`, and `histograms` sections.
     pub fn to_json(&self) -> String {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock::lock(&self.inner);
         let counters: Vec<(&str, String)> = inner
             .counters
             .iter()
@@ -311,7 +304,7 @@ impl Metrics {
         let histograms: Vec<(&str, String)> = inner
             .histograms
             .iter()
-            .map(|(k, h)| (k.as_str(), h.lock().unwrap().to_json()))
+            .map(|(k, h)| (k.as_str(), lock::lock(h).to_json()))
             .collect();
         json::object(&[
             ("counters", json::object(&counters)),
@@ -322,7 +315,7 @@ impl Metrics {
 
     /// Export the registry as Prometheus-style exposition text.
     pub fn to_prometheus(&self) -> String {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock::lock(&self.inner);
         let mut out = String::new();
         for (name, c) in &inner.counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
@@ -331,7 +324,7 @@ impl Metrics {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
         }
         for (name, h) in &inner.histograms {
-            let h = h.lock().unwrap();
+            let h = lock::lock(h);
             out.push_str(&format!("# TYPE {name} histogram\n"));
             let mut acc = 0;
             for (b, c) in h.bounds.iter().zip(&h.counts) {
@@ -364,6 +357,35 @@ mod tests {
         c.inc();
         assert_eq!(m.counter_value("relaunch_total"), 4);
         assert_eq!(m.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn gauge_is_atomic_and_handle_shared() {
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0.0, "default bit pattern is 0.0");
+        let g2 = g.clone();
+        g.set(-2.5);
+        assert_eq!(g2.get(), -2.5);
+        g2.set(1e-300);
+        assert_eq!(g.get(), 1e-300, "full f64 range survives the bit cast");
+    }
+
+    #[test]
+    fn poisoned_histogram_lock_is_recovered() {
+        let m = Metrics::new();
+        m.observe("h_secs", &[1.0], 0.5);
+        let h = m.histogram("h_secs", &[1.0]);
+        let h2 = Arc::clone(&h);
+        let _ = std::panic::catch_unwind(move || {
+            let _guard = h2.lock().unwrap();
+            panic!("poison the histogram");
+        });
+        assert!(h.is_poisoned());
+        // observation, snapshot, and both exporters must all still work
+        m.observe("h_secs", &[1.0], 2.0);
+        assert_eq!(m.histogram_snapshot("h_secs").unwrap().count(), 2);
+        assert!(m.to_json().contains("\"h_secs\""));
+        assert!(m.to_prometheus().contains("h_secs_count 2"));
     }
 
     #[test]

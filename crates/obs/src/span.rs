@@ -1,0 +1,956 @@
+//! Causal span tracing over virtual time.
+//!
+//! A [`Span`] is a named interval of **virtual time** ([`SimTime`]) with a
+//! parent link, so the spans of one [`TraceId`] form a tree: the per-job
+//! story of where its time went between submission, monitor-data readiness,
+//! allocation scoring, placement, and MPI execution. Spans live in a
+//! [`SpanStore`] (a cheap clonable handle on [`Obs`](crate::Obs)), recorded
+//! through the thread-local [`ctx`](crate::ctx) free functions so
+//! instrumentation stays a no-op when no observer is installed.
+//!
+//! Invariants the store enforces regardless of caller discipline:
+//!
+//! * a child's interval always nests inside its parent's — starts are
+//!   clamped at open time, and ending a span clamps (and auto-ends) every
+//!   descendant into the closed interval;
+//! * memory is bounded: past [`SpanStore::capacity`] new spans are counted
+//!   as dropped instead of recorded.
+//!
+//! On top of the tree, [`SpanStore::critical_path`] extracts the child
+//! chain that dominated a trace's end-to-end latency (parallel siblings
+//! lose to the one that gated completion), with exact-in-microseconds time
+//! attribution per span kind. Exports: Chrome trace-event JSON (loadable in
+//! Perfetto; `pid`/`tid` mapped from each span's [`Span::track`]) and an
+//! indented text tree.
+
+use crate::json;
+use crate::lock;
+use nlrm_sim_core::time::{Duration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// First trace id handed out by [`SpanStore::new_trace`], leaving the range
+/// below for externally derived ids ([`TraceId::for_job`], system traces).
+const TRACE_AUTO_BASE: u64 = 1 << 32;
+
+/// Identifies one trace: a tree of spans telling one job's (or the
+/// monitor's) story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The system trace: monitor daemon ticks and other per-run background
+    /// spans that belong to no particular job.
+    pub const SYSTEM: TraceId = TraceId(0);
+
+    /// Deterministic trace id for a broker job id — stable across runs and
+    /// computable without an observer installed.
+    pub fn for_job(job: u64) -> TraceId {
+        TraceId(job + 1)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies one span within a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One named interval of virtual time in a trace tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// The trace this span belongs to (inherited from the parent).
+    pub trace: TraceId,
+    /// This span's id (creation-ordered within the store).
+    pub id: SpanId,
+    /// Causal parent, if any.
+    pub parent: Option<SpanId>,
+    /// Span kind (`job`, `queue_wait`, `scoring`, `exec`, `compute`, …) —
+    /// the unit of critical-path time attribution.
+    pub kind: String,
+    /// Where it ran, as `process/thread` (the second part optional):
+    /// `broker/queue`, `node:n3/nodestate`, `mpi:md16-0/rank5`. Mapped to
+    /// `pid`/`tid` in the Chrome export.
+    pub track: String,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual end time; `None` while the span is open.
+    pub end: Option<SimTime>,
+    /// Free-form key/value attributes.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Span length; zero while the span is still open.
+    pub fn duration(&self) -> Duration {
+        self.end.map_or(Duration::ZERO, |e| e - self.start)
+    }
+
+    /// Is the span still open?
+    pub fn is_open(&self) -> bool {
+        self.end.is_none()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    capacity: usize,
+    next_span: u64,
+    next_trace: u64,
+    /// All spans, keyed (and creation-ordered) by raw id.
+    spans: BTreeMap<u64, Span>,
+    /// Direct children per raw span id.
+    children: BTreeMap<u64, Vec<u64>>,
+    open: usize,
+    dropped: u64,
+}
+
+/// Bounded store of trace spans (cheap clonable handle).
+#[derive(Debug, Clone)]
+pub struct SpanStore {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for SpanStore {
+    /// A store retaining at most 64 Ki spans.
+    fn default() -> Self {
+        SpanStore::new(64 * 1024)
+    }
+}
+
+impl SpanStore {
+    /// A store retaining at most `capacity` spans; further spans are
+    /// counted as dropped. Capacity 0 is clamped to 1.
+    pub fn new(capacity: usize) -> Self {
+        SpanStore {
+            inner: Arc::new(Mutex::new(Inner {
+                capacity: capacity.max(1),
+                next_trace: TRACE_AUTO_BASE,
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// Allocate a fresh trace id (disjoint from [`TraceId::for_job`] ids).
+    pub fn new_trace(&self) -> TraceId {
+        let mut inner = lock::lock(&self.inner);
+        let id = inner.next_trace;
+        inner.next_trace += 1;
+        TraceId(id)
+    }
+
+    /// Open a span at virtual time `at`. Returns `None` when the store is
+    /// full or `parent` is unknown. With a parent, the span joins the
+    /// parent's trace and its start is clamped into the parent's interval.
+    pub fn start(
+        &self,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        kind: &str,
+        track: &str,
+        at: SimTime,
+    ) -> Option<SpanId> {
+        self.start_kv(trace, parent, kind, track, at, Vec::new())
+    }
+
+    /// [`SpanStore::start`] with initial attributes.
+    pub fn start_kv(
+        &self,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        kind: &str,
+        track: &str,
+        at: SimTime,
+        attrs: Vec<(String, String)>,
+    ) -> Option<SpanId> {
+        let mut inner = lock::lock(&self.inner);
+        if inner.spans.len() >= inner.capacity {
+            inner.dropped += 1;
+            return None;
+        }
+        let mut trace = trace;
+        let mut start = at;
+        if let Some(p) = parent {
+            let Some(ps) = inner.spans.get(&p.0) else {
+                inner.dropped += 1;
+                return None;
+            };
+            trace = ps.trace;
+            start = start.max(ps.start);
+            if let Some(pe) = ps.end {
+                start = start.min(pe);
+            }
+        }
+        let id = SpanId(inner.next_span);
+        inner.next_span += 1;
+        inner.spans.insert(
+            id.0,
+            Span {
+                trace,
+                id,
+                parent,
+                kind: kind.to_string(),
+                track: track.to_string(),
+                start,
+                end: None,
+                attrs,
+            },
+        );
+        inner.open += 1;
+        if let Some(p) = parent {
+            inner.children.entry(p.0).or_default().push(id.0);
+        }
+        Some(id)
+    }
+
+    /// Close a span at virtual time `at`. The end is clamped to not precede
+    /// the span's own start nor exceed an already-finished parent's end,
+    /// and every descendant is clamped (auto-ending still-open ones) into
+    /// the closed interval, so child spans can never stick out of their
+    /// parent. Returns `false` for unknown or already-closed spans.
+    pub fn end(&self, id: SpanId, at: SimTime) -> bool {
+        let mut inner = lock::lock(&self.inner);
+        let inner = &mut *inner;
+        let Some(span) = inner.spans.get(&id.0) else {
+            return false;
+        };
+        if span.end.is_some() {
+            return false;
+        }
+        let mut at = at.max(span.start);
+        if let Some(pe) = span
+            .parent
+            .and_then(|p| inner.spans.get(&p.0))
+            .and_then(|p| p.end)
+        {
+            // start() clamped our start to <= pe, so this keeps at >= start
+            at = at.min(pe);
+        }
+        inner.spans.get_mut(&id.0).expect("present above").end = Some(at);
+        inner.open -= 1;
+        // Clamp the whole subtree into [span.start, at]. The bound tightens
+        // as the walk descends: a child opened under an already-closed
+        // parent must land inside that parent's (possibly earlier) end, not
+        // merely inside the span being closed now.
+        let mut stack: Vec<(u64, SimTime)> = inner
+            .children
+            .get(&id.0)
+            .into_iter()
+            .flatten()
+            .map(|&c| (c, at))
+            .collect();
+        while let Some((c, bound)) = stack.pop() {
+            let s = inner.spans.get_mut(&c).expect("child recorded");
+            if s.start > bound {
+                s.start = bound;
+            }
+            match s.end {
+                None => {
+                    s.end = Some(bound);
+                    inner.open -= 1;
+                }
+                Some(e) if e > bound => s.end = Some(bound),
+                _ => {}
+            }
+            let child_bound = s.end.expect("set above");
+            stack.extend(
+                inner
+                    .children
+                    .get(&c)
+                    .into_iter()
+                    .flatten()
+                    .map(|&g| (g, child_bound)),
+            );
+        }
+        true
+    }
+
+    /// Record an already-finished span in one call (used for intervals
+    /// whose bounds are both known, e.g. queue wait at grant time).
+    #[allow(clippy::too_many_arguments)] // mirrors start_kv + the end stamp
+    pub fn closed(
+        &self,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        kind: &str,
+        track: &str,
+        start: SimTime,
+        end: SimTime,
+        attrs: Vec<(String, String)>,
+    ) -> Option<SpanId> {
+        let id = self.start_kv(trace, parent, kind, track, start, attrs)?;
+        self.end(id, end);
+        Some(id)
+    }
+
+    /// Append an attribute to an existing span.
+    pub fn annotate(&self, id: SpanId, key: &str, value: impl Into<String>) {
+        if let Some(s) = lock::lock(&self.inner).spans.get_mut(&id.0) {
+            s.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        lock::lock(&self.inner).spans.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of spans still open.
+    pub fn open_count(&self) -> usize {
+        lock::lock(&self.inner).open
+    }
+
+    /// Spans rejected because the store was full (or the parent unknown).
+    pub fn dropped(&self) -> u64 {
+        lock::lock(&self.inner).dropped
+    }
+
+    /// Maximum number of retained spans.
+    pub fn capacity(&self) -> usize {
+        lock::lock(&self.inner).capacity
+    }
+
+    /// Snapshot of all spans, in creation order.
+    pub fn spans(&self) -> Vec<Span> {
+        lock::lock(&self.inner).spans.values().cloned().collect()
+    }
+
+    /// Snapshot of one trace's spans, in creation order.
+    pub fn trace_spans(&self, trace: TraceId) -> Vec<Span> {
+        lock::lock(&self.inner)
+            .spans
+            .values()
+            .filter(|s| s.trace == trace)
+            .cloned()
+            .collect()
+    }
+
+    /// Distinct trace ids present, ascending.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let inner = lock::lock(&self.inner);
+        let mut ids: Vec<TraceId> = inner.spans.values().map(|s| s.trace).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// The trace's root: its earliest-started parentless finished span.
+    pub fn root_of(&self, trace: TraceId) -> Option<Span> {
+        let spans = self.trace_spans(trace);
+        root_span(&spans).cloned()
+    }
+
+    /// Extract the critical path of a finished trace (open spans are
+    /// ignored). See [`critical_path_of`].
+    pub fn critical_path(&self, trace: TraceId) -> Option<CriticalPath> {
+        critical_path_of(trace, &self.trace_spans(trace))
+    }
+
+    /// Export every finished span as Chrome trace-event JSON (open in
+    /// `ui.perfetto.dev` or `chrome://tracing`). Each distinct
+    /// [`Span::track`] process maps to a `pid` and each thread to a `tid`,
+    /// with metadata events carrying the human names; span attributes,
+    /// trace, span, and parent ids travel in `args`.
+    pub fn to_chrome_json(&self) -> String {
+        let spans = self.spans();
+        let mut pids: BTreeMap<String, u64> = BTreeMap::new();
+        let mut tids: BTreeMap<String, u64> = BTreeMap::new();
+        let mut events: Vec<String> = Vec::new();
+        let mut open = 0u64;
+        for s in &spans {
+            let Some(end) = s.end else {
+                open += 1;
+                continue;
+            };
+            let (proc_name, thread_name) = match s.track.split_once('/') {
+                Some((p, t)) => (p.to_string(), t.to_string()),
+                None => (s.track.clone(), s.track.clone()),
+            };
+            let next_pid = pids.len() as u64 + 1;
+            let pid = *pids.entry(proc_name.clone()).or_insert_with(|| {
+                events.push(meta_event("process_name", next_pid, None, &proc_name));
+                next_pid
+            });
+            let next_tid = tids.len() as u64 + 1;
+            let tid = *tids.entry(s.track.clone()).or_insert_with(|| {
+                events.push(meta_event("thread_name", pid, Some(next_tid), &thread_name));
+                next_tid
+            });
+            let mut args: Vec<(&str, String)> = vec![
+                ("trace", json::string(&s.trace.to_string())),
+                ("span", json::string(&s.id.to_string())),
+            ];
+            if let Some(p) = s.parent {
+                args.push(("parent", json::string(&p.to_string())));
+            }
+            for (k, v) in &s.attrs {
+                args.push((k.as_str(), json::string(v)));
+            }
+            events.push(json::object(&[
+                ("name", json::string(&s.kind)),
+                ("cat", json::string(&s.trace.to_string())),
+                ("ph", json::string("X")),
+                ("ts", s.start.as_micros().to_string()),
+                ("dur", (end - s.start).as_micros().to_string()),
+                ("pid", pid.to_string()),
+                ("tid", tid.to_string()),
+                ("args", json::object(&args)),
+            ]));
+        }
+        json::object(&[
+            ("traceEvents", json::array(&events)),
+            ("displayTimeUnit", json::string("ms")),
+            (
+                "otherData",
+                json::object(&[("open_spans", open.to_string())]),
+            ),
+        ])
+    }
+
+    /// Indented text rendering of one trace's span tree, children in start
+    /// order under their parents.
+    pub fn render_trace(&self, trace: TraceId) -> String {
+        let spans = self.trace_spans(trace);
+        let by_id: BTreeMap<u64, &Span> = spans.iter().map(|s| (s.id.0, s)).collect();
+        let mut children: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+        let mut roots: Vec<&Span> = Vec::new();
+        for s in &spans {
+            match s.parent {
+                Some(p) if by_id.contains_key(&p.0) => {
+                    children.entry(p.0).or_default().push(s);
+                }
+                _ => roots.push(s),
+            }
+        }
+        for v in children.values_mut() {
+            v.sort_by_key(|s| (s.start, s.id.0));
+        }
+        roots.sort_by_key(|s| (s.start, s.id.0));
+        let mut out = String::new();
+        fn render(s: &Span, depth: usize, children: &BTreeMap<u64, Vec<&Span>>, out: &mut String) {
+            let end = s.end.map_or("open".to_string(), |e| format!("{e}"));
+            out.push_str(&format!(
+                "{:indent$}{} [{} .. {}] dur={} track={}",
+                "",
+                s.kind,
+                s.start,
+                end,
+                s.duration(),
+                s.track,
+                indent = depth * 2,
+            ));
+            for (k, v) in &s.attrs {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+            for c in children.get(&s.id.0).into_iter().flatten() {
+                render(c, depth + 1, children, out);
+            }
+        }
+        for r in &roots {
+            render(r, 0, &children, &mut out);
+        }
+        out
+    }
+}
+
+fn meta_event(name: &str, pid: u64, tid: Option<u64>, label: &str) -> String {
+    let mut pairs: Vec<(&str, String)> = vec![
+        ("name", json::string(name)),
+        ("ph", json::string("M")),
+        ("pid", pid.to_string()),
+    ];
+    if let Some(t) = tid {
+        pairs.push(("tid", t.to_string()));
+    }
+    pairs.push(("args", json::object(&[("name", json::string(label))])));
+    json::object(&pairs)
+}
+
+/// One interval of the critical path, attributed to the span that was the
+/// deepest gating work during it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSegment {
+    /// The attributed span.
+    pub span: SpanId,
+    /// That span's kind (the attribution key).
+    pub kind: String,
+    /// That span's track.
+    pub track: String,
+    /// Segment start.
+    pub start: SimTime,
+    /// Segment end.
+    pub end: SimTime,
+}
+
+impl PathSegment {
+    /// Segment length.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// The chain of spans that gated a trace's end-to-end latency.
+///
+/// Segments tile the root span's interval exactly — their durations sum to
+/// the trace duration to the microsecond — so per-kind attribution is a
+/// partition of the job's total time, never an over- or under-count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// The trace this path explains.
+    pub trace: TraceId,
+    /// The root span the walk started from.
+    pub root: SpanId,
+    /// Chronological, contiguous segments covering the root interval.
+    pub segments: Vec<PathSegment>,
+}
+
+impl CriticalPath {
+    /// Total path length (equals the root span's duration).
+    pub fn total(&self) -> Duration {
+        self.segments
+            .iter()
+            .fold(Duration::ZERO, |acc, s| acc + s.duration())
+    }
+
+    /// Time attributed to each span kind, descending.
+    pub fn by_kind(&self) -> Vec<(String, Duration)> {
+        let mut acc: BTreeMap<&str, Duration> = BTreeMap::new();
+        for s in &self.segments {
+            *acc.entry(&s.kind).or_insert(Duration::ZERO) += s.duration();
+        }
+        let mut v: Vec<(String, Duration)> =
+            acc.into_iter().map(|(k, d)| (k.to_string(), d)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of distinct span kinds on the path.
+    pub fn kind_count(&self) -> usize {
+        self.by_kind().len()
+    }
+
+    /// Export as one JSON object (`trace`, `root`, `total_s`, `by_kind`,
+    /// `segments`).
+    pub fn to_json(&self) -> String {
+        let segments: Vec<String> = self
+            .segments
+            .iter()
+            .map(|s| {
+                json::object(&[
+                    ("span", json::string(&s.span.to_string())),
+                    ("kind", json::string(&s.kind)),
+                    ("track", json::string(&s.track)),
+                    ("start_s", json::num(s.start.as_secs_f64())),
+                    ("end_s", json::num(s.end.as_secs_f64())),
+                ])
+            })
+            .collect();
+        let by_kind: Vec<String> = self
+            .by_kind()
+            .iter()
+            .map(|(k, d)| {
+                json::object(&[
+                    ("kind", json::string(k)),
+                    ("secs", json::num(d.as_secs_f64())),
+                ])
+            })
+            .collect();
+        json::object(&[
+            ("trace", json::string(&self.trace.to_string())),
+            ("root", json::string(&self.root.to_string())),
+            ("total_s", json::num(self.total().as_secs_f64())),
+            ("by_kind", json::array(&by_kind)),
+            ("segments", json::array(&segments)),
+        ])
+    }
+}
+
+/// The trace's root among `spans`: earliest-started finished span whose
+/// parent is absent (or not finished), ties by lowest id.
+fn root_span(spans: &[Span]) -> Option<&Span> {
+    let finished: BTreeMap<u64, &Span> = spans
+        .iter()
+        .filter(|s| s.end.is_some())
+        .map(|s| (s.id.0, s))
+        .collect();
+    spans
+        .iter()
+        .filter(|s| s.end.is_some())
+        .filter(|s| s.parent.is_none_or(|p| !finished.contains_key(&p.0)))
+        .min_by_key(|s| (s.start, s.id.0))
+}
+
+/// Extract the critical path of `trace` from its spans (open spans are
+/// ignored).
+///
+/// The walk runs backwards from the root's end: at each cursor it descends
+/// into the child whose completion gated that moment (the latest-ending
+/// child not after the cursor), attributes the gap before the cursor to the
+/// current span's own work, and continues from that child's start. Parallel
+/// siblings overlapped by the chosen chain never appear — only the chain
+/// that determined the end-to-end latency does.
+pub fn critical_path_of(trace: TraceId, spans: &[Span]) -> Option<CriticalPath> {
+    let root = root_span(spans)?;
+    let by_id: BTreeMap<u64, &Span> = spans
+        .iter()
+        .filter(|s| s.end.is_some())
+        .map(|s| (s.id.0, s))
+        .collect();
+    let mut children: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+    for s in by_id.values() {
+        if let Some(p) = s.parent {
+            if by_id.contains_key(&p.0) {
+                children.entry(p.0).or_default().push(s);
+            }
+        }
+    }
+    for v in children.values_mut() {
+        // descending end (ties: later span first), the walk order
+        v.sort_by_key(|s| (s.end.expect("finished"), s.id.0));
+        v.reverse();
+    }
+    let mut segments = Vec::new();
+    walk(root, &children, &mut segments);
+    segments.reverse();
+    Some(CriticalPath {
+        trace,
+        root: root.id,
+        segments,
+    })
+}
+
+/// Append `span`'s critical segments in reverse chronological order.
+fn walk(span: &Span, children: &BTreeMap<u64, Vec<&Span>>, segments: &mut Vec<PathSegment>) {
+    let end = span.end.expect("only finished spans are walked");
+    let mut cursor = end;
+    let seg = |start: SimTime, end: SimTime| PathSegment {
+        span: span.id,
+        kind: span.kind.clone(),
+        track: span.track.clone(),
+        start,
+        end,
+    };
+    for child in children.get(&span.id.0).into_iter().flatten() {
+        let cend = child.end.expect("finished");
+        if cend > cursor {
+            // overlapped by the already-chosen chain: not on the path
+            continue;
+        }
+        if cend < cursor {
+            segments.push(seg(cend, cursor));
+        }
+        walk(child, children, segments);
+        cursor = child.start;
+        if cursor == span.start {
+            break;
+        }
+    }
+    if cursor > span.start {
+        segments.push(seg(span.start, cursor));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn spans_nest_and_finish() {
+        let store = SpanStore::new(64);
+        let trace = TraceId::for_job(0);
+        let root = store
+            .start(trace, None, "job", "broker/jobs", t(10))
+            .unwrap();
+        let child = store
+            .start(trace, Some(root), "exec", "mpi/exec", t(12))
+            .unwrap();
+        assert_eq!(store.open_count(), 2);
+        assert!(store.end(child, t(20)));
+        assert!(store.end(root, t(25)));
+        assert!(!store.end(root, t(30)), "double close rejected");
+        let spans = store.trace_spans(trace);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].duration(), Duration::from_secs(15));
+        assert_eq!(spans[1].parent, Some(root));
+        assert_eq!(store.open_count(), 0);
+    }
+
+    #[test]
+    fn child_start_is_clamped_into_parent() {
+        let store = SpanStore::new(64);
+        let root = store
+            .start(TraceId(5), None, "job", "broker", t(100))
+            .unwrap();
+        // child claims to start before its parent: clamped forward
+        let child = store
+            .start(TraceId(5), Some(root), "queue_wait", "broker", t(40))
+            .unwrap();
+        let spans = store.spans();
+        assert_eq!(spans[1].start, t(100));
+        // child trace is inherited even if the caller passes another
+        assert_eq!(spans[1].trace, TraceId(5));
+        store.end(child, t(120));
+        store.end(root, t(110));
+        let spans = store.spans();
+        assert_eq!(spans[0].end, Some(t(110)));
+        assert_eq!(
+            spans[1].end,
+            Some(t(110)),
+            "finished child clamped when parent closes earlier"
+        );
+    }
+
+    #[test]
+    fn ending_a_parent_auto_ends_open_descendants() {
+        let store = SpanStore::new(64);
+        let root = store
+            .start(TraceId(1), None, "job", "broker", t(0))
+            .unwrap();
+        let mid = store
+            .start(TraceId(1), Some(root), "exec", "mpi", t(5))
+            .unwrap();
+        let _leaf = store
+            .start(TraceId(1), Some(mid), "compute", "mpi", t(6))
+            .unwrap();
+        store.end(root, t(9));
+        assert_eq!(store.open_count(), 0);
+        for s in store.spans() {
+            assert!(s.end.unwrap() <= t(9));
+            assert!(s.start <= s.end.unwrap());
+        }
+    }
+
+    #[test]
+    fn capacity_drops_new_spans() {
+        let store = SpanStore::new(2);
+        let a = store.start(TraceId(1), None, "a", "x", t(0));
+        let b = store.start(TraceId(1), None, "b", "x", t(0));
+        let c = store.start(TraceId(1), None, "c", "x", t(0));
+        assert!(a.is_some() && b.is_some());
+        assert!(c.is_none());
+        assert_eq!(store.dropped(), 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn unknown_parent_is_rejected() {
+        let store = SpanStore::new(8);
+        assert!(store
+            .start(TraceId(1), Some(SpanId(99)), "x", "x", t(0))
+            .is_none());
+        assert_eq!(store.dropped(), 1);
+    }
+
+    #[test]
+    fn critical_path_picks_the_gating_chain() {
+        // root [0,100]: queue_wait [0,40], then exec [40,95] whose ranks
+        // run in parallel — rank1 [40,90] gates, rank0 [40,70] does not.
+        let store = SpanStore::new(64);
+        let trace = TraceId::for_job(7);
+        let root = store
+            .start(trace, None, "job", "broker/jobs", t(0))
+            .unwrap();
+        store
+            .closed(
+                trace,
+                Some(root),
+                "queue_wait",
+                "broker/queue",
+                t(0),
+                t(40),
+                vec![],
+            )
+            .unwrap();
+        let exec = store
+            .start(trace, Some(root), "exec", "mpi/exec", t(40))
+            .unwrap();
+        store
+            .closed(
+                trace,
+                Some(exec),
+                "compute",
+                "mpi/rank0",
+                t(40),
+                t(70),
+                vec![],
+            )
+            .unwrap();
+        store
+            .closed(
+                trace,
+                Some(exec),
+                "compute",
+                "mpi/rank1",
+                t(40),
+                t(90),
+                vec![],
+            )
+            .unwrap();
+        store
+            .closed(
+                trace,
+                Some(exec),
+                "collective",
+                "mpi/net",
+                t(90),
+                t(95),
+                vec![],
+            )
+            .unwrap();
+        store.end(exec, t(95));
+        store.end(root, t(100));
+
+        let path = store.critical_path(trace).unwrap();
+        assert_eq!(path.total(), Duration::from_secs(100), "tiles the root");
+        // chronological and contiguous
+        for pair in path.segments.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert_eq!(path.segments[0].start, t(0));
+        assert_eq!(path.segments.last().unwrap().end, t(100));
+        // the gating rank is on the path; the faster one is not
+        let tracks: Vec<&str> = path.segments.iter().map(|s| s.track.as_str()).collect();
+        assert!(tracks.contains(&"mpi/rank1"));
+        assert!(!tracks.contains(&"mpi/rank0"));
+        let by_kind = path.by_kind();
+        let kind_secs = |k: &str| {
+            by_kind
+                .iter()
+                .find(|(n, _)| n == k)
+                .map_or(0.0, |(_, d)| d.as_secs_f64())
+        };
+        assert_eq!(kind_secs("queue_wait"), 40.0);
+        assert_eq!(kind_secs("compute"), 50.0);
+        assert_eq!(kind_secs("collective"), 5.0);
+        assert_eq!(kind_secs("job"), 5.0, "root self-time after exec");
+        assert!(path.kind_count() >= 4);
+    }
+
+    #[test]
+    fn zero_duration_spans_do_not_derail_the_path() {
+        let store = SpanStore::new(64);
+        let trace = TraceId::for_job(1);
+        let root = store.start(trace, None, "job", "broker", t(0)).unwrap();
+        // instantaneous scoring marks at the grant moment
+        store
+            .closed(
+                trace,
+                Some(root),
+                "scoring",
+                "broker/alloc",
+                t(10),
+                t(10),
+                vec![],
+            )
+            .unwrap();
+        store
+            .closed(
+                trace,
+                Some(root),
+                "queue_wait",
+                "broker/queue",
+                t(0),
+                t(10),
+                vec![],
+            )
+            .unwrap();
+        store.end(root, t(10));
+        let path = store.critical_path(trace).unwrap();
+        assert_eq!(path.total(), Duration::from_secs(10));
+        assert_eq!(path.by_kind()[0].0, "queue_wait");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_maps_tracks() {
+        let store = SpanStore::new(64);
+        let trace = TraceId::for_job(3);
+        let root = store
+            .start_kv(
+                trace,
+                None,
+                "job",
+                "broker/jobs",
+                t(1),
+                vec![("job".into(), "md\"16\"".into())],
+            )
+            .unwrap();
+        store
+            .closed(
+                trace,
+                Some(root),
+                "exec",
+                "mpi:md16/rank0",
+                t(2),
+                t(5),
+                vec![],
+            )
+            .unwrap();
+        store.end(root, t(6));
+        let _still_open = store.start(trace, None, "late", "broker/jobs", t(7));
+        let js = store.to_chrome_json();
+        json::validate(&js).expect("chrome export must be valid JSON");
+        assert!(js.contains("\"traceEvents\":["));
+        assert!(js.contains("\"ph\":\"M\""));
+        assert!(js.contains("\"process_name\""));
+        assert!(js.contains("\"thread_name\""));
+        assert!(js.contains("\"ph\":\"X\""));
+        assert!(js.contains("\"ts\":1000000"));
+        assert!(js.contains("\"dur\":3000000"));
+        assert!(js.contains("\"open_spans\":\"1\"") || js.contains("\"open_spans\":1"));
+        // escaped attribute survived
+        assert!(js.contains("md\\\"16\\\""));
+    }
+
+    #[test]
+    fn render_trace_indents_children() {
+        let store = SpanStore::new(64);
+        let trace = TraceId::for_job(2);
+        let root = store.start(trace, None, "job", "broker", t(0)).unwrap();
+        store
+            .closed(
+                trace,
+                Some(root),
+                "queue_wait",
+                "broker",
+                t(0),
+                t(4),
+                vec![],
+            )
+            .unwrap();
+        store.end(root, t(5));
+        let text = store.render_trace(trace);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("job ["));
+        assert!(lines[1].starts_with("  queue_wait ["));
+    }
+
+    #[test]
+    fn new_trace_ids_never_collide_with_job_ids() {
+        let store = SpanStore::new(8);
+        let auto = store.new_trace();
+        assert!(auto.0 >= TRACE_AUTO_BASE);
+        assert!(TraceId::for_job(u32::MAX as u64 - 1).0 < TRACE_AUTO_BASE);
+        assert_ne!(store.new_trace(), auto);
+    }
+}

@@ -1,8 +1,9 @@
-//! Property-based tests for the event journal.
+//! Property-based tests for the event journal and the span store.
 
-use nlrm_obs::{Event, EventKind, Journal, Severity};
+use nlrm_obs::{json, Event, EventKind, Journal, Severity, SpanStore, TraceId};
 use nlrm_sim_core::time::SimTime;
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 fn sev(code: u8) -> Severity {
     match code % 4 {
@@ -95,5 +96,107 @@ proptest! {
             journal.filtered(),
             (stream.len() - expected) as u64
         );
+    }
+}
+
+/// One fuzzed span-store operation: `(op, pick, at_secs)`. Even `op`
+/// opens a span, odd closes one; `pick` selects a parent (for open) or a
+/// victim (for close) among the spans created so far; `at_secs` is the
+/// timestamp — deliberately unconstrained, so children may be "opened"
+/// before their parent and "closed" after it.
+type SpanOp = (u8, usize, u64);
+
+/// Replay a fuzzed op stream against a store; returns the trace used.
+fn replay(store: &SpanStore, ops: &[SpanOp]) -> TraceId {
+    let trace = store.new_trace();
+    let mut ids = Vec::new();
+    for &(op, pick, at_secs) in ops {
+        let at = SimTime::from_secs(at_secs);
+        if op % 2 == 0 || ids.is_empty() {
+            let parent = if ids.is_empty() || pick % 3 == 0 {
+                None
+            } else {
+                Some(ids[pick % ids.len()])
+            };
+            if let Some(id) = store.start(trace, parent, "k", "fuzz/track", at) {
+                ids.push(id);
+            }
+        } else {
+            store.end(ids[pick % ids.len()], at);
+        }
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No matter how adversarial the open/close sequence — children
+    /// opened before their parent, closed after it, closed twice, never
+    /// closed at all — a child's recorded interval never escapes its
+    /// parent's.
+    #[test]
+    fn span_intervals_always_nest(
+        ops in proptest::collection::vec(
+            (0u8..2, 0usize..32, 0u64..1000),
+            1..120,
+        ),
+    ) {
+        let store = SpanStore::new(4096);
+        let trace = replay(&store, &ops);
+        let spans = store.trace_spans(trace);
+        let by_id: BTreeMap<u64, _> = spans.iter().map(|s| (s.id.0, s)).collect();
+        for s in &spans {
+            if let Some(end) = s.end {
+                prop_assert!(s.start <= end, "span ends before it starts");
+            }
+            let Some(parent) = s.parent.and_then(|p| by_id.get(&p.0)) else {
+                continue;
+            };
+            prop_assert!(
+                s.start >= parent.start,
+                "child {} starts at {} before parent start {}",
+                s.id, s.start, parent.start
+            );
+            if let Some(pend) = parent.end {
+                prop_assert!(
+                    s.start <= pend,
+                    "child {} starts at {} after parent end {}",
+                    s.id, s.start, pend
+                );
+                // A still-open child has no recorded interval yet; once it
+                // closes, `end()` clamps it into the parent's interval.
+                if let Some(cend) = s.end {
+                    prop_assert!(
+                        cend <= pend,
+                        "child {} ends at {} after parent end {}",
+                        s.id, cend, pend
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Chrome trace-event export of any fuzzed store state parses as
+    /// valid JSON (round-trips through the validator), and so does the
+    /// text rendering path's JSON sibling for each critical path.
+    #[test]
+    fn chrome_export_is_always_valid_json(
+        ops in proptest::collection::vec(
+            (0u8..2, 0usize..32, 0u64..1000),
+            1..120,
+        ),
+    ) {
+        let store = SpanStore::new(4096);
+        let trace = replay(&store, &ops);
+        let chrome = store.to_chrome_json();
+        prop_assert!(
+            json::validate(&chrome).is_ok(),
+            "chrome export failed validation: {:?}",
+            json::validate(&chrome)
+        );
+        if let Some(path) = store.critical_path(trace) {
+            prop_assert!(json::validate(&path.to_json()).is_ok());
+        }
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha_beta-8d409d8bee738065.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/debug/deps/ablation_alpha_beta-8d409d8bee738065: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

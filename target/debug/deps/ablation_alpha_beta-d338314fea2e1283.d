@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha_beta-d338314fea2e1283.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/debug/deps/ablation_alpha_beta-d338314fea2e1283: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_forecast-948729066a41acc0.d: crates/bench/src/bin/ablation_forecast.rs
+
+/root/repo/target/debug/deps/ablation_forecast-948729066a41acc0: crates/bench/src/bin/ablation_forecast.rs
+
+crates/bench/src/bin/ablation_forecast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_forecast-fc8f92f3ecce6424.d: crates/bench/src/bin/ablation_forecast.rs
+
+/root/repo/target/debug/deps/ablation_forecast-fc8f92f3ecce6424: crates/bench/src/bin/ablation_forecast.rs
+
+crates/bench/src/bin/ablation_forecast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_staleness-4a7d491e7999c5a0.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/debug/deps/ablation_staleness-4a7d491e7999c5a0: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

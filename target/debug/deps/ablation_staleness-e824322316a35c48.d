@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_staleness-e824322316a35c48.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/debug/deps/ablation_staleness-e824322316a35c48: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_weights-4a8f9c8d91d04ec1.d: crates/bench/src/bin/ablation_weights.rs
+
+/root/repo/target/debug/deps/ablation_weights-4a8f9c8d91d04ec1: crates/bench/src/bin/ablation_weights.rs
+
+crates/bench/src/bin/ablation_weights.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_weights-a452daad2937375d.d: crates/bench/src/bin/ablation_weights.rs
+
+/root/repo/target/debug/deps/ablation_weights-a452daad2937375d: crates/bench/src/bin/ablation_weights.rs
+
+crates/bench/src/bin/ablation_weights.rs:

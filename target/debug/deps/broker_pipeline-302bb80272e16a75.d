@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/broker_pipeline-302bb80272e16a75.d: tests/broker_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbroker_pipeline-302bb80272e16a75.rmeta: tests/broker_pipeline.rs Cargo.toml
+
+tests/broker_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broker_pipeline-f88ac94b21fd331d.d: tests/broker_pipeline.rs
+
+/root/repo/target/debug/deps/broker_pipeline-f88ac94b21fd331d: tests/broker_pipeline.rs
+
+tests/broker_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_interference-282c8e45ef656b59.d: crates/bench/src/bin/concurrent_interference.rs
+
+/root/repo/target/debug/deps/concurrent_interference-282c8e45ef656b59: crates/bench/src/bin/concurrent_interference.rs
+
+crates/bench/src/bin/concurrent_interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_interference-59d6c665f60f2d78.d: crates/bench/src/bin/concurrent_interference.rs
+
+/root/repo/target/debug/deps/concurrent_interference-59d6c665f60f2d78: crates/bench/src/bin/concurrent_interference.rs
+
+crates/bench/src/bin/concurrent_interference.rs:

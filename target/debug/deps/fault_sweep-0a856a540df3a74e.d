@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-0a856a540df3a74e.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-0a856a540df3a74e: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-c62ea6e9d0549f93.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-c62ea6e9d0549f93: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

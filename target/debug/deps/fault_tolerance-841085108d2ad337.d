@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-841085108d2ad337.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-841085108d2ad337: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

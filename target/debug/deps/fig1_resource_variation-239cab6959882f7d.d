@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_resource_variation-239cab6959882f7d.d: crates/bench/src/bin/fig1_resource_variation.rs
+
+/root/repo/target/debug/deps/fig1_resource_variation-239cab6959882f7d: crates/bench/src/bin/fig1_resource_variation.rs
+
+crates/bench/src/bin/fig1_resource_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_resource_variation-b0d7435e1d2ded96.d: crates/bench/src/bin/fig1_resource_variation.rs
+
+/root/repo/target/debug/deps/fig1_resource_variation-b0d7435e1d2ded96: crates/bench/src/bin/fig1_resource_variation.rs
+
+crates/bench/src/bin/fig1_resource_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_bandwidth-27294fc1097d09ab.d: crates/bench/src/bin/fig2_bandwidth.rs
+
+/root/repo/target/debug/deps/fig2_bandwidth-27294fc1097d09ab: crates/bench/src/bin/fig2_bandwidth.rs
+
+crates/bench/src/bin/fig2_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_bandwidth-f4ff92d50db73c81.d: crates/bench/src/bin/fig2_bandwidth.rs
+
+/root/repo/target/debug/deps/fig2_bandwidth-f4ff92d50db73c81: crates/bench/src/bin/fig2_bandwidth.rs
+
+crates/bench/src/bin/fig2_bandwidth.rs:

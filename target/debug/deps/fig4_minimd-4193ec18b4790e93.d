@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_minimd-4193ec18b4790e93.d: crates/bench/src/bin/fig4_minimd.rs
+
+/root/repo/target/debug/deps/fig4_minimd-4193ec18b4790e93: crates/bench/src/bin/fig4_minimd.rs
+
+crates/bench/src/bin/fig4_minimd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_minimd-8123535e00ba241b.d: crates/bench/src/bin/fig4_minimd.rs
+
+/root/repo/target/debug/deps/fig4_minimd-8123535e00ba241b: crates/bench/src/bin/fig4_minimd.rs
+
+crates/bench/src/bin/fig4_minimd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_minife-c8840c1514bc596e.d: crates/bench/src/bin/fig6_minife.rs
+
+/root/repo/target/debug/deps/fig6_minife-c8840c1514bc596e: crates/bench/src/bin/fig6_minife.rs
+
+crates/bench/src/bin/fig6_minife.rs:

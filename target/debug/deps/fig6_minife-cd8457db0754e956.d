@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_minife-cd8457db0754e956.d: crates/bench/src/bin/fig6_minife.rs
+
+/root/repo/target/debug/deps/fig6_minife-cd8457db0754e956: crates/bench/src/bin/fig6_minife.rs
+
+crates/bench/src/bin/fig6_minife.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heuristic_vs_optimal-87c14d535f8f0ab3.d: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+/root/repo/target/debug/deps/heuristic_vs_optimal-87c14d535f8f0ab3: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+crates/bench/src/bin/heuristic_vs_optimal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heuristic_vs_optimal-8f41c140e207b9d1.d: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+/root/repo/target/debug/deps/heuristic_vs_optimal-8f41c140e207b9d1: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+crates/bench/src/bin/heuristic_vs_optimal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_job_broker-9050cafd15876540.d: crates/bench/src/bin/multi_job_broker.rs
+
+/root/repo/target/debug/deps/multi_job_broker-9050cafd15876540: crates/bench/src/bin/multi_job_broker.rs
+
+crates/bench/src/bin/multi_job_broker.rs:

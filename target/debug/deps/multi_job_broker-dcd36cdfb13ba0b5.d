@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_job_broker-dcd36cdfb13ba0b5.d: crates/bench/src/bin/multi_job_broker.rs
+
+/root/repo/target/debug/deps/multi_job_broker-dcd36cdfb13ba0b5: crates/bench/src/bin/multi_job_broker.rs
+
+crates/bench/src/bin/multi_job_broker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nlrm-46f50f40c75017fb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm-46f50f40c75017fb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

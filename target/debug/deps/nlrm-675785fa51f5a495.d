@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlrm-675785fa51f5a495.d: src/lib.rs
+
+/root/repo/target/debug/deps/nlrm-675785fa51f5a495: src/lib.rs
+
+src/lib.rs:

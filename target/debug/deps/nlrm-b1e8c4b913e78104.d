@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nlrm-b1e8c4b913e78104.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnlrm-b1e8c4b913e78104.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnlrm-b1e8c4b913e78104.rmeta: src/lib.rs
+
+src/lib.rs:

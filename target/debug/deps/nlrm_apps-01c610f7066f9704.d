@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nlrm_apps-01c610f7066f9704.d: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+/root/repo/target/debug/deps/nlrm_apps-01c610f7066f9704: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/decomp.rs:
+crates/apps/src/minife.rs:
+crates/apps/src/minimd.rs:
+crates/apps/src/synthetic.rs:

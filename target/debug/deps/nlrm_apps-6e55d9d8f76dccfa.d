@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nlrm_apps-6e55d9d8f76dccfa.d: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm_apps-6e55d9d8f76dccfa.rmeta: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/decomp.rs:
+crates/apps/src/minife.rs:
+crates/apps/src/minimd.rs:
+crates/apps/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nlrm_apps-811518b5ff02e4d8.d: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+/root/repo/target/debug/deps/libnlrm_apps-811518b5ff02e4d8.rlib: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+/root/repo/target/debug/deps/libnlrm_apps-811518b5ff02e4d8.rmeta: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/decomp.rs:
+crates/apps/src/minife.rs:
+crates/apps/src/minimd.rs:
+crates/apps/src/synthetic.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nlrm_bench-0c4f7ca6dab3664b.d: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/obs_scenario.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/trace_scenario.rs
+
+/root/repo/target/debug/deps/nlrm_bench-0c4f7ca6dab3664b: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/obs_scenario.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/trace_scenario.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gains.rs:
+crates/bench/src/heatmap.rs:
+crates/bench/src/obs_scenario.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/trace_scenario.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

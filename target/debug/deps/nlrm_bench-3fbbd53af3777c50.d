@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nlrm_bench-3fbbd53af3777c50.d: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/obs_scenario.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/trace_scenario.rs
+
+/root/repo/target/debug/deps/libnlrm_bench-3fbbd53af3777c50.rlib: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/obs_scenario.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/trace_scenario.rs
+
+/root/repo/target/debug/deps/libnlrm_bench-3fbbd53af3777c50.rmeta: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/obs_scenario.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/trace_scenario.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gains.rs:
+crates/bench/src/heatmap.rs:
+crates/bench/src/obs_scenario.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/trace_scenario.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nlrm_bench-6e215f5ad98cdfa8.d: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/obs_scenario.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/trace_scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm_bench-6e215f5ad98cdfa8.rmeta: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/obs_scenario.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/trace_scenario.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/gains.rs:
+crates/bench/src/heatmap.rs:
+crates/bench/src/obs_scenario.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/trace_scenario.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlrm_ctl-0caf9fda73b440e3.d: src/bin/nlrm-ctl.rs
+
+/root/repo/target/debug/deps/nlrm_ctl-0caf9fda73b440e3: src/bin/nlrm-ctl.rs
+
+src/bin/nlrm-ctl.rs:

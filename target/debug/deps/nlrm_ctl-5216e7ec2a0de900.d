@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nlrm_ctl-5216e7ec2a0de900.d: src/bin/nlrm-ctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm_ctl-5216e7ec2a0de900.rmeta: src/bin/nlrm-ctl.rs Cargo.toml
+
+src/bin/nlrm-ctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

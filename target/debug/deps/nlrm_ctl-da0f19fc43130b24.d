@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nlrm_ctl-da0f19fc43130b24.d: src/bin/nlrm-ctl.rs
+
+/root/repo/target/debug/deps/nlrm_ctl-da0f19fc43130b24: src/bin/nlrm-ctl.rs
+
+src/bin/nlrm-ctl.rs:

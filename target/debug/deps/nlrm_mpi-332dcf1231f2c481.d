@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nlrm_mpi-332dcf1231f2c481.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+/root/repo/target/debug/deps/nlrm_mpi-332dcf1231f2c481: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/contention.rs:
+crates/mpi/src/exec.rs:
+crates/mpi/src/multi.rs:
+crates/mpi/src/pattern.rs:
+crates/mpi/src/profiler.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nlrm_mpi-a9603037e30ac43b.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+/root/repo/target/debug/deps/libnlrm_mpi-a9603037e30ac43b.rlib: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+/root/repo/target/debug/deps/libnlrm_mpi-a9603037e30ac43b.rmeta: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/contention.rs:
+crates/mpi/src/exec.rs:
+crates/mpi/src/multi.rs:
+crates/mpi/src/pattern.rs:
+crates/mpi/src/profiler.rs:

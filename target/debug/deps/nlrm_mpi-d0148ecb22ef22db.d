@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nlrm_mpi-d0148ecb22ef22db.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnlrm_mpi-d0148ecb22ef22db.rmeta: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs Cargo.toml
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/contention.rs:
+crates/mpi/src/exec.rs:
+crates/mpi/src/multi.rs:
+crates/mpi/src/pattern.rs:
+crates/mpi/src/profiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

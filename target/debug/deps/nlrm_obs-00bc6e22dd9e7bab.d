@@ -1,13 +1,15 @@
-/root/repo/target/debug/deps/nlrm_obs-00bc6e22dd9e7bab.d: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs
+/root/repo/target/debug/deps/nlrm_obs-00bc6e22dd9e7bab.d: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/lock.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/span.rs
 
-/root/repo/target/debug/deps/libnlrm_obs-00bc6e22dd9e7bab.rlib: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs
+/root/repo/target/debug/deps/libnlrm_obs-00bc6e22dd9e7bab.rlib: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/lock.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/span.rs
 
-/root/repo/target/debug/deps/libnlrm_obs-00bc6e22dd9e7bab.rmeta: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs
+/root/repo/target/debug/deps/libnlrm_obs-00bc6e22dd9e7bab.rmeta: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/lock.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/span.rs
 
 crates/obs/src/lib.rs:
 crates/obs/src/ctx.rs:
 crates/obs/src/explain.rs:
 crates/obs/src/journal.rs:
 crates/obs/src/json.rs:
+crates/obs/src/lock.rs:
 crates/obs/src/metrics.rs:
 crates/obs/src/progress.rs:
+crates/obs/src/span.rs:

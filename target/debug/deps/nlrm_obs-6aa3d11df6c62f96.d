@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/nlrm_obs-6aa3d11df6c62f96.d: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs Cargo.toml
+/root/repo/target/debug/deps/nlrm_obs-6aa3d11df6c62f96.d: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/lock.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/span.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnlrm_obs-6aa3d11df6c62f96.rmeta: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs Cargo.toml
+/root/repo/target/debug/deps/libnlrm_obs-6aa3d11df6c62f96.rmeta: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/lock.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/span.rs Cargo.toml
 
 crates/obs/src/lib.rs:
 crates/obs/src/ctx.rs:
 crates/obs/src/explain.rs:
 crates/obs/src/journal.rs:
 crates/obs/src/json.rs:
+crates/obs/src/lock.rs:
 crates/obs/src/metrics.rs:
 crates/obs/src/progress.rs:
+crates/obs/src/span.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,11 +1,13 @@
-/root/repo/target/debug/deps/nlrm_obs-dda8abd212661414.d: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs
+/root/repo/target/debug/deps/nlrm_obs-dda8abd212661414.d: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/lock.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/span.rs
 
-/root/repo/target/debug/deps/nlrm_obs-dda8abd212661414: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs
+/root/repo/target/debug/deps/nlrm_obs-dda8abd212661414: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/lock.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/span.rs
 
 crates/obs/src/lib.rs:
 crates/obs/src/ctx.rs:
 crates/obs/src/explain.rs:
 crates/obs/src/journal.rs:
 crates/obs/src/json.rs:
+crates/obs/src/lock.rs:
 crates/obs/src/metrics.rs:
 crates/obs/src/progress.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_report-2c3c797dd108f58c.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/debug/deps/obs_report-2c3c797dd108f58c: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

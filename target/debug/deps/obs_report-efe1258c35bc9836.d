@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_report-efe1258c35bc9836.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/debug/deps/obs_report-efe1258c35bc9836: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-1deabdb9977d22da.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-1deabdb9977d22da: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-d02aa275f605efcd.d: tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-d02aa275f605efcd.rmeta: tests/observability.rs Cargo.toml
+
+tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-b5dd2336477d7e6d.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-b5dd2336477d7e6d: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-c1faa1ef6f5be7d3.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-c1faa1ef6f5be7d3.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_ordering-67b37d701d496766.d: tests/policy_ordering.rs
+
+/root/repo/target/debug/deps/policy_ordering-67b37d701d496766: tests/policy_ordering.rs
+
+tests/policy_ordering.rs:

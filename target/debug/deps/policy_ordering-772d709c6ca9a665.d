@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_ordering-772d709c6ca9a665.d: tests/policy_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_ordering-772d709c6ca9a665.rmeta: tests/policy_ordering.rs Cargo.toml
+
+tests/policy_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0e19a529602c1b46.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0e19a529602c1b46: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f1d1372008289a4c.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f1d1372008289a4c.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

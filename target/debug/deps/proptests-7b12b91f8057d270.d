@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7b12b91f8057d270.d: crates/mpi/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7b12b91f8057d270: crates/mpi/tests/proptests.rs
+
+crates/mpi/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d7f79e085b8f1939.d: crates/apps/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d7f79e085b8f1939: crates/apps/tests/proptests.rs
+
+crates/apps/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/span_tracing-4f31125fdb1a406d.d: tests/span_tracing.rs
+
+/root/repo/target/debug/deps/span_tracing-4f31125fdb1a406d: tests/span_tracing.rs
+
+tests/span_tracing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/span_tracing-7e68f373434cc044.d: tests/span_tracing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspan_tracing-7e68f373434cc044.rmeta: tests/span_tracing.rs Cargo.toml
+
+tests/span_tracing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_fig7-bd577e19348a015d.d: crates/bench/src/bin/table4_fig7.rs
+
+/root/repo/target/debug/deps/table4_fig7-bd577e19348a015d: crates/bench/src/bin/table4_fig7.rs
+
+crates/bench/src/bin/table4_fig7.rs:

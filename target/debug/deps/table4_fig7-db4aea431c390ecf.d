@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_fig7-db4aea431c390ecf.d: crates/bench/src/bin/table4_fig7.rs
+
+/root/repo/target/debug/deps/table4_fig7-db4aea431c390ecf: crates/bench/src/bin/table4_fig7.rs
+
+crates/bench/src/bin/table4_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_report-045af6fb4d9cd669.d: crates/bench/src/bin/trace_report.rs
+
+/root/repo/target/debug/deps/trace_report-045af6fb4d9cd669: crates/bench/src/bin/trace_report.rs
+
+crates/bench/src/bin/trace_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_report-1e52cc698834cfda.d: crates/bench/src/bin/trace_report.rs
+
+/root/repo/target/debug/deps/trace_report-1e52cc698834cfda: crates/bench/src/bin/trace_report.rs
+
+crates/bench/src/bin/trace_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_policies-163a055713d9ea09.d: examples/compare_policies.rs
+
+/root/repo/target/debug/examples/compare_policies-163a055713d9ea09: examples/compare_policies.rs
+
+examples/compare_policies.rs:

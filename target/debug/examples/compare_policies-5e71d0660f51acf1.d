@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_policies-5e71d0660f51acf1.d: examples/compare_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_policies-5e71d0660f51acf1.rmeta: examples/compare_policies.rs Cargo.toml
+
+examples/compare_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

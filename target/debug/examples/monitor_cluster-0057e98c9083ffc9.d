@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/monitor_cluster-0057e98c9083ffc9.d: examples/monitor_cluster.rs
+
+/root/repo/target/debug/examples/monitor_cluster-0057e98c9083ffc9: examples/monitor_cluster.rs
+
+examples/monitor_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/monitor_cluster-b8a268f30ac47d38.d: examples/monitor_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmonitor_cluster-b8a268f30ac47d38.rmeta: examples/monitor_cluster.rs Cargo.toml
+
+examples/monitor_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

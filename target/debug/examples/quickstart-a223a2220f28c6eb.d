@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a223a2220f28c6eb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a223a2220f28c6eb: examples/quickstart.rs
+
+examples/quickstart.rs:

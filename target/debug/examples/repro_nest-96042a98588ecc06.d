@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/repro_nest-96042a98588ecc06.d: crates/obs/examples/repro_nest.rs
+
+/root/repo/target/debug/examples/repro_nest-96042a98588ecc06: crates/obs/examples/repro_nest.rs
+
+crates/obs/examples/repro_nest.rs:

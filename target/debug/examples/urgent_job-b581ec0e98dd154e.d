@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/urgent_job-b581ec0e98dd154e.d: examples/urgent_job.rs
+
+/root/repo/target/debug/examples/urgent_job-b581ec0e98dd154e: examples/urgent_job.rs
+
+examples/urgent_job.rs:

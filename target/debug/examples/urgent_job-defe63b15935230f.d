@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/urgent_job-defe63b15935230f.d: examples/urgent_job.rs Cargo.toml
+
+/root/repo/target/debug/examples/liburgent_job-defe63b15935230f.rmeta: examples/urgent_job.rs Cargo.toml
+
+examples/urgent_job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

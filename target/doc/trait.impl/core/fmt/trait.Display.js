@@ -1,9 +1,9 @@
 (function() {
-    const implementors = Object.fromEntries([["nlrm_obs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"enum\" href=\"nlrm_obs/journal/enum.Severity.html\" title=\"enum nlrm_obs::journal::Severity\">Severity</a>",0]]]]);
+    const implementors = Object.fromEntries([["nlrm_obs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"enum\" href=\"nlrm_obs/journal/enum.Severity.html\" title=\"enum nlrm_obs::journal::Severity\">Severity</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"struct\" href=\"nlrm_obs/span/struct.SpanId.html\" title=\"struct nlrm_obs::span::SpanId\">SpanId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"struct\" href=\"nlrm_obs/span/struct.TraceId.html\" title=\"struct nlrm_obs::span::TraceId\">TraceId</a>",0]]],["nlrm_obs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"enum\" href=\"nlrm_obs/journal/enum.Severity.html\" title=\"enum nlrm_obs::journal::Severity\">Severity</a>",0]]]]);
     if (window.register_implementors) {
         window.register_implementors(implementors);
     } else {
         window.pending_implementors = implementors;
     }
 })()
-//{"start":59,"fragment_lengths":[284]}
+//{"start":59,"fragment_lengths":[815,285]}

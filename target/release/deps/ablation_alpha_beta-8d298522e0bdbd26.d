@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alpha_beta-8d298522e0bdbd26.d: crates/bench/src/bin/ablation_alpha_beta.rs
+
+/root/repo/target/release/deps/ablation_alpha_beta-8d298522e0bdbd26: crates/bench/src/bin/ablation_alpha_beta.rs
+
+crates/bench/src/bin/ablation_alpha_beta.rs:

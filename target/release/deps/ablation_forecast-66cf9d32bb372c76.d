@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_forecast-66cf9d32bb372c76.d: crates/bench/src/bin/ablation_forecast.rs
+
+/root/repo/target/release/deps/ablation_forecast-66cf9d32bb372c76: crates/bench/src/bin/ablation_forecast.rs
+
+crates/bench/src/bin/ablation_forecast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_staleness-d1dde90da917d891.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/release/deps/ablation_staleness-d1dde90da917d891: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

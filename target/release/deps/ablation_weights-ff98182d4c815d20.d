@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_weights-ff98182d4c815d20.d: crates/bench/src/bin/ablation_weights.rs
+
+/root/repo/target/release/deps/ablation_weights-ff98182d4c815d20: crates/bench/src/bin/ablation_weights.rs
+
+crates/bench/src/bin/ablation_weights.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alloc_overhead-d9fcc16e8dae7561.d: crates/bench/benches/alloc_overhead.rs
+
+/root/repo/target/release/deps/alloc_overhead-d9fcc16e8dae7561: crates/bench/benches/alloc_overhead.rs
+
+crates/bench/benches/alloc_overhead.rs:

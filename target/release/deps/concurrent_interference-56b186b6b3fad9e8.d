@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrent_interference-56b186b6b3fad9e8.d: crates/bench/src/bin/concurrent_interference.rs
+
+/root/repo/target/release/deps/concurrent_interference-56b186b6b3fad9e8: crates/bench/src/bin/concurrent_interference.rs
+
+crates/bench/src/bin/concurrent_interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-1221c7bdd2d4946e.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-1221c7bdd2d4946e: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_resource_variation-2e9ba5acb89ebce7.d: crates/bench/src/bin/fig1_resource_variation.rs
+
+/root/repo/target/release/deps/fig1_resource_variation-2e9ba5acb89ebce7: crates/bench/src/bin/fig1_resource_variation.rs
+
+crates/bench/src/bin/fig1_resource_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_bandwidth-a734b88e0b4cbf8c.d: crates/bench/src/bin/fig2_bandwidth.rs
+
+/root/repo/target/release/deps/fig2_bandwidth-a734b88e0b4cbf8c: crates/bench/src/bin/fig2_bandwidth.rs
+
+crates/bench/src/bin/fig2_bandwidth.rs:

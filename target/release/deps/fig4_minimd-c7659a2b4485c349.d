@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_minimd-c7659a2b4485c349.d: crates/bench/src/bin/fig4_minimd.rs
+
+/root/repo/target/release/deps/fig4_minimd-c7659a2b4485c349: crates/bench/src/bin/fig4_minimd.rs
+
+crates/bench/src/bin/fig4_minimd.rs:

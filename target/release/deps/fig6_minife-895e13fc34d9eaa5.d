@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_minife-895e13fc34d9eaa5.d: crates/bench/src/bin/fig6_minife.rs
+
+/root/repo/target/release/deps/fig6_minife-895e13fc34d9eaa5: crates/bench/src/bin/fig6_minife.rs
+
+crates/bench/src/bin/fig6_minife.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heuristic_vs_optimal-d8dae239ec529e9f.d: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+/root/repo/target/release/deps/heuristic_vs_optimal-d8dae239ec529e9f: crates/bench/src/bin/heuristic_vs_optimal.rs
+
+crates/bench/src/bin/heuristic_vs_optimal.rs:

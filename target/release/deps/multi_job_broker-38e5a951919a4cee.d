@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_job_broker-38e5a951919a4cee.d: crates/bench/src/bin/multi_job_broker.rs
+
+/root/repo/target/release/deps/multi_job_broker-38e5a951919a4cee: crates/bench/src/bin/multi_job_broker.rs
+
+crates/bench/src/bin/multi_job_broker.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nlrm-72ebeecee5f248fa.d: src/lib.rs
+
+/root/repo/target/release/deps/libnlrm-72ebeecee5f248fa.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnlrm-72ebeecee5f248fa.rmeta: src/lib.rs
+
+src/lib.rs:

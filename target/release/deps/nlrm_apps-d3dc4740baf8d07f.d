@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nlrm_apps-d3dc4740baf8d07f.d: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+/root/repo/target/release/deps/libnlrm_apps-d3dc4740baf8d07f.rlib: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+/root/repo/target/release/deps/libnlrm_apps-d3dc4740baf8d07f.rmeta: crates/apps/src/lib.rs crates/apps/src/decomp.rs crates/apps/src/minife.rs crates/apps/src/minimd.rs crates/apps/src/synthetic.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/decomp.rs:
+crates/apps/src/minife.rs:
+crates/apps/src/minimd.rs:
+crates/apps/src/synthetic.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/nlrm_bench-79218330199233af.d: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/obs_scenario.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/trace_scenario.rs
+
+/root/repo/target/release/deps/libnlrm_bench-79218330199233af.rlib: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/obs_scenario.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/trace_scenario.rs
+
+/root/repo/target/release/deps/libnlrm_bench-79218330199233af.rmeta: crates/bench/src/lib.rs crates/bench/src/gains.rs crates/bench/src/heatmap.rs crates/bench/src/obs_scenario.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/trace_scenario.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gains.rs:
+crates/bench/src/heatmap.rs:
+crates/bench/src/obs_scenario.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/trace_scenario.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

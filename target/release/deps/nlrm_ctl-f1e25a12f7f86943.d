@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nlrm_ctl-f1e25a12f7f86943.d: src/bin/nlrm-ctl.rs
+
+/root/repo/target/release/deps/nlrm_ctl-f1e25a12f7f86943: src/bin/nlrm-ctl.rs
+
+src/bin/nlrm-ctl.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nlrm_mpi-c42ded71dd628598.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+/root/repo/target/release/deps/libnlrm_mpi-c42ded71dd628598.rlib: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+/root/repo/target/release/deps/libnlrm_mpi-c42ded71dd628598.rmeta: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/comm.rs crates/mpi/src/contention.rs crates/mpi/src/exec.rs crates/mpi/src/multi.rs crates/mpi/src/pattern.rs crates/mpi/src/profiler.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/contention.rs:
+crates/mpi/src/exec.rs:
+crates/mpi/src/multi.rs:
+crates/mpi/src/pattern.rs:
+crates/mpi/src/profiler.rs:

@@ -1,13 +1,15 @@
-/root/repo/target/release/deps/nlrm_obs-6e0026ff24122bc6.d: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs
+/root/repo/target/release/deps/nlrm_obs-6e0026ff24122bc6.d: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/lock.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/span.rs
 
-/root/repo/target/release/deps/libnlrm_obs-6e0026ff24122bc6.rlib: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs
+/root/repo/target/release/deps/libnlrm_obs-6e0026ff24122bc6.rlib: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/lock.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/span.rs
 
-/root/repo/target/release/deps/libnlrm_obs-6e0026ff24122bc6.rmeta: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs
+/root/repo/target/release/deps/libnlrm_obs-6e0026ff24122bc6.rmeta: crates/obs/src/lib.rs crates/obs/src/ctx.rs crates/obs/src/explain.rs crates/obs/src/journal.rs crates/obs/src/json.rs crates/obs/src/lock.rs crates/obs/src/metrics.rs crates/obs/src/progress.rs crates/obs/src/span.rs
 
 crates/obs/src/lib.rs:
 crates/obs/src/ctx.rs:
 crates/obs/src/explain.rs:
 crates/obs/src/journal.rs:
 crates/obs/src/json.rs:
+crates/obs/src/lock.rs:
 crates/obs/src/metrics.rs:
 crates/obs/src/progress.rs:
+crates/obs/src/span.rs:

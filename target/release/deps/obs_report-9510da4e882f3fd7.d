@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_report-9510da4e882f3fd7.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/release/deps/obs_report-9510da4e882f3fd7: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_fig7-228486cf8713a6ee.d: crates/bench/src/bin/table4_fig7.rs
+
+/root/repo/target/release/deps/table4_fig7-228486cf8713a6ee: crates/bench/src/bin/table4_fig7.rs
+
+crates/bench/src/bin/table4_fig7.rs:

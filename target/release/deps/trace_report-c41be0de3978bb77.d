@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_report-c41be0de3978bb77.d: crates/bench/src/bin/trace_report.rs
+
+/root/repo/target/release/deps/trace_report-c41be0de3978bb77: crates/bench/src/bin/trace_report.rs
+
+crates/bench/src/bin/trace_report.rs:

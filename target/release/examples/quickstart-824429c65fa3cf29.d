@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-824429c65fa3cf29.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-824429c65fa3cf29: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -10,7 +10,7 @@ fn grant_all(broker: &mut Broker, snap: &ClusterSnapshot) -> Vec<Lease> {
         .tick(snap)
         .into_iter()
         .filter_map(|e| match e {
-            BrokerEvent::Started(l) => Some(l),
+            BrokerEvent::Started(l) => Some(*l),
             BrokerEvent::Deferred { .. } => None,
         })
         .collect()
