@@ -8,6 +8,14 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 
+# build artifacts must never be tracked (they were once; .gitignore plus
+# this guard keeps them out)
+if [ -n "$(git ls-files target/ results/)" ]; then
+    echo "ci: build artifacts are tracked in git (target/ or results/):" >&2
+    git ls-files target/ results/ | head >&2
+    exit 1
+fi
+
 # observability smoke: the report must build, run bounded, and emit valid
 # JSON with the expected top-level sections
 OBS_DIR="$(mktemp -d)"
@@ -49,6 +57,21 @@ assert all(e["ph"] in ("X", "M") for e in events), "unexpected phase"
 assert any(e.get("name") == "queue_wait" for e in events)
 PY
 test -s "$OBS_DIR/trace_summary.txt"
+
+# scaling smoke: the sweep must run its shrunken ladder, stay within the
+# 2x-of-linear budget (asserted by the bin itself), and emit well-formed
+# JSON (quick runs write into the results dir, not the committed
+# repo-root BENCH_scale.json)
+NLRM_RESULTS_DIR="$OBS_DIR" NLRM_QUICK=1 NLRM_QUIET=1 \
+    cargo run --release -q -p nlrm-bench --bin scale_sweep
+python3 - "$OBS_DIR/BENCH_scale.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+assert bench["sizes"], "BENCH_scale.json has no sizes"
+assert all(s["allocs_per_sec"] > 0 for s in bench["sizes"])
+assert bench["within_2x_of_linear"], f"linear_factor {bench['linear_factor']}"
+PY
 
 # rustdoc for the observability crate is part of its API contract
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p nlrm-obs

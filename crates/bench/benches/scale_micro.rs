@@ -1,0 +1,126 @@
+//! Microbenchmarks for the allocator's hot inner kernels.
+//!
+//! The scale story (`scale_sweep`) measures whole decisions; this file
+//! isolates the three kernels that dominate them — `group_cost` over a
+//! candidate's node set, `generate_candidate` from a single start node,
+//! and `select_best` over a full candidate slate — so per-kernel
+//! regressions show up independently of each other.
+//!
+//! Clusters are built directly as `Loads` (dense `SymMatrix` or
+//! `TieredNl`) rather than through the simulator: these kernels only see
+//! load vectors, and skipping the monitor keeps setup milliseconds even
+//! at V = 4096.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nlrm_core::candidate::{generate_all_candidates, generate_candidate};
+use nlrm_core::select::{group_cost, select_best};
+use nlrm_core::{Loads, TieredNl};
+use nlrm_monitor::SymMatrix;
+use nlrm_topology::NodeId;
+use std::hint::black_box;
+
+const PER_SWITCH: u32 = 16;
+const ALPHA: f64 = 0.4;
+const BETA: f64 = 0.6;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn frac(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn cl_vec(v: u32, seed: u64) -> Vec<f64> {
+    (0..v)
+        .map(|n| 0.1 + 0.8 * frac(splitmix64(seed ^ (n as u64 + 17))))
+        .collect()
+}
+
+fn dense_loads(v: u32, seed: u64) -> Loads {
+    let nodes: Vec<NodeId> = (0..v).map(NodeId).collect();
+    let mut nl = SymMatrix::new(v as usize, 0.0);
+    for a in 0..v {
+        for b in (a + 1)..v {
+            let h = splitmix64(seed ^ (a as u64 * 1_000_003 + b as u64));
+            nl.set(NodeId(a), NodeId(b), 0.05 + 0.5 * frac(h));
+        }
+    }
+    Loads::from_parts(nodes, cl_vec(v, seed), nl, vec![4u32; v as usize])
+}
+
+fn tiered_loads(v: u32, seed: u64) -> Loads {
+    let nodes: Vec<NodeId> = (0..v).map(NodeId).collect();
+    let switch_of: Vec<u32> = (0..v).map(|n| n / PER_SWITCH).collect();
+    let nl = TieredNl::from_fns(
+        &nodes,
+        &switch_of,
+        v.div_ceil(PER_SWITCH) as usize,
+        |a, b| {
+            let h = splitmix64(seed ^ (a.index() as u64 * 1_000_003 + b.index() as u64));
+            0.05 + 0.3 * frac(h)
+        },
+        |s, t| {
+            let h = splitmix64(seed ^ (((s as u64) << 32) | t as u64));
+            0.2 + 0.6 * frac(h)
+        },
+    );
+    Loads::from_parts(nodes, cl_vec(v, seed), nl, vec![4u32; v as usize])
+}
+
+/// Eq. 4 cost of one candidate group, dense vs tiered representation.
+fn bench_group_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_cost");
+    for &g in &[16usize, 64, 256] {
+        let v = (4 * g as u32).max(256);
+        let dense = dense_loads(v, 3);
+        let tiered = tiered_loads(v, 3);
+        // every 3rd node: members span switches like a real candidate
+        let members: Vec<NodeId> = (0..g as u32).map(|i| NodeId(i * 3)).collect();
+        group.bench_with_input(BenchmarkId::new("dense", g), &g, |b, _| {
+            b.iter(|| group_cost(black_box(&dense), black_box(&members), ALPHA, BETA))
+        });
+        group.bench_with_input(BenchmarkId::new("tiered", g), &g, |b, _| {
+            b.iter(|| group_cost(black_box(&tiered), black_box(&members), ALPHA, BETA))
+        });
+    }
+    group.finish();
+}
+
+/// Algorithm 1 from a single start node: the bounded-heap greedy walk.
+fn bench_generate_candidate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_candidate");
+    group.sample_size(30);
+    for &v in &[256u32, 1024, 4096] {
+        let dense = dense_loads(v, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| generate_candidate(black_box(&dense), NodeId(v / 2), 64, ALPHA, BETA))
+        });
+    }
+    group.finish();
+}
+
+/// Algorithm 2 over a full candidate slate (one candidate per start).
+fn bench_select_best(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_best");
+    group.sample_size(20);
+    for &v in &[256u32, 1024] {
+        let tiered = tiered_loads(v, 9);
+        let cands = generate_all_candidates(&tiered, 64, ALPHA, BETA);
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| select_best(black_box(&tiered), black_box(&cands), ALPHA, BETA))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_group_cost,
+    bench_generate_candidate,
+    bench_select_best
+);
+criterion_main!(benches);

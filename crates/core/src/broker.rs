@@ -380,6 +380,9 @@ impl Broker {
         }
         let adjusted = Loads::from_parts(usable, cl, loads.nl.clone(), pc);
         let candidates = generate_all_candidates(&adjusted, req.procs, req.alpha, req.beta);
+        if candidates.is_empty() {
+            return Err("no candidate group can host the request".into());
+        }
         let selection = select_best(&adjusted, &candidates, req.alpha, req.beta);
         let winner = &candidates[selection.best];
 

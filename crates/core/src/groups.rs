@@ -137,6 +137,9 @@ impl ScalableAllocator {
         let sub_loads = loads_restricted(&loads, &shortlist);
         let candidates =
             crate::candidate::generate_all_candidates(&sub_loads, req.procs, req.alpha, req.beta);
+        if candidates.is_empty() {
+            return Err(crate::request::AllocError::NoCapacity);
+        }
         let selection = select_best(&sub_loads, &candidates, req.alpha, req.beta);
         let winner = &candidates[selection.best];
         let selected = winner.nodes.clone();

@@ -33,11 +33,14 @@ pub mod broker;
 pub mod candidate;
 pub mod groups;
 pub mod loads;
+pub mod par;
 pub mod policies;
 pub mod request;
 pub mod saw;
+pub mod scalable;
 pub mod select;
 pub mod slurm;
+pub mod tiered;
 pub mod weights;
 
 pub use loads::{Loads, StalenessPolicy};
@@ -46,4 +49,6 @@ pub use policies::{
     SequentialPolicy,
 };
 pub use request::{AllocError, Allocation, AllocationRequest};
+pub use scalable::{allocate_pruned, PrunedSelection};
+pub use tiered::{NlRep, TieredNl};
 pub use weights::{ComputeWeights, NetworkWeights};

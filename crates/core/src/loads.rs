@@ -4,12 +4,15 @@
 
 use crate::request::AllocError;
 use crate::saw::{saw_scores, Column, Criterion};
+use crate::tiered::TieredNl;
 use crate::weights::{ComputeWeights, NetworkWeights};
 use nlrm_monitor::{ClusterSnapshot, SymMatrix};
 use nlrm_sim_core::time::Duration;
 use nlrm_sim_core::window::WindowedValue;
-use nlrm_topology::NodeId;
+use nlrm_topology::{NodeId, SwitchIndex};
 use std::collections::HashMap;
+
+pub use crate::tiered::NlRep;
 
 /// How load derivation degrades when monitoring data has gone stale
 /// (daemons crashed, hung, or their writes were delayed).
@@ -72,9 +75,10 @@ pub struct Loads {
     pub usable: Vec<NodeId>,
     /// Compute load per usable node (parallel to `usable`). Lower is better.
     pub cl: Vec<f64>,
-    /// Pairwise network load over the full node-id space; only entries
+    /// Pairwise network load over the node-id space — dense (exact V×V) or
+    /// tiered (exact intra-switch, aggregated inter-switch). Only entries
     /// between usable nodes are meaningful. Lower is better.
-    pub nl: SymMatrix<f64>,
+    pub nl: NlRep,
     /// Effective processor count per usable node (parallel to `usable`).
     pub pc: Vec<u32>,
     index_of: HashMap<NodeId, usize>,
@@ -269,6 +273,7 @@ impl Loads {
             })
             .collect();
 
+        let nl = NlRep::Dense(nl);
         let index_of = usable.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let (c_all, n_all) = universe_totals(&usable, &cl, &nl);
         Ok(Loads {
@@ -283,15 +288,17 @@ impl Loads {
     }
 
     /// Assemble a `Loads` from precomputed parts (used by the two-level
-    /// scalable allocator to restrict the universe to a shortlist).
+    /// scalable allocator to restrict the universe to a shortlist, and by
+    /// the scale benches to synthesize tiered universes directly).
     pub fn from_parts(
         usable: Vec<NodeId>,
         cl: Vec<f64>,
-        nl: SymMatrix<f64>,
+        nl: impl Into<NlRep>,
         pc: Vec<u32>,
     ) -> Loads {
         assert_eq!(usable.len(), cl.len());
         assert_eq!(usable.len(), pc.len());
+        let nl = nl.into();
         let index_of = usable.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let (c_all, n_all) = universe_totals(&usable, &cl, &nl);
         Loads {
@@ -303,6 +310,18 @@ impl Loads {
             c_all,
             n_all,
         }
+    }
+
+    /// Convert the network-load representation to the tiered form using a
+    /// topology's switch assignment: intra-switch pairs keep their exact
+    /// values, inter-switch cells aggregate to the per-switch-pair mean.
+    /// A no-op when the representation is already tiered.
+    pub fn into_tiered(self, index: &SwitchIndex) -> Loads {
+        let nl = match self.nl {
+            NlRep::Tiered(t) => NlRep::Tiered(t),
+            NlRep::Dense(d) => NlRep::Tiered(TieredNl::from_dense(&d, &self.usable, index)),
+        };
+        Loads::from_parts(self.usable, self.cl, nl, self.pc)
     }
 
     /// Index of `node` in the usable arrays.
@@ -346,16 +365,11 @@ impl Loads {
 }
 
 /// The universe-wide totals `group_cost` normalizes by: Σ CL and Σ NL over
-/// all usable pairs. Computed once per `Loads` construction.
-fn universe_totals(usable: &[NodeId], cl: &[f64], nl: &SymMatrix<f64>) -> (f64, f64) {
-    let c_all = cl.iter().sum();
-    let mut n_all = 0.0;
-    for (i, &x) in usable.iter().enumerate() {
-        for &y in &usable[i + 1..] {
-            n_all += nl.get(x, y);
-        }
-    }
-    (c_all, n_all)
+/// all usable pairs. Computed once per `Loads` construction. The tiered
+/// representation sums switch blocks analytically instead of walking V²
+/// pairs.
+fn universe_totals(usable: &[NodeId], cl: &[f64], nl: &NlRep) -> (f64, f64) {
+    (cl.iter().sum(), nl.pair_sum(usable))
 }
 
 /// Scale a vector so its mean is 1 (no-op for all-zero input).
@@ -562,9 +576,12 @@ mod tests {
     fn network_load_is_symmetric_and_nonnegative() {
         let snap = snapshot(6, 7);
         let loads = derive(&snap);
-        for (u, v, nl) in loads.nl.pairs() {
-            assert!(nl >= 0.0, "nl({u},{v}) = {nl}");
-            assert_eq!(loads.nl_between(u, v), loads.nl_between(v, u));
+        for (i, &u) in loads.usable.iter().enumerate() {
+            for &v in &loads.usable[i + 1..] {
+                let nl = loads.nl_between(u, v);
+                assert!(nl >= 0.0, "nl({u},{v}) = {nl}");
+                assert_eq!(loads.nl_between(u, v), loads.nl_between(v, u));
+            }
         }
         assert_eq!(loads.nl_between(NodeId(2), NodeId(2)), 0.0);
     }
@@ -724,8 +741,10 @@ mod tests {
         .unwrap();
         assert_eq!(a.usable, b.usable);
         assert_eq!(a.cl, b.cl);
-        for (u, v, nl) in a.nl.pairs() {
-            assert_eq!(nl, b.nl.get(u, v));
+        for (i, &u) in a.usable.iter().enumerate() {
+            for &v in &a.usable[i + 1..] {
+                assert_eq!(a.nl_between(u, v), b.nl_between(u, v));
+            }
         }
     }
 

@@ -256,11 +256,20 @@ impl Policy for NetworkLoadAwarePolicy {
         snap: &ClusterSnapshot,
         req: &AllocationRequest,
     ) -> Result<Allocation, AllocError> {
+        let started = std::time::Instant::now();
         let loads = derive(snap, req)?;
         let candidates = generate_all_candidates(&loads, req.procs, req.alpha, req.beta);
+        if candidates.is_empty() {
+            return Err(AllocError::NoCapacity);
+        }
         let selection = select_best(&loads, &candidates, req.alpha, req.beta);
         let explain = explain_selection(&candidates, &selection, req.alpha, req.beta, 3);
         let winner = &candidates[selection.best];
+        nlrm_obs::ctx::observe(
+            "alloc_decision_seconds",
+            crate::scalable::DECISION_SECONDS_BOUNDS,
+            started.elapsed().as_secs_f64(),
+        );
         Ok(build_allocation(
             "network-load-aware",
             &loads,

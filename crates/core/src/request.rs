@@ -80,6 +80,9 @@ pub enum AllocError {
         /// Nodes the request needs.
         needed: usize,
     },
+    /// Usable nodes exist but none can host a single process
+    /// (`pc_v == 0` everywhere), so no candidate group can form.
+    NoCapacity,
 }
 
 impl fmt::Display for AllocError {
@@ -89,6 +92,9 @@ impl fmt::Display for AllocError {
             AllocError::NoUsableNodes => write!(f, "no usable nodes in snapshot"),
             AllocError::NotEnoughNodes { available, needed } => {
                 write!(f, "need {needed} nodes but only {available} usable")
+            }
+            AllocError::NoCapacity => {
+                write!(f, "no usable node has spare process capacity")
             }
         }
     }

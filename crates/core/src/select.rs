@@ -7,6 +7,7 @@
 
 use crate::candidate::Candidate;
 use crate::loads::Loads;
+use crate::par;
 use nlrm_obs::{ExplainTrace, GroupExplain};
 use nlrm_topology::NodeId;
 
@@ -84,25 +85,28 @@ pub struct Selection {
 }
 
 /// Select the candidate minimizing `T_G` (Algorithm 2). Ties break by the
-/// candidate's start-node id (deterministic).
+/// candidate's start-node id (deterministic) — explicitly *not* by input
+/// index, so callers may pass candidates in any order.
+///
+/// The O(g²) per-candidate load sums are evaluated on worker threads; the
+/// normalization and arg-min run serially over the in-order results, so the
+/// winner is byte-for-byte the serial one.
 pub fn select_best(loads: &Loads, candidates: &[Candidate], alpha: f64, beta: f64) -> Selection {
     assert!(!candidates.is_empty(), "no candidates to select from");
-    let c: Vec<f64> = candidates
-        .iter()
-        .map(|cand| group_compute_load(loads, &cand.nodes))
-        .collect();
-    let n: Vec<f64> = candidates
-        .iter()
-        .map(|cand| group_network_load(loads, &cand.nodes))
-        .collect();
-    let c_sum: f64 = c.iter().sum();
-    let n_sum: f64 = n.iter().sum();
+    let cn: Vec<(f64, f64)> = par::par_map(candidates, |cand| {
+        (
+            group_compute_load(loads, &cand.nodes),
+            group_network_load(loads, &cand.nodes),
+        )
+    });
+    let c_sum: f64 = cn.iter().map(|&(c, _)| c).sum();
+    let n_sum: f64 = cn.iter().map(|&(_, n)| n).sum();
     let scores: Vec<CandidateScore> = candidates
         .iter()
         .enumerate()
         .map(|(i, cand)| {
-            let c_norm = if c_sum > 0.0 { c[i] / c_sum } else { 0.0 };
-            let n_norm = if n_sum > 0.0 { n[i] / n_sum } else { 0.0 };
+            let c_norm = if c_sum > 0.0 { cn[i].0 / c_sum } else { 0.0 };
+            let n_norm = if n_sum > 0.0 { cn[i].1 / n_sum } else { 0.0 };
             let compute_term = alpha * c_norm;
             let network_term = beta * n_norm;
             CandidateScore {
@@ -117,7 +121,9 @@ pub fn select_best(loads: &Loads, candidates: &[Candidate], alpha: f64, beta: f6
     let best = costs
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .min_by(|(_, (start_a, total_a)), (_, (start_b, total_b))| {
+            total_a.total_cmp(total_b).then(start_a.cmp(start_b))
+        })
         .map(|(i, _)| i)
         .expect("non-empty");
     nlrm_obs::ctx::observe(
@@ -136,7 +142,7 @@ pub fn select_best(loads: &Loads, candidates: &[Candidate], alpha: f64, beta: f6
 /// Build an [`ExplainTrace`] for a completed selection: the `k` cheapest
 /// candidate groups in rank order plus a verdict naming the cost component
 /// that separated the winner from the runner-up. Ranking reproduces
-/// `select_best`'s ordering exactly (ascending `T_G`, ties by input index).
+/// `select_best`'s ordering exactly (ascending `T_G`, ties by start-node id).
 pub fn explain_selection(
     candidates: &[Candidate],
     selection: &Selection,
@@ -149,7 +155,7 @@ pub fn explain_selection(
         selection.scores[a]
             .total
             .total_cmp(&selection.scores[b].total)
-            .then(a.cmp(&b))
+            .then(selection.scores[a].start.cmp(&selection.scores[b].start))
     });
     let top: Vec<GroupExplain> = order
         .iter()
@@ -179,7 +185,10 @@ pub fn explain_selection(
         let r = &selection.scores[order[1]];
         let dc = r.compute_term - w.compute_term;
         let dn = r.network_term - w.network_term;
-        if margin <= f64::EPSILON {
+        // relative comparison: an absolute `margin <= f64::EPSILON` misses
+        // one-ulp ties whenever |T_G| is much larger than 1
+        let scale = w.total.abs().max(r.total.abs());
+        if margin <= 4.0 * f64::EPSILON * scale {
             "tie broken by candidate order".to_string()
         } else if dn > dc {
             format!("lower network load decided it (Δnetwork={dn:.4}, Δcompute={dc:.4})")
@@ -304,6 +313,77 @@ mod tests {
             let cost = group_cost(&l, &cand.nodes, 0.3, 0.7);
             assert!((cost - explicit(&cand.nodes)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn tie_breaks_by_start_id_not_input_index() {
+        // Regression: the documented contract is "ties break by the
+        // candidate's start-node id". Feed three candidates with identical
+        // node sets (hence exactly equal T_G) whose starts arrive in
+        // non-id order; the one with the smallest start id must win.
+        let l = loads(6, 3);
+        let nodes: Vec<NodeId> = l.usable[..3].to_vec();
+        let procs = vec![4u32; 3];
+        let mk = |start: NodeId| Candidate {
+            start,
+            nodes: nodes.clone(),
+            procs: procs.clone(),
+        };
+        let starts = [l.usable[4], l.usable[1], l.usable[5]];
+        let cands = vec![mk(starts[0]), mk(starts[1]), mk(starts[2])];
+        let sel = select_best(&l, &cands, 0.3, 0.7);
+        assert_eq!(
+            sel.best, 1,
+            "smallest start id must win the tie (got start {})",
+            cands[sel.best].start
+        );
+        // explain_selection must rank the same way
+        let trace = explain_selection(&cands, &sel, 0.3, 0.7, 3);
+        assert_eq!(trace.top[0].start, starts[1]);
+        assert!(trace.verdict.contains("tie"), "verdict: {}", trace.verdict);
+    }
+
+    #[test]
+    fn near_tie_at_large_magnitude_is_called_a_tie() {
+        // Regression: the verdict used `margin <= f64::EPSILON` (absolute),
+        // so two scores a few ulps apart at magnitude 1e12 were reported as
+        // decisively separated. The comparison is now relative.
+        let l = loads(4, 3);
+        let mk = |start: NodeId| Candidate {
+            start,
+            nodes: vec![start],
+            procs: vec![4],
+        };
+        let cands = vec![mk(l.usable[0]), mk(l.usable[1])];
+        let big = 1.0e12;
+        let ulps_apart = big * (1.0 + 2.0 * f64::EPSILON) - big; // a few ulps
+        assert!(ulps_apart > f64::EPSILON, "margin must defeat absolute eps");
+        let scores = vec![
+            CandidateScore {
+                start: l.usable[0],
+                compute_term: big,
+                network_term: 0.0,
+                total: big,
+            },
+            CandidateScore {
+                start: l.usable[1],
+                compute_term: big,
+                network_term: ulps_apart,
+                total: big + ulps_apart,
+            },
+        ];
+        let sel = Selection {
+            best: 0,
+            best_cost: big,
+            costs: scores.iter().map(|s| (s.start, s.total)).collect(),
+            scores,
+        };
+        let trace = explain_selection(&cands, &sel, 0.3, 0.7, 2);
+        assert!(
+            trace.verdict.contains("tie"),
+            "a few-ulp margin at 1e12 must read as a tie, got: {}",
+            trace.verdict
+        );
     }
 
     #[test]

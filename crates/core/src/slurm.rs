@@ -201,8 +201,14 @@ impl SelectPlugin for NlrmSelect {
                         req.beta,
                     )
                 })
+                // a pinned start on a zero-capacity universe yields a
+                // candidate that places nothing; it must not reach selection
+                .filter(|c| c.total_procs() as u64 >= req.procs as u64)
                 .collect()
         };
+        if candidates.is_empty() {
+            return Err(AllocError::NoCapacity);
+        }
         let selection = select_best(&restricted, &candidates, req.alpha, req.beta);
         let winner = &candidates[selection.best];
 

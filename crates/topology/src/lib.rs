@@ -12,5 +12,7 @@
 
 pub mod graph;
 pub mod route;
+pub mod tier;
 
 pub use graph::{Link, LinkId, LinkParams, NodeId, SwitchId, Topology};
+pub use tier::SwitchIndex;
