@@ -1,0 +1,52 @@
+//! Temporary review check: does allocate_pruned always match select_best?
+
+use nlrm_core::candidate::generate_all_candidates;
+use nlrm_core::select::select_best;
+use nlrm_core::{allocate_pruned, Loads};
+use nlrm_monitor::SymMatrix;
+use nlrm_topology::NodeId;
+
+#[test]
+fn pruned_matches_select_best() {
+    let mut mismatches = 0;
+    let mut total = 0;
+    for seed in 0..200u64 {
+        // 4 nodes, pc=2 each, n=4 -> 2-node groups
+        let mut rng = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) as f64) / (u32::MAX as f64)
+        };
+        let nn = 5u32;
+        let usable: Vec<NodeId> = (0..nn).map(NodeId).collect();
+        let cl: Vec<f64> = (0..nn).map(|_| 0.05 + next()).collect();
+        let mut nl = SymMatrix::new(nn as usize, 0.0);
+        for u in 0..nn {
+            for v in (u + 1)..nn {
+                nl.set(NodeId(u), NodeId(v), 0.05 + next());
+            }
+        }
+        let pc: Vec<u32> = (0..nn).map(|_| 2).collect();
+        let l = Loads::from_parts(usable, cl, nl, pc);
+        for n in [4u32, 6] {
+            for &(a, b) in &[(0.3, 0.7), (0.5, 0.5), (0.7, 0.3)] {
+                let cands = generate_all_candidates(&l, n, a, b);
+                let sel = select_best(&l, &cands, a, b);
+                let eq4_start = cands[sel.best].start;
+                let pruned = allocate_pruned(&l, n, a, b).unwrap();
+                total += 1;
+                if pruned.winner.start != eq4_start {
+                    mismatches += 1;
+                    if mismatches <= 3 {
+                        eprintln!(
+                            "seed {seed} n {n} a {a}: select_best start {eq4_start}, pruned start {}",
+                            pruned.winner.start
+                        );
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("mismatches: {mismatches}/{total}");
+    assert_eq!(mismatches, 0);
+}
