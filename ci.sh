@@ -73,6 +73,26 @@ assert all(s["allocs_per_sec"] > 0 for s in bench["sizes"])
 assert bench["within_2x_of_linear"], f"linear_factor {bench['linear_factor']}"
 PY
 
+# broker smoke: the scheduling-cycle sweep must run its shrunken streams,
+# emit well-formed JSON (validated twice: by the bin via json::validate
+# and here by Python), drain every admitted job, actually shed under the
+# overload arm, and keep queue-wait p99 under a fixed bound at smoke scale
+NLRM_RESULTS_DIR="$OBS_DIR" NLRM_QUICK=1 NLRM_QUIET=1 \
+    cargo run --release -q -p nlrm-bench --bin broker_sweep
+python3 - "$OBS_DIR/BENCH_broker.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+arms = {a["arm"]: a for a in bench["arms"]}
+assert "nla-batched" in arms and "overload-reject" in arms, arms.keys()
+nla = arms["nla-batched"]
+assert nla["started"] == nla["arrivals"], "batched arm left jobs stranded"
+assert nla["sched_jobs_per_sec"] > 0
+assert nla["utilization"] > 0.3, f"utilization {nla['utilization']}"
+assert nla["wait_p99_s"] < 3600, f"queue-wait p99 {nla['wait_p99_s']}s over bound"
+assert arms["overload-reject"]["rejected"] > 0, "overload arm shed nothing"
+PY
+
 # rustdoc for the observability crate is part of its API contract
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p nlrm-obs
 

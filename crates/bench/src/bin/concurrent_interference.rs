@@ -60,6 +60,7 @@ fn main() {
         let mut broker = Broker::new(BrokerConfig {
             backfill: true,
             max_load_per_core: None,
+            ..BrokerConfig::default()
         });
         broker.submit("a", req.clone()).unwrap();
         broker.submit("b", req.clone()).unwrap();

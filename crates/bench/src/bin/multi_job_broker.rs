@@ -69,6 +69,7 @@ fn run_stream(
     let mut broker = Broker::new(BrokerConfig {
         backfill: true,
         max_load_per_core: None,
+        ..BrokerConfig::default()
     });
     let mut rng = RngFactory::new(seed).named("random-broker");
     let mut submitted: BTreeMap<JobId, &ArrivingJob> = BTreeMap::new();
@@ -182,7 +183,9 @@ fn random_lease(
 
 /// Install a lease into the broker's books (used by the random baseline).
 fn broker_force_lease(broker: &mut Broker, lease: Lease) {
-    broker.adopt_lease(lease);
+    broker
+        .adopt_lease(lease)
+        .expect("forced lease id is free: its NLA twin was just completed");
 }
 
 fn main() {

@@ -9,7 +9,7 @@
 //! allocations carry explain traces shaped by the stale exclusions.
 
 use nlrm_cluster::iitk::small_cluster;
-use nlrm_core::broker::{Broker, BrokerConfig, BrokerEvent};
+use nlrm_core::broker::{Broker, BrokerConfig, BrokerEvent, SchedMode};
 use nlrm_core::AllocationRequest;
 use nlrm_monitor::{DaemonKind, FaultTarget, MonitorFaultPlan};
 use nlrm_obs::{install, ExplainTrace, Obs, Severity, TraceId};
@@ -119,6 +119,8 @@ pub fn run_faulted_broker_scenario(seed: u64, checkpoints: &[u64]) -> ObsScenari
     let mut broker = Broker::new(BrokerConfig {
         backfill: true,
         max_load_per_core: None,
+        mode: SchedMode::PerJob,
+        ..BrokerConfig::default()
     });
     let mut names: BTreeMap<nlrm_core::broker::JobId, String> = BTreeMap::new();
     let huge = broker

@@ -22,7 +22,7 @@ use crate::obs_scenario::fault_storyline;
 use crate::runner::Experiment;
 use nlrm_apps::MiniMd;
 use nlrm_cluster::iitk::small_cluster;
-use nlrm_core::broker::{Broker, BrokerConfig, BrokerEvent, JobId};
+use nlrm_core::broker::{Broker, BrokerConfig, BrokerEvent, JobId, SchedMode};
 use nlrm_core::AllocationRequest;
 use nlrm_mpi::{execute_traced, Communicator, JobTiming, TraceCtx};
 use nlrm_obs::{install, Obs, Severity, TraceId};
@@ -98,6 +98,8 @@ pub fn run_traced_broker_scenario(seed: u64, checkpoints: &[u64]) -> TraceScenar
     let mut broker = Broker::new(BrokerConfig {
         backfill: true,
         max_load_per_core: None,
+        mode: SchedMode::PerJob,
+        ..BrokerConfig::default()
     });
     let mut names: BTreeMap<JobId, String> = BTreeMap::new();
     let huge = broker

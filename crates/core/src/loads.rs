@@ -136,6 +136,9 @@ impl Loads {
             .validate()
             .map_err(AllocError::InvalidRequest)?;
         policy.validate()?;
+        // counted so schedulers can prove how often they pay for the
+        // O(V²) matrix build (the broker's batched-cycle test relies on it)
+        nlrm_obs::ctx::inc("loads_derive_total");
         let mut usable: Vec<NodeId> = Vec::new();
         let observed = nlrm_obs::ctx::is_active();
         for n in snap.usable_nodes() {

@@ -83,6 +83,12 @@ pub enum AllocError {
     /// Usable nodes exist but none can host a single process
     /// (`pc_v == 0` everywhere), so no candidate group can form.
     NoCapacity,
+    /// The broker's admission control bounced the submission: the queue
+    /// already holds `depth` jobs.
+    QueueFull {
+        /// Queue depth at rejection time.
+        depth: usize,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -95,6 +101,9 @@ impl fmt::Display for AllocError {
             }
             AllocError::NoCapacity => {
                 write!(f, "no usable node has spare process capacity")
+            }
+            AllocError::QueueFull { depth } => {
+                write!(f, "queue full: {depth} jobs already waiting")
             }
         }
     }

@@ -6,10 +6,15 @@
 //! pruning under that objective is unsound. This module therefore scores
 //! groups with the *globally* normalized
 //! [`group_cost`](crate::select::group_cost) (`α·C_G/C_all + β·N_G/N_all`),
-//! whose denominators are fixed by the universe. Since every candidate is
-//! divided by the same constants in either formulation, the globally
-//! normalized ranking is the Eq. 4 ranking — and a per-start *lower bound*
-//! on `group_cost` becomes possible before generating the candidate:
+//! whose denominators are fixed by the universe. The global denominators
+//! are constants, so a candidate's rank no longer depends on which other
+//! candidates happen to exist — though it is *not* always the Eq. 4 rank:
+//! Eq. 4's compute and network terms are rescaled by candidate-set sums
+//! whose ratio varies per set, so the two rankings can diverge when both
+//! α and β are nonzero. The pruned path deliberately adopts the globally
+//! normalized objective (set-independent, hence prunable) and reproduces
+//! *its* exhaustive ranking exactly — and a per-start *lower bound* on
+//! `group_cost` becomes possible before generating the candidate:
 //!
 //! * **Compute term** — any group from start `v` contains `v` (when `v` has
 //!   capacity) and must cover `min(n, capacity)` processes, so
@@ -23,9 +28,10 @@
 //!
 //! Start nodes are visited in ascending bound order; once a bound strictly
 //! exceeds the incumbent's cost, every remaining start is pruned. The
-//! incumbent comparison is `(cost, start id)` — the same total order as
+//! incumbent comparison is `(cost, start id)` — the same tie-break as
 //! [`select_best`](crate::select::select_best) — so the pruned winner is
-//! *identical* to scoring every candidate (a property the tests assert).
+//! *identical* to exhaustively scoring every candidate under `group_cost`
+//! (a property the tests assert).
 
 use crate::candidate::{generate_candidate, Candidate, TieredBuckets};
 use crate::loads::Loads;

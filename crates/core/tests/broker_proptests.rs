@@ -27,6 +27,7 @@ enum Action {
     Tick,
     CompleteOldest,
     CancelNewestQueued,
+    CancelOldestRunning,
 }
 
 fn arb_action() -> impl Strategy<Value = Action> {
@@ -35,6 +36,7 @@ fn arb_action() -> impl Strategy<Value = Action> {
         Just(Action::Tick),
         Just(Action::CompleteOldest),
         Just(Action::CancelNewestQueued),
+        Just(Action::CancelOldestRunning),
     ]
 }
 
@@ -53,6 +55,7 @@ proptest! {
         let mut broker = Broker::new(BrokerConfig {
             backfill: true,
             max_load_per_core: None,
+            ..BrokerConfig::default()
         });
         let mut running: Vec<JobId> = Vec::new();
         for action in actions {
@@ -78,6 +81,13 @@ proptest! {
                 Action::CancelNewestQueued => {
                     if let Some(&id) = broker.queued().last() {
                         prop_assert!(broker.cancel(id));
+                    }
+                }
+                Action::CancelOldestRunning => {
+                    if !running.is_empty() {
+                        let id = running.remove(0);
+                        prop_assert!(broker.cancel(id), "running job must be cancellable");
+                        prop_assert!(broker.complete(id).is_none(), "cancel released the lease");
                     }
                 }
             }
@@ -118,6 +128,7 @@ proptest! {
         let mut broker = Broker::new(BrokerConfig {
             backfill: true,
             max_load_per_core: None,
+            ..BrokerConfig::default()
         });
         for procs in &jobs {
             broker

@@ -141,6 +141,27 @@ pub enum EventKind {
         /// The error.
         reason: String,
     },
+    /// A submission bounced off admission control (queue at capacity).
+    JobRejected {
+        /// Job display name.
+        job: String,
+        /// Queue depth at rejection time.
+        depth: usize,
+    },
+    /// A queued job was evicted by admission control to admit a newer one.
+    JobShed {
+        /// Display name of the evicted job.
+        job: String,
+        /// Queue depth after the shed.
+        depth: usize,
+    },
+    /// A job was cancelled by its owner.
+    JobCancelled {
+        /// Job display name.
+        job: String,
+        /// Whether it was running (reservations released) or just queued.
+        was_running: bool,
+    },
 }
 
 impl EventKind {
@@ -160,6 +181,9 @@ impl EventKind {
             EventKind::AllocGranted { .. } => "alloc_granted",
             EventKind::AllocDeferred { .. } => "alloc_deferred",
             EventKind::AllocFailed { .. } => "alloc_failed",
+            EventKind::JobRejected { .. } => "job_rejected",
+            EventKind::JobShed { .. } => "job_shed",
+            EventKind::JobCancelled { .. } => "job_cancelled",
         }
     }
 
@@ -211,6 +235,16 @@ impl EventKind {
             EventKind::AllocFailed { job, reason } => {
                 vec![("job", json::string(job)), ("reason", json::string(reason))]
             }
+            EventKind::JobRejected { job, depth } => {
+                vec![("job", json::string(job)), ("depth", depth.to_string())]
+            }
+            EventKind::JobShed { job, depth } => {
+                vec![("job", json::string(job)), ("depth", depth.to_string())]
+            }
+            EventKind::JobCancelled { job, was_running } => vec![
+                ("job", json::string(job)),
+                ("was_running", was_running.to_string()),
+            ],
         }
     }
 
@@ -238,6 +272,11 @@ impl EventKind {
             }
             EventKind::AllocDeferred { job, reason } => format!("job={job} reason={reason}"),
             EventKind::AllocFailed { job, reason } => format!("job={job} reason={reason}"),
+            EventKind::JobRejected { job, depth } => format!("job={job} depth={depth}"),
+            EventKind::JobShed { job, depth } => format!("job={job} depth={depth}"),
+            EventKind::JobCancelled { job, was_running } => {
+                format!("job={job} was_running={was_running}")
+            }
         }
     }
 }

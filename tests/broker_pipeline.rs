@@ -27,6 +27,7 @@ fn broker_feeds_concurrent_execution() {
     let mut broker = Broker::new(BrokerConfig {
         backfill: true,
         max_load_per_core: None,
+        ..BrokerConfig::default()
     });
     for i in 0..3 {
         broker
@@ -89,6 +90,7 @@ fn broker_respects_capacity_under_pressure() {
     let mut broker = Broker::new(BrokerConfig {
         backfill: true,
         max_load_per_core: None,
+        ..BrokerConfig::default()
     });
     let mut ids = Vec::new();
     for i in 0..5 {
