@@ -93,6 +93,30 @@ assert nla["wait_p99_s"] < 3600, f"queue-wait p99 {nla['wait_p99_s']}s over boun
 assert arms["overload-reject"]["rejected"] > 0, "overload arm shed nothing"
 PY
 
+# health smoke: the paired telemetry runs must detect the injected
+# degradation (a staleness surge on the faulted arm), stay silent on the
+# clean arm, and keep the telemetry loop's overhead within its 5% budget
+NLRM_RESULTS_DIR="$OBS_DIR" NLRM_QUICK=1 NLRM_QUIET=1 \
+    cargo run --release -q -p nlrm-bench --bin health_report
+python3 - "$OBS_DIR/health_report.json" "$OBS_DIR/BENCH_health.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+with open(sys.argv[2]) as f:
+    bench = json.load(f)
+arms = {a["name"]: a for a in report["arms"]}
+faulted, clean = arms["faulted"], arms["clean"]
+kinds = [a["kind"] for a in faulted["anomalies"]]
+assert "staleness_surge" in kinds, f"faulted arm missed the surge: {kinds}"
+assert not clean["anomalies"], f"clean arm fired: {clean['anomalies']}"
+assert faulted["telemetry_ticks"] > 10, "telemetry loop barely ran"
+assert faulted["health"]["stale_fraction"] >= 0.25, "stale nodes not in health"
+assert report["sampler"]["within_budget"], f"overhead {report['sampler']}"
+assert bench["faulted_overhead_frac"] <= 0.05, bench["faulted_overhead_frac"]
+assert bench["clean_overhead_frac"] <= 0.05, bench["clean_overhead_frac"]
+PY
+test -s "$OBS_DIR/health_report.md"
+
 # rustdoc for the observability crate is part of its API contract
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p nlrm-obs
 

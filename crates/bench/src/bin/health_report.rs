@@ -1,0 +1,262 @@
+//! Continuous-telemetry health report over paired broker runs.
+//!
+//! Runs the shared broker scenario twice with the telemetry loop
+//! enabled — once under the full fault storyline (daemon kills, a master
+//! failover, a headless supervision plane, stale samples, a permanently
+//! starving job) and once fault-free — then reports what the health
+//! tracker, SLO tracker, and anomaly detectors said about each arm.
+//!
+//! The point of the pairing is falsifiability: the detectors must fire
+//! on the degraded run *and stay quiet on the healthy one*, otherwise
+//! they are noise generators, not detectors.
+//!
+//! Output:
+//!
+//! - `results/health_report.json` — params, both arms (health snapshot,
+//!   SLO attainment, anomalies, sampled series), and sampler overhead;
+//! - `results/health_report.md` — the same comparison as a table;
+//! - `BENCH_health.json` — sampler/telemetry overhead as a fraction of
+//!   scenario runtime (repo root on full runs, results dir on quick).
+
+use nlrm_bench::obs_scenario::{
+    run_broker_scenario, ObsScenarioResult, ScenarioOptions, FULL_CHECKPOINTS, QUICK_CHECKPOINTS,
+};
+use nlrm_bench::report::{self, write_result, Table};
+use nlrm_obs::{json, Progress};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// One scenario arm plus the wall-clock it took.
+struct Arm {
+    name: &'static str,
+    result: ObsScenarioResult,
+    wall_secs: f64,
+}
+
+fn run_arm(name: &'static str, seed: u64, checkpoints: &[u64], opts: ScenarioOptions) -> Arm {
+    let t0 = Instant::now();
+    let result = run_broker_scenario(seed, checkpoints, opts);
+    Arm {
+        name,
+        result,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn arm_json(arm: &Arm) -> String {
+    let tel = &arm.result.obs.telemetry;
+    let journal = &arm.result.obs.journal;
+    let anomalies: Vec<String> = tel.anomalies().iter().map(|a| a.to_json()).collect();
+    json::object(&[
+        ("name", json::string(arm.name)),
+        ("wall_secs", json::num(arm.wall_secs)),
+        ("telemetry_ticks", tel.ticks().to_string()),
+        ("telemetry_wall_nanos", tel.wall_nanos().to_string()),
+        ("granted", arm.result.decisions.len().to_string()),
+        ("deferred", arm.result.deferred.len().to_string()),
+        ("failovers", arm.result.failovers.to_string()),
+        ("relaunches", arm.result.relaunches.to_string()),
+        (
+            "anomaly_events",
+            journal.count_of("anomaly_detected").to_string(),
+        ),
+        (
+            "slo_breach_events",
+            journal.count_of("slo_breached").to_string(),
+        ),
+        ("anomalies", json::array(&anomalies)),
+        (
+            "health",
+            tel.latest_health()
+                .map(|h| h.to_json())
+                .unwrap_or_else(|| "null".to_string()),
+        ),
+        ("slos", tel.slo_json()),
+        ("telemetry", tel.to_json()),
+    ])
+}
+
+fn count_kind(arm: &Arm, label: &str) -> usize {
+    arm.result
+        .obs
+        .telemetry
+        .anomalies()
+        .iter()
+        .filter(|a| a.kind.label() == label)
+        .count()
+}
+
+fn main() {
+    let progress = Progress::start("health_report");
+    let quick = std::env::var("NLRM_QUICK").is_ok();
+    let seed: u64 = std::env::var("NLRM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2025);
+    let checkpoints = if quick {
+        QUICK_CHECKPOINTS
+    } else {
+        FULL_CHECKPOINTS
+    };
+    progress.kv("seed", seed);
+    progress.kv("checkpoints", checkpoints.len());
+
+    progress.phase("faulted arm");
+    let faulted = run_arm(
+        "faulted",
+        seed,
+        checkpoints,
+        ScenarioOptions::faulted_telemetry(),
+    );
+    progress.phase("clean arm");
+    let clean = run_arm(
+        "clean",
+        seed,
+        checkpoints,
+        ScenarioOptions::clean_telemetry(),
+    );
+
+    progress.phase("export");
+    // telemetry overhead = time spent inside Telemetry::tick (health
+    // derivation + SLO evaluation + detectors + sampler) over the whole
+    // scenario wall time, reported for the heavier (faulted) arm
+    let overhead_frac = |arm: &Arm| {
+        let tel = arm.result.obs.telemetry.wall_nanos() as f64 / 1e9;
+        if arm.wall_secs > 0.0 {
+            tel / arm.wall_secs
+        } else {
+            0.0
+        }
+    };
+    let faulted_overhead = overhead_frac(&faulted);
+    let clean_overhead = overhead_frac(&clean);
+
+    let params = json::object(&[
+        ("seed", seed.to_string()),
+        ("nodes", "8".to_string()),
+        ("quick", quick.to_string()),
+        (
+            "checkpoints_s",
+            json::array(
+                &checkpoints
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ]);
+    let sampler = json::object(&[
+        ("faulted_overhead_frac", json::num(faulted_overhead)),
+        ("clean_overhead_frac", json::num(clean_overhead)),
+        ("budget_frac", json::num(0.05)),
+        (
+            "within_budget",
+            (faulted_overhead <= 0.05 && clean_overhead <= 0.05).to_string(),
+        ),
+    ]);
+    let report_json = json::object(&[
+        ("params", params),
+        ("arms", json::array(&[arm_json(&faulted), arm_json(&clean)])),
+        ("sampler", sampler),
+    ]);
+    json::validate(&report_json).expect("health_report.json is valid JSON");
+    write_result("health_report.json", &report_json).expect("write result");
+
+    let mut table = Table::new(&[
+        "arm",
+        "anomalies",
+        "staleness",
+        "starvation",
+        "slo breaches",
+        "telemetry ticks",
+        "overhead",
+    ]);
+    for arm in [&faulted, &clean] {
+        table.row(&[
+            arm.name.to_string(),
+            arm.result.obs.telemetry.anomalies().len().to_string(),
+            count_kind(arm, "staleness_surge").to_string(),
+            count_kind(arm, "starvation").to_string(),
+            arm.result.obs.journal.count_of("slo_breached").to_string(),
+            arm.result.obs.telemetry.ticks().to_string(),
+            format!("{:.4}%", overhead_frac(arm) * 100.0),
+        ]);
+    }
+    let mut md = String::new();
+    let _ = writeln!(md, "# Cluster health report\n");
+    let _ = writeln!(
+        md,
+        "Paired runs of the broker scenario with the continuous-telemetry \
+         loop enabled: the *faulted* arm takes the full fault storyline \
+         (daemon kills at t=400/450, master failover at t=700, headless \
+         plane at t=900, stale samples after t=950, a starving 64-proc \
+         job), the *clean* arm runs the same checkpoints fault-free.\n"
+    );
+    md.push_str(&table.to_markdown());
+    if let Some(h) = faulted.result.obs.telemetry.latest_health() {
+        let _ = writeln!(md, "\n## Final health snapshot (faulted arm)\n");
+        let _ = writeln!(md, "```json\n{}\n```", h.to_json());
+    }
+    write_result("health_report.md", &md).expect("write result");
+
+    let bench = json::object(&[
+        ("bench", json::string("health_report")),
+        ("quick", quick.to_string()),
+        ("seed", seed.to_string()),
+        ("faulted_wall_secs", json::num(faulted.wall_secs)),
+        ("clean_wall_secs", json::num(clean.wall_secs)),
+        (
+            "faulted_telemetry_ticks",
+            faulted.result.obs.telemetry.ticks().to_string(),
+        ),
+        (
+            "clean_telemetry_ticks",
+            clean.result.obs.telemetry.ticks().to_string(),
+        ),
+        ("faulted_overhead_frac", json::num(faulted_overhead)),
+        ("clean_overhead_frac", json::num(clean_overhead)),
+        (
+            "faulted_anomalies",
+            faulted.result.obs.telemetry.anomalies().len().to_string(),
+        ),
+        (
+            "clean_anomalies",
+            clean.result.obs.telemetry.anomalies().len().to_string(),
+        ),
+        ("overhead_budget_frac", json::num(0.05)),
+        (
+            "within_budget",
+            (faulted_overhead <= 0.05 && clean_overhead <= 0.05).to_string(),
+        ),
+    ]);
+    json::validate(&bench).expect("BENCH_health.json is valid JSON");
+    // BENCH_*.json at the repository root are the committed perf
+    // trajectory — only full runs belong there; quick (CI smoke) runs
+    // land next to the other generated results instead
+    let out = if quick {
+        report::results_dir().join("BENCH_health.json")
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root exists")
+            .join("BENCH_health.json")
+    };
+    std::fs::write(&out, &bench).expect("write BENCH_health.json");
+    if !nlrm_obs::progress::quiet() {
+        println!("wrote {}", out.display());
+        print!("{}", table.to_markdown());
+    }
+
+    progress.kv(
+        "faulted_anomalies",
+        faulted.result.obs.telemetry.anomalies().len(),
+    );
+    progress.kv(
+        "clean_anomalies",
+        clean.result.obs.telemetry.anomalies().len(),
+    );
+    progress.kv("faulted_overhead", format!("{faulted_overhead:.5}"));
+    progress.done();
+}

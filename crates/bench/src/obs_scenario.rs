@@ -12,13 +12,60 @@ use nlrm_cluster::iitk::small_cluster;
 use nlrm_core::broker::{Broker, BrokerConfig, BrokerEvent, SchedMode};
 use nlrm_core::AllocationRequest;
 use nlrm_monitor::{DaemonKind, FaultTarget, MonitorFaultPlan};
-use nlrm_obs::{install, ExplainTrace, Obs, Severity, TraceId};
+use nlrm_obs::{install, ExplainTrace, Obs, Severity, TelemetryConfig, TraceId};
 use nlrm_sim_core::fault::FaultAction;
 use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_topology::NodeId;
 use std::collections::BTreeMap;
 
 use crate::runner::Experiment;
+
+/// Knobs for [`run_broker_scenario`]. The original fully-faulted shape
+/// lives on as [`run_faulted_broker_scenario`]; the health report runs
+/// the same storyline twice — faulted and clean — with telemetry on,
+/// and compares what the detectors say about each arm.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioOptions {
+    /// Install the fault storyline (daemon kills, failover, headless
+    /// supervision plane, stale samples).
+    pub faulted: bool,
+    /// Submit the never-placeable 64-process job up front. The clean
+    /// arm leaves it out so a permanently starving job cannot trip the
+    /// starvation detector on a run that is supposed to be healthy.
+    pub submit_huge: bool,
+    /// Enable the continuous-telemetry loop (standard config: 30 s
+    /// virtual cadence, health + SLOs + anomaly detectors + sampler).
+    pub telemetry: bool,
+}
+
+impl ScenarioOptions {
+    /// The classic observability-report shape: all faults, the
+    /// starving job, no telemetry loop.
+    pub fn faulted() -> Self {
+        ScenarioOptions {
+            faulted: true,
+            submit_huge: true,
+            telemetry: false,
+        }
+    }
+
+    /// A fault-free control arm with telemetry enabled.
+    pub fn clean_telemetry() -> Self {
+        ScenarioOptions {
+            faulted: false,
+            submit_huge: false,
+            telemetry: true,
+        }
+    }
+
+    /// The faulted arm with telemetry enabled.
+    pub fn faulted_telemetry() -> Self {
+        ScenarioOptions {
+            telemetry: true,
+            ..Self::faulted()
+        }
+    }
+}
 
 /// One granted allocation with its decision context.
 #[derive(Debug, Clone)]
@@ -105,16 +152,32 @@ pub fn fault_storyline() -> MonitorFaultPlan {
 }
 
 pub fn run_faulted_broker_scenario(seed: u64, checkpoints: &[u64]) -> ObsScenarioResult {
+    run_broker_scenario(seed, checkpoints, ScenarioOptions::faulted())
+}
+
+/// Run the broker scenario with explicit [`ScenarioOptions`] and capture
+/// its observability output. See [`run_faulted_broker_scenario`] for the
+/// fault storyline; a clean arm runs the same checkpoints without it.
+pub fn run_broker_scenario(
+    seed: u64,
+    checkpoints: &[u64],
+    opts: ScenarioOptions,
+) -> ObsScenarioResult {
     assert!(!checkpoints.is_empty(), "need at least one checkpoint");
     let obs = Obs::with_capacity(16 * 1024);
     // Debug-level ticks and publishes would dominate the ring over a
     // 1500 s run; the report keeps the decision-relevant layer.
     obs.journal.set_min_severity(Severity::Info);
+    if opts.telemetry {
+        obs.telemetry.enable(TelemetryConfig::standard());
+    }
     let guard = install(&obs);
 
     let mut env = Experiment::new(small_cluster(8, seed));
     env.advance(Duration::from_secs(360));
-    env.monitor.set_fault_plan(fault_storyline());
+    if opts.faulted {
+        env.monitor.set_fault_plan(fault_storyline());
+    }
 
     let mut broker = Broker::new(BrokerConfig {
         backfill: true,
@@ -123,10 +186,12 @@ pub fn run_faulted_broker_scenario(seed: u64, checkpoints: &[u64]) -> ObsScenari
         ..BrokerConfig::default()
     });
     let mut names: BTreeMap<nlrm_core::broker::JobId, String> = BTreeMap::new();
-    let huge = broker
-        .submit_at("huge-64", AllocationRequest::minimd(64), env.cluster.now())
-        .expect("valid request");
-    names.insert(huge, "huge-64".to_string());
+    if opts.submit_huge {
+        let huge = broker
+            .submit_at("huge-64", AllocationRequest::minimd(64), env.cluster.now())
+            .expect("valid request");
+        names.insert(huge, "huge-64".to_string());
+    }
 
     let mut decisions = Vec::new();
     let mut deferred = Vec::new();

@@ -848,12 +848,13 @@ impl Broker {
             .map(|(j, _)| j)
             .collect();
         if observed {
-            nlrm_obs::ctx::set_gauge("broker_queue_depth", self.queue.len() as f64);
-            nlrm_obs::ctx::set_gauge("broker_running_jobs", self.running.len() as f64);
             nlrm_obs::ctx::set_gauge(
                 "broker_head_reserved_procs",
                 head_res.map(|r| r.need as f64).unwrap_or(0.0),
             );
+            let base = base_override.or_else(|| bases.values().find_map(|r| r.as_ref().ok()));
+            self.publish_queue_gauges(now, base);
+            nlrm_obs::ctx::telemetry_tick(now);
         }
         events
     }
@@ -866,6 +867,7 @@ impl Broker {
         let mut events = Vec::new();
         let mut still_queued: VecDeque<QueuedJob> = VecDeque::new();
         let mut head_blocked = false;
+        let mut gauge_base: Option<Loads> = None;
         while let Some(mut job) = self.queue.pop_front() {
             if head_blocked && !self.config.backfill {
                 still_queued.push_back(job);
@@ -874,7 +876,11 @@ impl Broker {
             if observed && !job.announced {
                 announce(&mut job, now);
             }
-            match self.try_start(&job, snap) {
+            let (base, outcome) = self.try_start(&job, snap);
+            if base.is_some() {
+                gauge_base = base;
+            }
+            match outcome {
                 Ok(lease) => {
                     if observed {
                         observe_start(&job, &lease, now);
@@ -894,8 +900,8 @@ impl Broker {
         }
         self.queue = still_queued;
         if observed {
-            nlrm_obs::ctx::set_gauge("broker_queue_depth", self.queue.len() as f64);
-            nlrm_obs::ctx::set_gauge("broker_running_jobs", self.running.len() as f64);
+            self.publish_queue_gauges(now, gauge_base.as_ref());
+            nlrm_obs::ctx::telemetry_tick(now);
         }
         events
     }
@@ -915,6 +921,45 @@ impl Broker {
             },
         );
         self.running.insert(job.id, lease);
+    }
+
+    /// Publish the queue/capacity gauge family the telemetry layer
+    /// derives cluster health from. `base` carries the derived universe
+    /// when the scheduling pass produced one; the capacity gauges keep
+    /// their previous values otherwise (a tick with nothing queued
+    /// derives nothing, and a stale reading beats a fabricated zero).
+    fn publish_queue_gauges(&self, now: SimTime, base: Option<&Loads>) {
+        nlrm_obs::ctx::set_gauge("broker_queue_depth", self.queue.len() as f64);
+        nlrm_obs::ctx::set_gauge("broker_running_jobs", self.running.len() as f64);
+        let mut by_class = [0u64; 3];
+        let mut oldest = 0.0f64;
+        for job in &self.queue {
+            let slot = match job.class {
+                PriorityClass::Batch => 0,
+                PriorityClass::Normal => 1,
+                PriorityClass::Urgent => 2,
+            };
+            by_class[slot] += 1;
+            if let Some(at) = job.submitted_at {
+                oldest = oldest.max(now.since(at).as_secs_f64());
+            }
+        }
+        nlrm_obs::ctx::set_gauge("broker_queue_depth_batch", by_class[0] as f64);
+        nlrm_obs::ctx::set_gauge("broker_queue_depth_normal", by_class[1] as f64);
+        nlrm_obs::ctx::set_gauge("broker_queue_depth_urgent", by_class[2] as f64);
+        nlrm_obs::ctx::set_gauge("broker_oldest_wait_secs", oldest);
+        if let Some(base) = base {
+            let mut free = 0u64;
+            let mut largest = 0u64;
+            for (&n, &pc) in base.usable.iter().zip(&base.pc) {
+                let f = pc.saturating_sub(self.reserved_on(n)) as u64;
+                free += f;
+                largest = largest.max(f);
+            }
+            nlrm_obs::ctx::set_gauge("broker_total_capacity", base.total_capacity() as f64);
+            nlrm_obs::ctx::set_gauge("broker_free_procs", free as f64);
+            nlrm_obs::ctx::set_gauge("broker_largest_free_block", largest as f64);
+        }
     }
 
     /// Free capacity across the derived universe under current
@@ -974,13 +1019,25 @@ impl Broker {
     }
 
     /// Attempt to place one job (legacy path): derive fresh, then place.
-    fn try_start(&self, job: &QueuedJob, snap: &ClusterSnapshot) -> Result<Lease, String> {
+    /// Also hands back the unrestricted derivation (when one succeeded)
+    /// so the caller can publish capacity gauges without re-deriving.
+    fn try_start(
+        &self,
+        job: &QueuedJob,
+        snap: &ClusterSnapshot,
+    ) -> (Option<Loads>, Result<Lease, String>) {
         let req = &job.request;
-        let loads = Loads::derive(snap, &req.compute_weights, &req.network_weights, req.ppn)
-            .map_err(|e| e.to_string())?;
-        let adjusted = self.restrict(&loads).map_err(PlaceFailure::into_message)?;
-        self.place_on(&adjusted, job, snap)
-            .map_err(PlaceFailure::into_message)
+        let loads = match Loads::derive(snap, &req.compute_weights, &req.network_weights, req.ppn) {
+            Ok(l) => l,
+            Err(e) => return (None, Err(e.to_string())),
+        };
+        let outcome = match self.restrict(&loads) {
+            Ok(adjusted) => self
+                .place_on(&adjusted, job, snap)
+                .map_err(PlaceFailure::into_message),
+            Err(fail) => Err(fail.into_message()),
+        };
+        (Some(loads), outcome)
     }
 
     /// Score and place one job against a reservation-restricted view.

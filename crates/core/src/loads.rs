@@ -140,22 +140,27 @@ impl Loads {
         // O(V²) matrix build (the broker's batched-cycle test relies on it)
         nlrm_obs::ctx::inc("loads_derive_total");
         let mut usable: Vec<NodeId> = Vec::new();
+        let mut excluded = 0usize;
         let observed = nlrm_obs::ctx::is_active();
         for n in snap.usable_nodes() {
             let age = snap.sample_age(n);
             if age.is_some_and(|a| a <= policy.max_sample_age) {
                 usable.push(n);
-            } else if observed {
-                // over-age (or missing) sample: the node leaves the universe
-                nlrm_obs::ctx::emit(
-                    nlrm_obs::Severity::Warn,
-                    snap.taken_at,
-                    nlrm_obs::EventKind::StaleNodeExcluded {
-                        node: n,
-                        age: age.unwrap_or(Duration::MAX),
-                    },
-                );
-                nlrm_obs::ctx::inc("loads_stale_node_excluded_total");
+            } else {
+                excluded += 1;
+                if observed {
+                    // over-age (or missing) sample: the node leaves the
+                    // universe
+                    nlrm_obs::ctx::emit(
+                        nlrm_obs::Severity::Warn,
+                        snap.taken_at,
+                        nlrm_obs::EventKind::StaleNodeExcluded {
+                            node: n,
+                            age: age.unwrap_or(Duration::MAX),
+                        },
+                    );
+                    nlrm_obs::ctx::inc("loads_stale_node_excluded_total");
+                }
             }
         }
         if observed {
@@ -166,6 +171,18 @@ impl Loads {
                     age.as_secs_f64(),
                 );
             }
+            // health inputs: how much of the monitored universe is usable,
+            // and what fraction of it was dropped as stale this derivation
+            let monitored = usable.len() + excluded;
+            nlrm_obs::ctx::set_gauge("loads_usable_nodes", usable.len() as f64);
+            nlrm_obs::ctx::set_gauge(
+                "loads_stale_fraction",
+                if monitored > 0 {
+                    excluded as f64 / monitored as f64
+                } else {
+                    0.0
+                },
+            );
         }
         if usable.is_empty() {
             return Err(AllocError::NoUsableNodes);
@@ -174,6 +191,14 @@ impl Loads {
             .iter()
             .map(|&n| snap.info(n).expect("usable implies sample"))
             .collect();
+        if observed {
+            let mean_load = infos
+                .iter()
+                .map(|i| windowed_rep(&i.sample.cpu_load))
+                .sum::<f64>()
+                / infos.len() as f64;
+            nlrm_obs::ctx::set_gauge("cluster_mean_cpu_load", mean_load);
+        }
 
         // --- Eq. 1: compute load via SAW over Table 1 attributes ---
         let w = compute_weights;

@@ -228,15 +228,13 @@ impl CentralMonitor {
 
         if self.master.alive {
             // master duties: heartbeat, supervise daemons, keep a slave alive
-            store.put(
-                paths::heartbeat("master"),
-                now,
-                encode(&MonitorRecord::Heartbeat {
-                    role: "master".into(),
-                    incarnation: self.master.incarnation,
-                    at: now,
-                }),
-            );
+            let hb = encode(&MonitorRecord::Heartbeat {
+                role: "master".into(),
+                incarnation: self.master.incarnation,
+                at: now,
+            });
+            nlrm_obs::ctx::add("monitor_heartbeat_bytes_total", hb.len() as u64);
+            store.put(paths::heartbeat("master"), now, hb);
             self.supervise(now, cluster, store, daemons);
             if !self.slave.alive {
                 if let Some(host) = Self::pick_host(cluster, self.master.host) {
@@ -257,12 +255,15 @@ impl CentralMonitor {
             // slave duties: watch the master heartbeat; promote on staleness
             let master_stale = match store.get(&paths::heartbeat("master")) {
                 None => true,
-                Some(rec) => match decode(&rec.data) {
-                    Ok(MonitorRecord::Heartbeat { at, .. }) => {
-                        now.since(at) > self.heartbeat_timeout
+                Some(rec) => {
+                    nlrm_obs::ctx::add("monitor_heartbeat_bytes_total", rec.data.len() as u64);
+                    match decode(&rec.data) {
+                        Ok(MonitorRecord::Heartbeat { at, .. }) => {
+                            now.since(at) > self.heartbeat_timeout
+                        }
+                        _ => true,
                     }
-                    _ => true,
-                },
+                }
             };
             if master_stale {
                 // promote self to master, then spawn a fresh slave

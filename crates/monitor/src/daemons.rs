@@ -22,6 +22,12 @@ use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_sim_core::window::{MultiWindowMean, WindowedMean};
 use nlrm_topology::NodeId;
 
+/// Wire cost modeled for one latency probe (a small ping-pong packet pair).
+pub const LATENCY_PROBE_BYTES: u64 = 128;
+
+/// Wire cost modeled for one bandwidth probe (a 1 MiB bulk transfer).
+pub const BANDWIDTH_PROBE_BYTES: u64 = 1 << 20;
+
 /// Identifies one supervised daemon (failure injection, supervision state).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DaemonKind {
@@ -353,6 +359,7 @@ impl LatencyD {
             .node_ids()
             .filter(|&n| cluster.is_up(n))
             .collect();
+        let mut pairs = 0u64;
         for round in round_robin_rounds(live.len()) {
             for (a, b) in round {
                 let (u, v) = (live[a], live[b]);
@@ -364,9 +371,17 @@ impl LatencyD {
                 let mirror = v.index() * self.n + u.index();
                 self.windows[mirror].0.push(t, lat);
                 self.windows[mirror].1.push(t, lat);
+                pairs += 1;
             }
         }
+        // the O(V²) measurement traffic happens whether or not the rows can
+        // be published (a mute only withholds the store writes)
+        let mut round_bytes = pairs * LATENCY_PROBE_BYTES;
+        nlrm_obs::ctx::add("monitor_pair_measurements_total", pairs);
+        nlrm_obs::ctx::add("monitor_probe_bytes_total", round_bytes);
         if !self.health.can_publish(t) {
+            nlrm_obs::ctx::set_gauge("monitor_round_pairs", pairs as f64);
+            nlrm_obs::ctx::set_gauge("monitor_round_bytes", round_bytes as f64);
             return;
         }
         for &u in &live {
@@ -388,12 +403,12 @@ impl LatencyD {
                     }
                 })
                 .collect();
-            store.put(
-                paths::latency_row(u),
-                t,
-                encode(&MonitorRecord::LatencyRow { node: u, stats }),
-            );
+            let data = encode(&MonitorRecord::LatencyRow { node: u, stats });
+            round_bytes += data.len() as u64;
+            store.put(paths::latency_row(u), t, data);
         }
+        nlrm_obs::ctx::set_gauge("monitor_round_pairs", pairs as f64);
+        nlrm_obs::ctx::set_gauge("monitor_round_bytes", round_bytes as f64);
     }
 }
 
@@ -454,15 +469,22 @@ impl BandwidthD {
             .node_ids()
             .filter(|&n| cluster.is_up(n))
             .collect();
+        let mut pairs = 0u64;
         for round in round_robin_rounds(live.len()) {
             for (a, b) in round {
                 let (u, v) = (live[a], live[b]);
                 let bw = cluster.measure_bandwidth_bps(u, v);
                 self.latest.set(u, v, bw);
                 self.peak.set(u, v, cluster.peak_bandwidth_bps(u, v));
+                pairs += 1;
             }
         }
+        let mut round_bytes = pairs * BANDWIDTH_PROBE_BYTES;
+        nlrm_obs::ctx::add("monitor_pair_measurements_total", pairs);
+        nlrm_obs::ctx::add("monitor_probe_bytes_total", round_bytes);
         if !self.health.can_publish(t) {
+            nlrm_obs::ctx::set_gauge("monitor_round_pairs", pairs as f64);
+            nlrm_obs::ctx::set_gauge("monitor_round_bytes", round_bytes as f64);
             return;
         }
         for &u in &live {
@@ -480,16 +502,16 @@ impl BandwidthD {
                 let p = self.peak.get(u, NodeId(v as u32));
                 peak[v] = if p.is_nan() { 0.0 } else { p };
             }
-            store.put(
-                paths::bandwidth_row(u),
-                t,
-                encode(&MonitorRecord::BandwidthRow {
-                    node: u,
-                    avail_bps: avail,
-                    peak_bps: peak,
-                }),
-            );
+            let data = encode(&MonitorRecord::BandwidthRow {
+                node: u,
+                avail_bps: avail,
+                peak_bps: peak,
+            });
+            round_bytes += data.len() as u64;
+            store.put(paths::bandwidth_row(u), t, data);
         }
+        nlrm_obs::ctx::set_gauge("monitor_round_pairs", pairs as f64);
+        nlrm_obs::ctx::set_gauge("monitor_round_bytes", round_bytes as f64);
     }
 }
 
@@ -666,6 +688,62 @@ mod tests {
         cluster.advance(Duration::from_secs(60));
         d.tick(&cluster, &store);
         assert!(store.get(paths::LIVEHOSTS).unwrap().written_at > first);
+    }
+
+    #[test]
+    fn sweep_records_exactly_v_choose_2_pair_measurements() {
+        // the O(V²) wall: a V-node round is exactly V·(V−1)/2 pairs
+        for v in [2usize, 5, 8, 13] {
+            let obs = nlrm_obs::Obs::new();
+            let _g = nlrm_obs::install(&obs);
+            let mut cluster = small_cluster(v, 7);
+            cluster.advance(Duration::from_secs(5));
+            let store = SharedStore::new();
+            LatencyD::new(v).tick(&mut cluster, &store);
+            let expect = (v * (v - 1) / 2) as u64;
+            assert_eq!(
+                obs.metrics.counter_value("monitor_pair_measurements_total"),
+                expect,
+                "latency sweep over {v} nodes"
+            );
+            assert_eq!(
+                obs.metrics.gauge_value("monitor_round_pairs"),
+                expect as f64
+            );
+            BandwidthD::new(v).tick(&mut cluster, &store);
+            assert_eq!(
+                obs.metrics.counter_value("monitor_pair_measurements_total"),
+                2 * expect,
+                "bandwidth sweep over {v} nodes"
+            );
+            // a sweep's bytes include both probe traffic and published rows
+            assert!(
+                obs.metrics.gauge_value("monitor_round_bytes")
+                    >= (expect * BANDWIDTH_PROBE_BYTES) as f64
+            );
+        }
+    }
+
+    #[test]
+    fn muted_sweep_still_counts_measurement_traffic() {
+        let obs = nlrm_obs::Obs::new();
+        let _g = nlrm_obs::install(&obs);
+        let mut cluster = small_cluster(4, 7);
+        cluster.advance(Duration::from_secs(5));
+        let store = SharedStore::new();
+        let mut d = LatencyD::new(4);
+        d.mute_until(cluster.now() + Duration::from_secs(600));
+        d.tick(&mut cluster, &store);
+        assert!(store.is_empty(), "muted daemon publishes nothing");
+        assert_eq!(
+            obs.metrics.counter_value("monitor_pair_measurements_total"),
+            6
+        );
+        // bytes are probe-only: no rows were written
+        assert_eq!(
+            obs.metrics.gauge_value("monitor_round_bytes"),
+            (6 * LATENCY_PROBE_BYTES) as f64
+        );
     }
 
     #[test]

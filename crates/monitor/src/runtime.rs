@@ -218,6 +218,9 @@ impl MonitorRuntime {
                 }
                 nlrm_obs::ctx::observe("monitor_tick_wall_micros", TICK_WALL_BOUNDS, wall_micros);
                 nlrm_obs::ctx::inc(&format!("monitor_tick_total_{label}"));
+                // offer the continuous-telemetry loop a tick; it gates
+                // itself on its own cadence, so this is cheap
+                nlrm_obs::ctx::telemetry_tick(t);
             }
         }
         cluster.advance_to(target);

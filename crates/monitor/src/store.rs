@@ -50,6 +50,7 @@ impl SharedStore {
                 },
             );
             nlrm_obs::ctx::inc("store_publish_total");
+            nlrm_obs::ctx::add("store_publish_bytes_total", data.len() as u64);
         }
         self.inner
             .write()

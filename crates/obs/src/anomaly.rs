@@ -1,0 +1,433 @@
+//! EWMA and threshold anomaly detectors over derived health signals.
+//!
+//! Detectors watch one [`HealthSnapshot`]
+//! field per telemetry tick and fire on the *rising edge* of an abnormal
+//! condition — once per excursion, not once per tick — so a sustained fault
+//! produces one typed journal event instead of a flood. The EWMA variant
+//! learns a running mean/variance and flags values beyond `k` standard
+//! deviations (with absolute and relative floors so a near-constant signal
+//! with tiny variance cannot false-positive); the threshold variant is a
+//! plain guarded comparison for signals with a priori bounds.
+
+use crate::health::HealthSnapshot;
+use crate::json;
+use nlrm_sim_core::time::SimTime;
+
+/// The taxonomy of detected anomalies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyKind {
+    /// Mean CPU load jumped far above its learned baseline.
+    LoadSpike,
+    /// The stale-node fraction crossed its ceiling (monitor data going bad).
+    StalenessSurge,
+    /// A queued job has waited past the starvation bound while the queue is
+    /// non-empty.
+    Starvation,
+    /// Utilization collapsed to ~0 while work is queued (allocator wedged).
+    UtilizationCollapse,
+    /// Monitor per-round traffic jumped far above its learned baseline.
+    TrafficBlowup,
+}
+
+impl AnomalyKind {
+    /// Stable snake_case label used in events, counters, and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnomalyKind::LoadSpike => "load_spike",
+            AnomalyKind::StalenessSurge => "staleness_surge",
+            AnomalyKind::Starvation => "starvation",
+            AnomalyKind::UtilizationCollapse => "utilization_collapse",
+            AnomalyKind::TrafficBlowup => "traffic_blowup",
+        }
+    }
+}
+
+/// One fired anomaly: what, when, observed value, and the threshold it beat.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// Which detector fired.
+    pub kind: AnomalyKind,
+    /// Virtual time of the firing tick.
+    pub at: SimTime,
+    /// The observed signal value.
+    pub value: f64,
+    /// The threshold the value exceeded.
+    pub threshold: f64,
+}
+
+impl Anomaly {
+    /// Export as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::object(&[
+            ("kind", json::string(self.kind.label())),
+            ("at_s", json::num(self.at.as_secs_f64())),
+            ("value", json::num(self.value)),
+            ("threshold", json::num(self.threshold)),
+        ])
+    }
+}
+
+/// EWMA mean/variance baseline with k-sigma rising-edge detection.
+#[derive(Debug, Clone)]
+pub struct EwmaDetector {
+    alpha: f64,
+    k: f64,
+    /// Ticks of baseline warm-up before the detector may fire.
+    min_samples: u64,
+    /// Absolute floor on the excess over the mean.
+    abs_floor: f64,
+    /// Relative floor on the excess, as a fraction of the mean.
+    rel_margin: f64,
+    mean: f64,
+    var: f64,
+    n: u64,
+    active: bool,
+}
+
+impl EwmaDetector {
+    /// A detector with smoothing `alpha`, sigma multiplier `k`, `min_samples`
+    /// warm-up ticks, and the two false-positive floors.
+    pub fn new(alpha: f64, k: f64, min_samples: u64, abs_floor: f64, rel_margin: f64) -> Self {
+        EwmaDetector {
+            alpha: alpha.clamp(0.0, 1.0),
+            k,
+            min_samples: min_samples.max(1),
+            abs_floor,
+            rel_margin,
+            mean: 0.0,
+            var: 0.0,
+            n: 0,
+            active: false,
+        }
+    }
+
+    /// Feed one sample; `Some(threshold)` on the rising edge of an anomaly.
+    /// The baseline only absorbs non-anomalous samples, so a sustained spike
+    /// cannot teach the detector that the spike is normal.
+    pub fn observe(&mut self, v: f64) -> Option<f64> {
+        if !v.is_finite() {
+            return None;
+        }
+        if self.n < self.min_samples {
+            // warm-up: seed the baseline, never fire
+            if self.n == 0 {
+                self.mean = v;
+            } else {
+                self.update(v);
+            }
+            self.n += 1;
+            return None;
+        }
+        let margin = (self.k * self.var.sqrt())
+            .max(self.rel_margin * self.mean.abs())
+            .max(self.abs_floor);
+        let threshold = self.mean + margin;
+        if v > threshold {
+            let edge = !self.active;
+            self.active = true;
+            return edge.then_some(threshold);
+        }
+        self.active = false;
+        self.update(v);
+        self.n += 1;
+        None
+    }
+
+    fn update(&mut self, v: f64) {
+        let d = v - self.mean;
+        self.mean += self.alpha * d;
+        self.var = (1.0 - self.alpha) * (self.var + self.alpha * d * d);
+    }
+
+    /// The learned baseline mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Fixed-threshold rising-edge detector with an optional guard.
+#[derive(Debug, Clone)]
+pub struct ThresholdDetector {
+    threshold: f64,
+    active: bool,
+}
+
+impl ThresholdDetector {
+    /// Fires when the signal exceeds `threshold`.
+    pub fn new(threshold: f64) -> Self {
+        ThresholdDetector {
+            threshold,
+            active: false,
+        }
+    }
+
+    /// Feed one sample (plus whether the guard condition holds);
+    /// `Some(threshold)` on the rising edge.
+    pub fn observe(&mut self, v: f64, guard: bool) -> Option<f64> {
+        if guard && v > self.threshold {
+            let edge = !self.active;
+            self.active = true;
+            return edge.then_some(self.threshold);
+        }
+        self.active = false;
+        None
+    }
+}
+
+/// The standard detector battery over [`HealthSnapshot`] fields.
+#[derive(Debug, Clone)]
+pub struct DetectorSet {
+    load_spike: EwmaDetector,
+    staleness: ThresholdDetector,
+    starvation: ThresholdDetector,
+    collapse: ThresholdDetector,
+    traffic: EwmaDetector,
+    /// Utilization must have been above this at least once before a
+    /// collapse can fire (a cluster that never ran anything isn't wedged).
+    util_seen: f64,
+    /// The load gauge reads 0.0 until the first derivation publishes it;
+    /// the spike detector only starts learning once a real value arrives,
+    /// so the placeholder zeros cannot make the first real reading look
+    /// like a spike.
+    load_seen: bool,
+}
+
+/// Stale-fraction ceiling: more than 1/8 of nodes stale is a surge.
+pub const STALE_FRACTION_CEILING: f64 = 0.125;
+/// Queue wait past this many seconds with a non-empty queue is starvation.
+pub const STARVATION_WAIT_SECS: f64 = 600.0;
+/// Utilization below this while jobs queue is a collapse.
+pub const UTILIZATION_FLOOR: f64 = 0.05;
+
+impl Default for DetectorSet {
+    fn default() -> Self {
+        DetectorSet {
+            // conservative: 6-sigma, 8-tick warm-up, and a floor of 1.0
+            // load units / 50% of mean keeps steady-state noise silent
+            load_spike: EwmaDetector::new(0.2, 6.0, 8, 1.0, 0.5),
+            staleness: ThresholdDetector::new(STALE_FRACTION_CEILING),
+            starvation: ThresholdDetector::new(STARVATION_WAIT_SECS),
+            collapse: ThresholdDetector::new(0.0),
+            traffic: EwmaDetector::new(0.2, 6.0, 8, 64.0, 1.0),
+            util_seen: 0.0,
+            load_seen: false,
+        }
+    }
+}
+
+impl DetectorSet {
+    /// A fresh battery with the default tuning.
+    pub fn new() -> Self {
+        DetectorSet::default()
+    }
+
+    /// Feed one health snapshot; returns every anomaly whose rising edge is
+    /// this tick.
+    pub fn observe(&mut self, snap: &HealthSnapshot) -> Vec<Anomaly> {
+        let mut out = Vec::new();
+        let mut push = |kind, value, threshold: Option<f64>| {
+            if let Some(threshold) = threshold {
+                out.push(Anomaly {
+                    kind,
+                    at: snap.at,
+                    value,
+                    threshold,
+                });
+            }
+        };
+        if self.load_seen || snap.mean_cpu_load > 0.0 {
+            self.load_seen = true;
+            push(
+                AnomalyKind::LoadSpike,
+                snap.mean_cpu_load,
+                self.load_spike.observe(snap.mean_cpu_load),
+            );
+        }
+        push(
+            AnomalyKind::StalenessSurge,
+            snap.stale_fraction,
+            self.staleness.observe(snap.stale_fraction, true),
+        );
+        push(
+            AnomalyKind::Starvation,
+            snap.oldest_wait_secs,
+            self.starvation
+                .observe(snap.oldest_wait_secs, snap.queue_depth > 0),
+        );
+        self.util_seen = self.util_seen.max(snap.utilization);
+        // collapse: utilization *fell below* the floor, so invert the sense
+        let collapsed_guard = snap.queue_depth > 0
+            && self.util_seen >= UTILIZATION_FLOOR
+            && snap.utilization < UTILIZATION_FLOOR;
+        push(
+            AnomalyKind::UtilizationCollapse,
+            snap.utilization,
+            self.collapse
+                .observe(if collapsed_guard { 1.0 } else { 0.0 }, true)
+                .map(|_| UTILIZATION_FLOOR),
+        );
+        push(
+            AnomalyKind::TrafficBlowup,
+            snap.round_pairs as f64,
+            self.traffic.observe(snap.round_pairs as f64),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at_s: u64) -> HealthSnapshot {
+        HealthSnapshot {
+            at: SimTime::from_secs(at_s),
+            utilization: 0.5,
+            fragmentation: 0.0,
+            queue_depth: 0,
+            queue_by_class: [0, 0, 0],
+            oldest_wait_secs: 0.0,
+            wait_p99_secs: None,
+            stale_fraction: 0.0,
+            mean_cpu_load: 1.0,
+            round_pairs: 28,
+            round_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn steady_signals_never_fire() {
+        let mut d = DetectorSet::new();
+        for i in 0..500 {
+            let mut s = snap(i);
+            // benign jitter around the baseline
+            s.mean_cpu_load = 1.0 + 0.05 * ((i % 7) as f64 - 3.0);
+            assert!(d.observe(&s).is_empty(), "false positive at tick {i}");
+        }
+    }
+
+    #[test]
+    fn load_spike_fires_once_per_excursion() {
+        let mut d = DetectorSet::new();
+        for i in 0..20 {
+            d.observe(&snap(i));
+        }
+        let mut spike = snap(20);
+        spike.mean_cpu_load = 50.0;
+        let fired = d.observe(&spike);
+        assert!(fired.iter().any(|a| a.kind == AnomalyKind::LoadSpike));
+        // sustained spike: no re-fire
+        let mut spike2 = snap(21);
+        spike2.mean_cpu_load = 55.0;
+        assert!(d.observe(&spike2).is_empty());
+        // recovery then a new spike re-fires
+        for i in 22..25 {
+            d.observe(&snap(i));
+        }
+        let mut spike3 = snap(25);
+        spike3.mean_cpu_load = 60.0;
+        assert!(d
+            .observe(&spike3)
+            .iter()
+            .any(|a| a.kind == AnomalyKind::LoadSpike));
+    }
+
+    #[test]
+    fn staleness_surge_crosses_ceiling() {
+        let mut d = DetectorSet::new();
+        let mut s = snap(0);
+        s.stale_fraction = 0.25; // 2 of 8 nodes
+        let fired = d.observe(&s);
+        let a = fired
+            .iter()
+            .find(|a| a.kind == AnomalyKind::StalenessSurge)
+            .expect("staleness surge");
+        assert_eq!(a.threshold, STALE_FRACTION_CEILING);
+        assert_eq!(a.value, 0.25);
+    }
+
+    #[test]
+    fn starvation_requires_queued_work() {
+        let mut d = DetectorSet::new();
+        let mut s = snap(0);
+        s.oldest_wait_secs = 10_000.0;
+        s.queue_depth = 0;
+        assert!(d.observe(&s).is_empty(), "empty queue cannot starve");
+        s.queue_depth = 1;
+        s.at = SimTime::from_secs(1);
+        assert!(d
+            .observe(&s)
+            .iter()
+            .any(|a| a.kind == AnomalyKind::Starvation));
+    }
+
+    #[test]
+    fn collapse_needs_prior_utilization() {
+        let mut d = DetectorSet::new();
+        let mut s = snap(0);
+        s.utilization = 0.0;
+        s.queue_depth = 3;
+        assert!(
+            d.observe(&s).is_empty(),
+            "never-utilized cluster is not collapsed"
+        );
+        // run for a while, then wedge
+        let mut busy = snap(1);
+        busy.utilization = 0.8;
+        d.observe(&busy);
+        let mut wedged = snap(2);
+        wedged.utilization = 0.0;
+        wedged.queue_depth = 3;
+        assert!(d
+            .observe(&wedged)
+            .iter()
+            .any(|a| a.kind == AnomalyKind::UtilizationCollapse));
+    }
+
+    #[test]
+    fn unpublished_load_gauge_does_not_seed_the_spike_baseline() {
+        let mut d = DetectorSet::new();
+        // the load gauge sits at its unset default for a long stretch…
+        for i in 0..50 {
+            let mut s = snap(i);
+            s.mean_cpu_load = 0.0;
+            assert!(d.observe(&s).is_empty());
+        }
+        // …then the first real derivation publishes a normal value: not
+        // a spike, even though it dwarfs the placeholder zeros
+        for i in 50..80 {
+            let mut s = snap(i);
+            s.mean_cpu_load = 1.5;
+            assert!(
+                d.observe(&s).is_empty(),
+                "cold-start false positive at tick {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_blowup_on_pair_count_jump() {
+        let mut d = DetectorSet::new();
+        for i in 0..20 {
+            d.observe(&snap(i)); // steady 28 pairs (8 nodes)
+        }
+        let mut s = snap(20);
+        s.round_pairs = 4950; // 100 nodes
+        assert!(d
+            .observe(&s)
+            .iter()
+            .any(|a| a.kind == AnomalyKind::TrafficBlowup));
+    }
+
+    #[test]
+    fn anomaly_json_is_valid() {
+        let a = Anomaly {
+            kind: AnomalyKind::StalenessSurge,
+            at: SimTime::from_secs(7),
+            value: 0.25,
+            threshold: 0.125,
+        };
+        assert!(json::validate(&a.to_json()).is_ok());
+        assert!(a.to_json().contains("staleness_surge"));
+    }
+}

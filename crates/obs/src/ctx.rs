@@ -15,11 +15,12 @@
 use crate::journal::{EventKind, Journal, Severity};
 use crate::metrics::Metrics;
 use crate::span::{SpanId, SpanStore, TraceId};
+use crate::telemetry::Telemetry;
 use nlrm_sim_core::time::SimTime;
 use std::cell::RefCell;
 
-/// A journal + metrics + span-store triple: the unit of observation for one
-/// scenario.
+/// A journal + metrics + span-store + telemetry quadruple: the unit of
+/// observation for one scenario.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// The event journal.
@@ -28,6 +29,9 @@ pub struct Obs {
     pub metrics: Metrics,
     /// The trace span store.
     pub spans: SpanStore,
+    /// The continuous-telemetry loop (disabled until
+    /// [`Telemetry::enable`]).
+    pub telemetry: Telemetry,
 }
 
 impl Obs {
@@ -42,6 +46,7 @@ impl Obs {
             journal: Journal::new(capacity),
             metrics: Metrics::new(),
             spans: SpanStore::default(),
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -126,6 +131,13 @@ pub fn set_gauge(name: &str, v: f64) {
 /// Record `v` into the installed histogram `name` (no-op when inactive).
 pub fn observe(name: &str, bounds: &[f64], v: f64) {
     with(|obs| obs.metrics.observe(name, bounds, v));
+}
+
+/// Offer the installed telemetry loop a tick at virtual time `now` (no-op
+/// when inactive or telemetry is disabled; cadence-gated internally, so
+/// callers may invoke this on every event-loop iteration).
+pub fn telemetry_tick(now: SimTime) {
+    with(|obs| obs.telemetry.tick(now, &obs.metrics, &obs.journal));
 }
 
 /// Open a span in the installed span store (`None` when inactive, the

@@ -162,6 +162,24 @@ pub enum EventKind {
         /// Whether it was running (reservations released) or just queued.
         was_running: bool,
     },
+    /// A telemetry detector flagged an abnormal health signal.
+    AnomalyDetected {
+        /// Detector label (e.g. `staleness_surge`, `load_spike`).
+        detector: String,
+        /// The observed signal value.
+        value: f64,
+        /// The threshold it exceeded.
+        threshold: f64,
+    },
+    /// A service-level objective's attainment dropped below target.
+    SloBreached {
+        /// SLO name (e.g. `queue_wait_p99`).
+        slo: String,
+        /// Rolling-window attainment at the breach.
+        attainment: f64,
+        /// The declared target attainment.
+        target: f64,
+    },
 }
 
 impl EventKind {
@@ -184,6 +202,8 @@ impl EventKind {
             EventKind::JobRejected { .. } => "job_rejected",
             EventKind::JobShed { .. } => "job_shed",
             EventKind::JobCancelled { .. } => "job_cancelled",
+            EventKind::AnomalyDetected { .. } => "anomaly_detected",
+            EventKind::SloBreached { .. } => "slo_breached",
         }
     }
 
@@ -245,6 +265,24 @@ impl EventKind {
                 ("job", json::string(job)),
                 ("was_running", was_running.to_string()),
             ],
+            EventKind::AnomalyDetected {
+                detector,
+                value,
+                threshold,
+            } => vec![
+                ("detector", json::string(detector)),
+                ("value", json::num(*value)),
+                ("threshold", json::num(*threshold)),
+            ],
+            EventKind::SloBreached {
+                slo,
+                attainment,
+                target,
+            } => vec![
+                ("slo", json::string(slo)),
+                ("attainment", json::num(*attainment)),
+                ("target", json::num(*target)),
+            ],
         }
     }
 
@@ -277,6 +315,16 @@ impl EventKind {
             EventKind::JobCancelled { job, was_running } => {
                 format!("job={job} was_running={was_running}")
             }
+            EventKind::AnomalyDetected {
+                detector,
+                value,
+                threshold,
+            } => format!("detector={detector} value={value:.4} threshold={threshold:.4}"),
+            EventKind::SloBreached {
+                slo,
+                attainment,
+                target,
+            } => format!("slo={slo} attainment={attainment:.4} target={target:.4}"),
         }
     }
 }

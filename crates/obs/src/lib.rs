@@ -33,19 +33,40 @@
 //! * [`json`] — minimal JSON string escaping/formatting plus a validity
 //!   checker (the vendored serde is a no-op shim, so all exporters
 //!   hand-roll their JSON and tests prove it parses).
+//! * [`timeseries`] — virtual-time metric sampling into bounded ring
+//!   series with sum/count-preserving pairwise downsampling.
+//! * [`health`] — per-tick derived cluster health (utilization,
+//!   fragmentation, queue pressure, staleness, monitor traffic).
+//! * [`slo`] — declarative service-level objectives with rolling-window
+//!   attainment and error-budget burn.
+//! * [`anomaly`] — EWMA/threshold rising-edge detectors over the derived
+//!   health signals (load spike, staleness surge, starvation, utilization
+//!   collapse, traffic blow-up).
+//! * [`telemetry`] — the cadence-driven loop binding sampler, health, SLOs,
+//!   and detectors behind one [`Telemetry`] handle on every [`Obs`].
 
+pub mod anomaly;
 pub mod ctx;
 pub mod explain;
+pub mod health;
 pub mod journal;
 pub mod json;
 pub mod lock;
 pub mod metrics;
 pub mod progress;
+pub mod slo;
 pub mod span;
+pub mod telemetry;
+pub mod timeseries;
 
+pub use anomaly::{Anomaly, AnomalyKind, DetectorSet, EwmaDetector, ThresholdDetector};
 pub use ctx::{install, Obs, ObsGuard};
 pub use explain::{ExplainTrace, GroupExplain};
+pub use health::{HealthSnapshot, HealthTracker};
 pub use journal::{Event, EventKind, Journal, Severity};
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use progress::Progress;
+pub use slo::{Objective, Slo, SloStatus, SloTracker};
 pub use span::{CriticalPath, PathSegment, Span, SpanId, SpanStore, TraceId};
+pub use telemetry::{Telemetry, TelemetryConfig};
+pub use timeseries::{Point, Sampler, Series};

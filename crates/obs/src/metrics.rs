@@ -6,9 +6,12 @@
 //! everything as JSON or Prometheus-style text.
 //!
 //! Histograms use fixed upper-bound buckets (`value <= bound`, inclusive).
-//! Quantile estimates return the upper bound of the bucket containing the
-//! requested rank — deliberately conservative, and *exact* whenever the
-//! observed values sit on bucket boundaries.
+//! Quantile estimates interpolate linearly *within* the bucket containing
+//! the requested rank (between the bucket's effective lower and upper
+//! edges, clamped to the observed min/max), so a rank landing early in a
+//! wide bucket no longer reports the bucket's upper bound. Estimates remain
+//! exact whenever the target bucket is degenerate (all its observations
+//! share one value, pinned by the min/max clamp).
 
 use crate::json;
 use crate::lock;
@@ -146,26 +149,37 @@ impl Histogram {
             .collect()
     }
 
-    /// Quantile estimate for `q` in `[0, 1]`: the upper bound of the first
-    /// bucket whose cumulative count reaches rank `ceil(q * count)`. Returns
-    /// `None` when empty. Observations in the overflow bucket report the
-    /// maximum observed value.
+    /// Quantile estimate for `q` in `[0, 1]`, linearly interpolated within
+    /// the bucket whose cumulative count reaches rank `ceil(q * count)`.
+    /// The bucket's effective edges are its configured bounds clamped to
+    /// the observed min/max, so degenerate buckets stay exact and the
+    /// estimate never leaves the observed value range. Returns `None` when
+    /// empty; ranks landing in the overflow bucket report the observed max.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.total == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.total as f64).ceil() as u64).max(1);
-        let mut acc = 0;
+        let mut before = 0;
         for (i, &c) in self.counts.iter().enumerate() {
-            acc += c;
-            if acc >= rank {
-                return Some(if i < self.bounds.len() {
-                    self.bounds[i]
+            if before + c >= rank {
+                if i >= self.bounds.len() {
+                    // overflow bucket has no upper edge; the max is the
+                    // only honest estimate
+                    return Some(self.max);
+                }
+                let upper = self.bounds[i].min(self.max);
+                let lower_edge = if i == 0 {
+                    f64::NEG_INFINITY
                 } else {
-                    self.max
-                });
+                    self.bounds[i - 1]
+                };
+                let lower = lower_edge.max(self.min).min(upper);
+                let pos = (rank - before) as f64 / c as f64;
+                return Some(lower + (upper - lower) * pos);
             }
+            before += c;
         }
         Some(self.max)
     }
@@ -194,11 +208,64 @@ impl Histogram {
     }
 }
 
+/// Escape a Prometheus label *value* per the exposition format: backslash,
+/// double-quote, and line-feed must be escaped inside the quoted value.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `# HELP` text per the exposition format: backslash and line-feed
+/// (quotes are legal in help text and stay as-is).
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Force `s` into the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: invalid characters become `_`, and a
+/// leading digit gets a `_` prefix. Empty input becomes `_`.
+pub fn sanitize_metric_name(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 1);
+    for (i, c) in s.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if valid {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Arc<Mutex<Histogram>>>,
+    help: BTreeMap<String, String>,
 }
 
 /// Registry of named metrics (cheap clonable handle).
@@ -279,6 +346,14 @@ impl Metrics {
             .map_or(0.0, Gauge::get)
     }
 
+    /// Attach `# HELP` text to the metric `name` for the Prometheus
+    /// exporter (escaped on export; the last call wins).
+    pub fn describe(&self, name: &str, help: &str) {
+        lock::lock(&self.inner)
+            .help
+            .insert(name.to_string(), help.to_string());
+    }
+
     /// Snapshot of the histogram `name`, if present.
     pub fn histogram_snapshot(&self, name: &str) -> Option<Histogram> {
         lock::lock(&self.inner)
@@ -313,23 +388,38 @@ impl Metrics {
         ])
     }
 
-    /// Export the registry as Prometheus-style exposition text.
+    /// Export the registry as Prometheus exposition text: every family gets
+    /// a `# TYPE` line (and a `# HELP` line when described), names are
+    /// sanitized into the metric-name grammar, and label values are escaped.
     pub fn to_prometheus(&self) -> String {
         let inner = lock::lock(&self.inner);
         let mut out = String::new();
-        for (name, c) in &inner.counters {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        let header = |out: &mut String, raw: &str, kind: &str| -> String {
+            let name = sanitize_metric_name(raw);
+            if let Some(help) = inner.help.get(raw) {
+                out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+            }
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            name
+        };
+        for (raw, c) in &inner.counters {
+            let name = header(&mut out, raw, "counter");
+            out.push_str(&format!("{name} {}\n", c.get()));
         }
-        for (name, g) in &inner.gauges {
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        for (raw, g) in &inner.gauges {
+            let name = header(&mut out, raw, "gauge");
+            out.push_str(&format!("{name} {}\n", g.get()));
         }
-        for (name, h) in &inner.histograms {
+        for (raw, h) in &inner.histograms {
             let h = lock::lock(h);
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let name = header(&mut out, raw, "histogram");
             let mut acc = 0;
             for (b, c) in h.bounds.iter().zip(&h.counts) {
                 acc += c;
-                out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {acc}\n"));
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {acc}\n",
+                    escape_label_value(&b.to_string())
+                ));
             }
             out.push_str(&format!(
                 "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
@@ -403,17 +493,20 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_are_monotone_and_exact_at_boundaries() {
+    fn quantiles_are_monotone_and_interpolate_within_buckets() {
         let mut h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
         // all observations land exactly on bucket boundaries
         for v in [1.0, 1.0, 2.0, 4.0, 4.0, 4.0, 8.0, 8.0] {
             h.observe(v);
         }
-        // exactness at boundaries
+        // first-bucket ranks clamp to the observed min/degenerate bucket
         assert_eq!(h.quantile(0.25), Some(1.0)); // rank 2 of 8
-        assert_eq!(h.quantile(0.5), Some(4.0)); // rank 4
         assert_eq!(h.quantile(1.0), Some(8.0)); // rank 8
-                                                // monotonicity over a fine sweep
+                                                // rank 4 is the first of three samples in the (2, 4] bucket:
+                                                // 1/3 of the way in, not the old upper-bound answer of 4.0
+        let q50 = h.quantile(0.5).unwrap();
+        assert!((q50 - (2.0 + 2.0 / 3.0)).abs() < 1e-12, "q50 = {q50}");
+        // monotonicity over a fine sweep
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=100 {
             let q = i as f64 / 100.0;
@@ -421,6 +514,33 @@ mod tests {
             assert!(v >= prev, "quantile({q}) = {v} < {prev}");
             prev = v;
         }
+    }
+
+    #[test]
+    fn quantiles_match_exact_sample_quantiles_under_uniform_fill() {
+        // 1..=100 uniformly into 4 equal-width buckets: interpolation must
+        // recover the exact empirical quantiles at every bucket fraction
+        let mut h = Histogram::new(&[25.0, 50.0, 75.0, 100.0]);
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        for (q, expect) in [
+            (0.10, 10.0),
+            (0.25, 25.0),
+            (0.40, 40.0),
+            (0.50, 50.0),
+            (0.90, 90.0),
+            (0.99, 99.0),
+            (1.00, 100.0),
+        ] {
+            let got = h.quantile(q).unwrap();
+            assert!(
+                (got - expect).abs() < 1.0 + 1e-9,
+                "quantile({q}) = {got}, want ~{expect}"
+            );
+        }
+        // and the mid-bucket cases are exact: rank 40 is 15/25 of (25, 50]
+        assert!((h.quantile(0.40).unwrap() - 40.0).abs() < 1e-9);
     }
 
     #[test]
@@ -456,5 +576,100 @@ mod tests {
         assert!(prom.contains("# TYPE a_total counter"));
         assert!(prom.contains("c_secs_bucket{le=\"1\"} 1"));
         assert!(prom.contains("c_secs_count 1"));
+    }
+
+    #[test]
+    fn escaping_helpers_cover_the_exposition_grammar() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("line\nbreak"), "line\\nbreak");
+        assert_eq!(
+            escape_help("back\\slash\nnewline"),
+            "back\\\\slash\\nnewline"
+        );
+        assert_eq!(escape_help("quotes \"stay\""), "quotes \"stay\"");
+        assert_eq!(sanitize_metric_name("ok_name:sub"), "ok_name:sub");
+        assert_eq!(sanitize_metric_name("bad name-有"), "bad_name__");
+        assert_eq!(sanitize_metric_name("9lead"), "_9lead");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    /// Hand-parse the whole exposition output: every non-comment line must
+    /// be `name[{labels}] value`, every family must have exactly one
+    /// `# TYPE`, and HELP/label text must carry no raw specials.
+    #[test]
+    fn prometheus_exposition_format_holds() {
+        let m = Metrics::new();
+        m.inc("jobs_total");
+        m.describe("jobs_total", "jobs seen\nwith a \\ backslash");
+        m.set("weird name", 2.0); // sanitized on export
+        m.observe("wait_secs", &[0.5, 1.0], 0.75);
+        m.describe("wait_secs", "queue wait");
+        let prom = m.to_prometheus();
+
+        let is_name = |s: &str| {
+            !s.is_empty()
+                && s.chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        let mut types = 0;
+        for line in prom.lines() {
+            assert!(!line.is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().unwrap();
+                let kind = it.next().unwrap_or("");
+                assert!(is_name(name), "bad family name {name:?}");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "bad type {kind:?}"
+                );
+                types += 1;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let mut it = rest.splitn(2, ' ');
+                assert!(is_name(it.next().unwrap()));
+                let help = it.next().unwrap_or("");
+                assert!(!help.contains('\n'), "raw newline in HELP");
+                continue;
+            }
+            // sample line: name[{labels}] value
+            let (name_part, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "bad value {value:?}"
+            );
+            let name = match name_part.split_once('{') {
+                Some((n, labels)) => {
+                    let labels = labels.strip_suffix('}').expect("labels close");
+                    for pair in labels.split(',') {
+                        let (k, v) = pair.split_once('=').expect("label k=v");
+                        assert!(is_name(k), "bad label name {k:?}");
+                        let v = v.strip_prefix('"').and_then(|v| v.strip_suffix('"'));
+                        let v = v.expect("label value quoted");
+                        // no raw quote may survive inside the quoted value
+                        let mut chars = v.chars().peekable();
+                        while let Some(c) = chars.next() {
+                            assert!(c != '"', "raw quote in label value {v:?}");
+                            if c == '\\' {
+                                assert!(
+                                    matches!(chars.next(), Some('\\' | '"' | 'n')),
+                                    "bad escape in label value {v:?}"
+                                );
+                            }
+                        }
+                    }
+                    n
+                }
+                None => name_part,
+            };
+            assert!(is_name(name), "bad metric name {name:?}");
+        }
+        assert_eq!(types, 3, "one TYPE line per family");
+        assert!(prom.contains("# HELP jobs_total jobs seen\\nwith a \\\\ backslash\n"));
+        assert!(prom.contains("# TYPE weird_name gauge\n"));
     }
 }

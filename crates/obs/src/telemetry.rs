@@ -1,0 +1,368 @@
+//! Continuous telemetry: the cadence-driven loop that binds the sampler,
+//! health tracker, SLO tracker, and anomaly detectors together.
+//!
+//! A [`Telemetry`] handle lives on every [`Obs`](crate::ctx::Obs) but stays
+//! disabled (and free) until [`Telemetry::enable`] installs a
+//! [`TelemetryConfig`]. Once enabled, instrumented layers call
+//! [`telemetry_tick`](crate::ctx::telemetry_tick) with the current virtual
+//! time — the monitor runtime does so after every daemon tick, the broker
+//! after every scheduling cycle — and the telemetry loop gates itself on
+//! the configured cadence, so the call is safe to make as often as wanted.
+//!
+//! Each due tick runs, in order: health derivation (reads raw gauges,
+//! writes `health_*` gauges), SLO evaluation (journals
+//! [`SloBreached`](crate::journal::EventKind::SloBreached) edges), anomaly
+//! detection (journals
+//! [`AnomalyDetected`](crate::journal::EventKind::AnomalyDetected) edges and
+//! bumps `anomaly_total` counters), and finally the time-series sampler —
+//! last, so freshly derived `health_*` gauges are captured the same tick.
+//! Wall-clock nanoseconds spent inside ticks are accumulated so reports can
+//! pin the always-on overhead.
+
+use crate::anomaly::{Anomaly, DetectorSet};
+use crate::health::{HealthSnapshot, HealthTracker};
+use crate::journal::{EventKind, Journal, Severity};
+use crate::json;
+use crate::lock;
+use crate::metrics::Metrics;
+use crate::slo::{Objective, Slo, SloTracker};
+use crate::timeseries::Sampler;
+use nlrm_sim_core::time::{Duration, SimTime};
+use std::sync::{Arc, Mutex};
+
+/// Keep at most this many fired anomalies in memory.
+const MAX_ANOMALIES: usize = 1024;
+
+/// Configuration for one telemetry loop.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Virtual-time cadence between telemetry ticks.
+    pub cadence: Duration,
+    /// Ring capacity (points per series) for the sampler.
+    pub series_capacity: usize,
+    /// Declared SLOs.
+    pub slos: Vec<Slo>,
+    /// Counters sampled as per-tick deltas.
+    pub counters: Vec<String>,
+    /// Gauges sampled by value.
+    pub gauges: Vec<String>,
+    /// `(histogram, quantile)` pairs sampled each tick.
+    pub quantiles: Vec<(String, f64)>,
+}
+
+impl TelemetryConfig {
+    /// The standard preset over the conventional metric names the monitor,
+    /// loads, and broker layers publish: 30 s cadence, 256-point rings, the
+    /// three stock SLOs (queue-wait p99, decision-latency p99, shed-rate
+    /// ceiling), and the signals the health tracker derives from.
+    pub fn standard() -> TelemetryConfig {
+        TelemetryConfig {
+            cadence: Duration::from_secs(30),
+            series_capacity: 256,
+            slos: vec![
+                Slo::new(
+                    "queue_wait_p99",
+                    Objective::QuantileAtMost {
+                        histogram: "broker_job_wait_secs".into(),
+                        q: 0.99,
+                        max: 900.0,
+                    },
+                    0.95,
+                    64,
+                ),
+                Slo::new(
+                    "decision_latency_p99",
+                    Objective::QuantileAtMost {
+                        histogram: "alloc_decision_seconds".into(),
+                        q: 0.99,
+                        max: 1.0,
+                    },
+                    0.99,
+                    64,
+                ),
+                Slo::new(
+                    "shed_rate",
+                    Objective::RateAtMost {
+                        counter: "broker_jobs_shed_total".into(),
+                        max_per_sec: 0.05,
+                    },
+                    0.99,
+                    64,
+                ),
+            ],
+            counters: vec![
+                "monitor_pair_measurements_total".into(),
+                "monitor_probe_bytes_total".into(),
+                "store_publish_total".into(),
+                "store_publish_bytes_total".into(),
+                "loads_derive_total".into(),
+                "loads_stale_node_excluded_total".into(),
+            ],
+            gauges: vec![
+                "health_utilization".into(),
+                "health_fragmentation".into(),
+                "health_stale_fraction".into(),
+                "broker_queue_depth".into(),
+                "broker_oldest_wait_secs".into(),
+                "cluster_mean_cpu_load".into(),
+                "monitor_round_pairs".into(),
+                "monitor_round_bytes".into(),
+            ],
+            quantiles: vec![
+                ("broker_job_wait_secs".into(), 0.99),
+                ("alloc_decision_seconds".into(), 0.99),
+            ],
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TelemetryInner {
+    cadence: Duration,
+    last_tick: Option<SimTime>,
+    sampler: Sampler,
+    health: HealthTracker,
+    slo: SloTracker,
+    detectors: DetectorSet,
+    anomalies: Vec<Anomaly>,
+    anomalies_dropped: u64,
+    ticks: u64,
+    wall_nanos: u64,
+}
+
+/// The telemetry loop handle carried by [`Obs`](crate::ctx::Obs). Cheap to
+/// clone; disabled (every call a no-op) until [`Telemetry::enable`].
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Option<TelemetryInner>>>,
+}
+
+impl Telemetry {
+    /// A disabled handle (the default on every `Obs`).
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Install `config` and start ticking. Replaces any previous state.
+    pub fn enable(&self, config: TelemetryConfig) {
+        let mut sampler = Sampler::new(config.cadence, config.series_capacity);
+        for c in &config.counters {
+            sampler.track_counter(c);
+        }
+        for g in &config.gauges {
+            sampler.track_gauge(g);
+        }
+        for (h, q) in &config.quantiles {
+            sampler.track_quantile(h, *q);
+        }
+        let mut slo = SloTracker::new();
+        for s in config.slos {
+            slo.add(s);
+        }
+        *lock::lock(&self.inner) = Some(TelemetryInner {
+            cadence: config.cadence,
+            last_tick: None,
+            sampler,
+            health: HealthTracker::new(),
+            slo,
+            detectors: DetectorSet::new(),
+            anomalies: Vec::new(),
+            anomalies_dropped: 0,
+            ticks: 0,
+            wall_nanos: 0,
+        });
+    }
+
+    /// True once [`Telemetry::enable`] has run.
+    pub fn is_enabled(&self) -> bool {
+        lock::lock(&self.inner).is_some()
+    }
+
+    /// Run one telemetry tick at `now` if the cadence has elapsed; no-op
+    /// while disabled. Safe to call on every event-loop iteration.
+    pub fn tick(&self, now: SimTime, metrics: &Metrics, journal: &Journal) {
+        let mut guard = lock::lock(&self.inner);
+        let Some(inner) = guard.as_mut() else {
+            return;
+        };
+        if let Some(last) = inner.last_tick {
+            if now.since(last) < inner.cadence {
+                return;
+            }
+        }
+        let started = std::time::Instant::now();
+        inner.last_tick = Some(now);
+        inner.ticks += 1;
+        let snap = inner.health.observe(now, metrics);
+        for breach in inner.slo.evaluate(now, metrics) {
+            journal.record(
+                Severity::Warn,
+                now,
+                EventKind::SloBreached {
+                    slo: breach.slo,
+                    attainment: breach.attainment,
+                    target: breach.target,
+                },
+            );
+            metrics.inc("slo_breach_total");
+        }
+        for anomaly in inner.detectors.observe(&snap) {
+            journal.record(
+                Severity::Warn,
+                now,
+                EventKind::AnomalyDetected {
+                    detector: anomaly.kind.label().to_string(),
+                    value: anomaly.value,
+                    threshold: anomaly.threshold,
+                },
+            );
+            metrics.inc("anomaly_total");
+            metrics.inc(&format!("anomaly_total_{}", anomaly.kind.label()));
+            if inner.anomalies.len() < MAX_ANOMALIES {
+                inner.anomalies.push(anomaly);
+            } else {
+                inner.anomalies_dropped += 1;
+            }
+        }
+        inner.sampler.sample(now, metrics);
+        inner.wall_nanos += started.elapsed().as_nanos() as u64;
+    }
+
+    /// Telemetry ticks actually taken (cadence-gated).
+    pub fn ticks(&self) -> u64 {
+        lock::lock(&self.inner).as_ref().map_or(0, |i| i.ticks)
+    }
+
+    /// Wall-clock nanoseconds spent inside ticks — the always-on cost.
+    pub fn wall_nanos(&self) -> u64 {
+        lock::lock(&self.inner).as_ref().map_or(0, |i| i.wall_nanos)
+    }
+
+    /// Every anomaly fired so far (bounded; see `anomalies_dropped` in the
+    /// JSON export).
+    pub fn anomalies(&self) -> Vec<Anomaly> {
+        lock::lock(&self.inner)
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.anomalies.clone())
+    }
+
+    /// The most recent derived health snapshot, if any tick has run.
+    pub fn latest_health(&self) -> Option<HealthSnapshot> {
+        lock::lock(&self.inner)
+            .as_ref()
+            .and_then(|i| i.health.latest().cloned())
+    }
+
+    /// Latest SLO statuses as a JSON array (empty while disabled).
+    pub fn slo_json(&self) -> String {
+        lock::lock(&self.inner)
+            .as_ref()
+            .map_or_else(|| "[]".to_string(), |i| i.slo.to_json())
+    }
+
+    /// Full telemetry state as one JSON object: tick/overhead counters, the
+    /// latest health snapshot, SLO statuses, fired anomalies, and every
+    /// sampled series.
+    pub fn to_json(&self) -> String {
+        let guard = lock::lock(&self.inner);
+        let Some(inner) = guard.as_ref() else {
+            return json::object(&[("enabled", "false".to_string())]);
+        };
+        let anomalies: Vec<String> = inner.anomalies.iter().map(Anomaly::to_json).collect();
+        json::object(&[
+            ("enabled", "true".to_string()),
+            ("ticks", inner.ticks.to_string()),
+            ("wall_nanos", inner.wall_nanos.to_string()),
+            ("cadence_s", json::num(inner.cadence.as_secs_f64())),
+            (
+                "health",
+                inner
+                    .health
+                    .latest()
+                    .map_or("null".into(), HealthSnapshot::to_json),
+            ),
+            ("slos", inner.slo.to_json()),
+            ("anomalies", json::array(&anomalies)),
+            ("anomalies_dropped", inner.anomalies_dropped.to_string()),
+            ("series", inner.sampler.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_is_a_no_op() {
+        let t = Telemetry::new();
+        let m = Metrics::new();
+        let j = Journal::new(16);
+        t.tick(SimTime::from_secs(1), &m, &j);
+        assert!(!t.is_enabled());
+        assert_eq!(t.ticks(), 0);
+        assert!(json::validate(&t.to_json()).is_ok());
+    }
+
+    #[test]
+    fn cadence_gates_ticks() {
+        let t = Telemetry::new();
+        t.enable(TelemetryConfig::standard());
+        let m = Metrics::new();
+        let j = Journal::new(16);
+        // 10 calls over 100 s at a 30 s cadence → ticks at 10, 40, 70, 100
+        for i in 1..=10 {
+            t.tick(SimTime::from_secs(i * 10), &m, &j);
+        }
+        assert_eq!(t.ticks(), 4);
+    }
+
+    #[test]
+    fn staleness_anomaly_reaches_journal_and_counters() {
+        let t = Telemetry::new();
+        t.enable(TelemetryConfig::standard());
+        let m = Metrics::new();
+        let j = Journal::new(64);
+        m.set("loads_stale_fraction", 0.25);
+        t.tick(SimTime::from_secs(30), &m, &j);
+        assert_eq!(j.count_of("anomaly_detected"), 1);
+        assert_eq!(m.counter_value("anomaly_total"), 1);
+        assert_eq!(m.counter_value("anomaly_total_staleness_surge"), 1);
+        assert_eq!(t.anomalies().len(), 1);
+    }
+
+    #[test]
+    fn clean_registry_fires_nothing_over_a_long_run() {
+        let t = Telemetry::new();
+        t.enable(TelemetryConfig::standard());
+        let m = Metrics::new();
+        let j = Journal::new(64);
+        m.set("broker_total_capacity", 64.0);
+        m.set("broker_free_procs", 32.0);
+        m.set("cluster_mean_cpu_load", 1.0);
+        m.set("monitor_round_pairs", 28.0);
+        for i in 1..=200u64 {
+            t.tick(SimTime::from_secs(i * 30), &m, &j);
+        }
+        assert_eq!(t.anomalies().len(), 0, "{:?}", t.anomalies());
+        assert_eq!(j.count_of("anomaly_detected"), 0);
+        assert_eq!(j.count_of("slo_breached"), 0);
+    }
+
+    #[test]
+    fn sampler_captures_derived_health_gauges_same_tick() {
+        let t = Telemetry::new();
+        t.enable(TelemetryConfig::standard());
+        let m = Metrics::new();
+        let j = Journal::new(16);
+        m.set("broker_total_capacity", 64.0);
+        m.set("broker_free_procs", 16.0);
+        t.tick(SimTime::from_secs(30), &m, &j);
+        let js = t.to_json();
+        assert!(json::validate(&js).is_ok());
+        // health_utilization was derived this tick and sampled this tick
+        assert!(js.contains("\"health_utilization\""));
+        let health = t.latest_health().unwrap();
+        assert!((health.utilization - 0.75).abs() < 1e-12);
+    }
+}

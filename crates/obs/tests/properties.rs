@@ -1,6 +1,10 @@
-//! Property-based tests for the event journal and the span store.
+//! Property-based tests for the event journal, the span store, the
+//! time-series sampler, and the SLO tracker.
 
-use nlrm_obs::{json, Event, EventKind, Journal, Severity, SpanStore, TraceId};
+use nlrm_obs::{
+    json, Event, EventKind, Journal, Metrics, Objective, Series, Severity, Slo, SloTracker,
+    SpanStore, TraceId,
+};
 use nlrm_sim_core::time::SimTime;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -197,6 +201,102 @@ proptest! {
         );
         if let Some(path) = store.critical_path(trace) {
             prop_assert!(json::validate(&path.to_json()).is_ok());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Downsampling never loses mass: however adversarial the push
+    /// stream (including out-of-order timestamps, which absorb into the
+    /// current tail), the ring stays within capacity, the retained points
+    /// carry exactly the pushed sum/count, per-point extrema bound the
+    /// true extrema, and point timestamps are monotone non-decreasing.
+    #[test]
+    fn series_downsampling_preserves_mass(
+        capacity in 2usize..24,
+        stream in proptest::collection::vec(
+            (0u64..100_000, -1000.0f64..1000.0),
+            0..400,
+        ),
+    ) {
+        let mut s = Series::new(capacity);
+        for &(t, v) in &stream {
+            s.push(SimTime::from_secs(t), v);
+        }
+        prop_assert!(s.len() <= s.capacity());
+        prop_assert_eq!(s.total_count(), stream.len() as u64);
+        let expected_sum: f64 = stream.iter().map(|&(_, v)| v).sum();
+        prop_assert!(
+            (s.total_sum() - expected_sum).abs()
+                <= 1e-9 * (1.0 + expected_sum.abs()) + 1e-6,
+            "sum drifted: {} vs {}", s.total_sum(), expected_sum
+        );
+        let mut prev_t = None;
+        for p in s.points() {
+            prop_assert!(p.count > 0);
+            prop_assert!(p.min <= p.max);
+            if let Some(prev) = prev_t {
+                prop_assert!(p.t >= prev, "timestamps must be monotone");
+            }
+            prev_t = Some(p.t);
+        }
+        if !stream.is_empty() {
+            let true_min = stream.iter().map(|&(_, v)| v).fold(f64::MAX, f64::min);
+            let true_max = stream.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
+            let kept_min = s.points().iter().map(|p| p.min).fold(f64::MAX, f64::min);
+            let kept_max = s.points().iter().map(|p| p.max).fold(f64::MIN, f64::max);
+            prop_assert_eq!(kept_min, true_min);
+            prop_assert_eq!(kept_max, true_max);
+        }
+        prop_assert!(json::validate(&s.to_json()).is_ok());
+    }
+
+    /// Error-budget accounting is coherent under any compliance pattern:
+    /// totals only grow, the remaining budget stays inside [0, 1], a bad
+    /// tick never *increases* the remaining budget, and a good tick never
+    /// decreases it.
+    #[test]
+    fn slo_error_budget_is_monotone_per_tick(
+        target in 0.5f64..0.999,
+        values in proptest::collection::vec(0.0f64..2.0, 1..200),
+    ) {
+        let metrics = Metrics::new();
+        let mut tracker = SloTracker::new();
+        tracker.add(Slo::new(
+            "g_le_1",
+            Objective::GaugeAtMost { gauge: "g".into(), max: 1.0 },
+            target,
+            32,
+        ));
+        let mut prev_budget = 1.0f64;
+        let mut prev_bad = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            metrics.set("g", v);
+            tracker.evaluate(SimTime::from_secs(i as u64 + 1), &metrics);
+            let st = &tracker.latest()[0];
+            prop_assert_eq!(st.ticks_total, i as u64 + 1);
+            prop_assert!(st.bad_ticks_total >= prev_bad, "bad ticks must be monotone");
+            prop_assert!(st.bad_ticks_total <= st.ticks_total);
+            let budget = st.error_budget_remaining;
+            prop_assert!((0.0..=1.0).contains(&budget));
+            let bad_tick = v > 1.0;
+            prop_assert_eq!(st.bad_ticks_total - prev_bad, u64::from(bad_tick));
+            if bad_tick {
+                prop_assert!(
+                    budget <= prev_budget + 1e-12,
+                    "bad tick grew the budget: {} -> {}", prev_budget, budget
+                );
+            } else {
+                prop_assert!(
+                    budget >= prev_budget - 1e-12,
+                    "good tick shrank the budget: {} -> {}", prev_budget, budget
+                );
+            }
+            prop_assert!(st.burn_rate >= 0.0);
+            prev_budget = budget;
+            prev_bad = st.bad_ticks_total;
         }
     }
 }
