@@ -117,7 +117,27 @@ assert bench["clean_overhead_frac"] <= 0.05, bench["clean_overhead_frac"]
 PY
 test -s "$OBS_DIR/health_report.md"
 
-# rustdoc for the observability crate is part of its API contract
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p nlrm-obs
+# monitor smoke: the central-vs-sharded pricing sweep must run its
+# shrunken ladder and hold the decentralization gates — sharded traffic
+# ≥10x below central at the largest smoke size, and the sharded
+# estimate's allocation epsilon ≤5% on every equivalence scenario (both
+# also asserted by the bin itself)
+NLRM_RESULTS_DIR="$OBS_DIR" NLRM_QUICK=1 NLRM_QUIET=1 \
+    cargo run --release -q -p nlrm-bench --bin monitor_sweep
+python3 - "$OBS_DIR/BENCH_monitor.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+assert bench["sizes"], "BENCH_monitor.json has no sizes"
+assert all(s["sharded_bytes"] < s["central_bytes"] for s in bench["sizes"])
+assert bench["traffic_ratio_at_max"] >= 10, bench["traffic_ratio_at_max"]
+assert bench["epsilon"], "no equivalence scenarios measured"
+assert bench["worst_eps"] <= 0.05, f"epsilon gate: {bench['worst_eps']}"
+assert bench["gates"]["ratio_ge_10"] and bench["gates"]["eps_le_0_05"]
+PY
+
+# rustdoc for the observability and monitoring crates is part of their
+# API contract
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p nlrm-obs -p nlrm-monitor
 
 echo "ci: all green"

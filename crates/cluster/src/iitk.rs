@@ -55,6 +55,22 @@ fn iitk_spec(i: usize) -> NodeSpec {
 /// but **millisecond-class latency** and heavier background traffic, so
 /// spanning clusters is expensive exactly the way the paper warns.
 pub fn campus(clusters: usize, nodes_per_cluster: usize, seed: u64) -> ClusterSim {
+    campus_with_profile(
+        clusters,
+        nodes_per_cluster,
+        ClusterProfile::shared_lab(),
+        seed,
+    )
+}
+
+/// [`campus`] with an explicit dynamics profile (equivalence scenarios
+/// zero out the measurement noise to isolate estimation error).
+pub fn campus_with_profile(
+    clusters: usize,
+    nodes_per_cluster: usize,
+    profile: ClusterProfile,
+    seed: u64,
+) -> ClusterSim {
     assert!(clusters >= 1 && nodes_per_cluster >= 1);
     // switch 0 = campus router (no nodes); switches 1..=clusters = clusters
     let mut parents: Vec<Option<usize>> = vec![None];
@@ -69,7 +85,7 @@ pub fn campus(clusters: usize, nodes_per_cluster: usize, seed: u64) -> ClusterSi
     };
     let topo = Topology::tree(&parents, &node_switches, LinkParams::gigabit(), campus_link);
     let specs = (0..clusters * nodes_per_cluster).map(iitk_spec).collect();
-    ClusterSim::new(topo, specs, ClusterProfile::shared_lab(), seed)
+    ClusterSim::new(topo, specs, profile, seed)
 }
 
 /// A small homogeneous single-switch cluster for unit tests: `n` nodes of

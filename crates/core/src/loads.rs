@@ -4,9 +4,9 @@
 
 use crate::request::AllocError;
 use crate::saw::{saw_scores, Column, Criterion};
-use crate::tiered::TieredNl;
+use crate::tiered::{EstimatedNl, TieredNl};
 use crate::weights::{ComputeWeights, NetworkWeights};
-use nlrm_monitor::{ClusterSnapshot, SymMatrix};
+use nlrm_monitor::{ClusterSnapshot, InterEstimate, SymMatrix};
 use nlrm_sim_core::time::Duration;
 use nlrm_sim_core::window::WindowedValue;
 use nlrm_topology::{NodeId, SwitchIndex};
@@ -129,6 +129,22 @@ impl Loads {
         ppn: Option<u32>,
         policy: &StalenessPolicy,
     ) -> Result<Loads, AllocError> {
+        Self::derive_core(snap, compute_weights, network_weights, ppn, policy)
+            .map(|(loads, _)| loads)
+    }
+
+    /// The shared derivation body: everything `derive_with_policy` does,
+    /// plus the [`NlNorm`] map that turned raw pair metrics into the final
+    /// normalized NL values. `derive_sharded` reuses the map to push the
+    /// estimator's raw error bands through the *same* normalization, so
+    /// the bounds live on the same scale as the point matrix.
+    fn derive_core(
+        snap: &ClusterSnapshot,
+        compute_weights: &ComputeWeights,
+        network_weights: &NetworkWeights,
+        ppn: Option<u32>,
+        policy: &StalenessPolicy,
+    ) -> Result<(Loads, NlNorm), AllocError> {
         compute_weights
             .validate()
             .map_err(AllocError::InvalidRequest)?;
@@ -262,7 +278,7 @@ impl Loads {
         let mut cl = saw_scores(&columns);
 
         // --- Eq. 2: pairwise network load ---
-        let mut nl = derive_network_load(snap, &usable, network_weights, policy);
+        let (mut nl, mut norm) = derive_network_load(snap, &usable, network_weights, policy);
 
         // Rescale both loads to mean 1 over their own domains. Sum
         // normalization alone leaves CL ~ 1/V and NL ~ 1/V², so in
@@ -291,6 +307,7 @@ impl Loads {
                 }
             }
         }
+        norm.pair_mean = pair_mean;
 
         // --- Eq. 3: effective processor count ---
         let pc: Vec<u32> = infos
@@ -304,15 +321,76 @@ impl Loads {
         let nl = NlRep::Dense(nl);
         let index_of = usable.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let (c_all, n_all) = universe_totals(&usable, &cl, &nl);
-        Ok(Loads {
-            usable,
-            cl,
-            nl,
-            pc,
-            index_of,
-            c_all,
-            n_all,
-        })
+        Ok((
+            Loads {
+                usable,
+                cl,
+                nl,
+                pc,
+                index_of,
+                c_all,
+                n_all,
+            },
+            norm,
+        ))
+    }
+
+    /// Derive loads from a *sharded* snapshot whose inter-shard pairs were
+    /// filled in by the sampling estimator, keeping the estimator's error
+    /// bands attached to the result.
+    ///
+    /// The point matrix is derived exactly as [`Loads::derive_with_policy`]
+    /// would (inter-shard cells carry the estimator's point values, which
+    /// the sharded snapshot assembly wrote into the dense matrices), then
+    /// collapsed to the tiered form over `index`. The estimator's raw
+    /// `[lo, hi]` bands per switch pair are mapped through the same
+    /// monotone normalization that produced the point matrix, yielding NL
+    /// bounds on the same scale. Switch pairs the estimate does not cover
+    /// get the vacuous band `[0, ∞)`, so pruning over the lower bounds
+    /// stays sound: [`EstimatedNl::min_incident`] never exceeds the point
+    /// answer, and `allocate_pruned` can never discard a candidate the
+    /// exhaustive search over this `Loads` would keep.
+    pub fn derive_sharded(
+        snap: &ClusterSnapshot,
+        est: &InterEstimate,
+        index: &SwitchIndex,
+        compute_weights: &ComputeWeights,
+        network_weights: &NetworkWeights,
+        ppn: Option<u32>,
+        policy: &StalenessPolicy,
+    ) -> Result<Loads, AllocError> {
+        let (loads, norm) = Self::derive_core(snap, compute_weights, network_weights, ppn, policy)?;
+        let dense = match &loads.nl {
+            NlRep::Dense(d) => d,
+            _ => unreachable!("derive_core always builds a dense matrix"),
+        };
+        let point = TieredNl::from_dense(dense, &loads.usable, index);
+        let s_count = index.num_switches();
+        let mut inter_lo = vec![0.0f64; s_count * s_count];
+        let mut inter_hi = vec![f64::INFINITY; s_count * s_count];
+        for s in 0..s_count {
+            let k_diag = s * s_count + s;
+            inter_lo[k_diag] = 0.0;
+            inter_hi[k_diag] = 0.0;
+            for t in (s + 1)..s_count {
+                let (su, tu) = (s as u32, t as u32);
+                if !est.covers(su) || !est.covers(tu) {
+                    continue; // vacuous [0, ∞) band
+                }
+                let (lat, cbw) = match (est.latency_s(su, tu), est.cbw_bps(su, tu)) {
+                    (Some(l), Some(c)) => (l, c),
+                    _ => continue,
+                };
+                let lo = norm.map(network_weights, lat.lo, cbw.lo);
+                let hi = norm.map(network_weights, lat.hi, cbw.hi);
+                inter_lo[s * s_count + t] = lo;
+                inter_lo[t * s_count + s] = lo;
+                inter_hi[s * s_count + t] = hi;
+                inter_hi[t * s_count + s] = hi;
+            }
+        }
+        let nl = NlRep::Estimated(EstimatedNl::new(point, inter_lo, inter_hi));
+        Ok(Loads::from_parts(loads.usable, loads.cl, nl, loads.pc))
     }
 
     /// Assemble a `Loads` from precomputed parts (used by the two-level
@@ -347,6 +425,7 @@ impl Loads {
     pub fn into_tiered(self, index: &SwitchIndex) -> Loads {
         let nl = match self.nl {
             NlRep::Tiered(t) => NlRep::Tiered(t),
+            NlRep::Estimated(e) => NlRep::Estimated(e),
             NlRep::Dense(d) => NlRep::Tiered(TieredNl::from_dense(&d, &self.usable, index)),
         };
         Loads::from_parts(self.usable, self.cl, nl, self.pc)
@@ -419,25 +498,67 @@ pub fn effective_pc(core_count: u32, load_m1: f64) -> u32 {
     core_count - load % core_count
 }
 
+/// The monotone affine map from raw pair metrics — latency in seconds and
+/// complement-of-available-bandwidth in bps — to the final normalized NL
+/// value that `derive_network_load` plus the unit-mean rescale produce:
+/// `NL = (w_lt·lat·lat_scale + w_bw·cbw·cbw_scale) / pair_mean`. Both
+/// scales are non-negative, so the map is monotone non-decreasing in each
+/// argument: pushing an interval's endpoints through it yields a valid
+/// interval for the mapped value. That is what lets `derive_sharded` turn
+/// the estimator's raw error bands into sound NL bounds.
+#[derive(Debug, Clone, Copy)]
+struct NlNorm {
+    /// `1 / Σ` of the latency column (0 when the column summed to 0,
+    /// matching `normalize_sum`'s all-zero output).
+    lat_scale: f64,
+    /// `1 / Σ` of the cbw column.
+    cbw_scale: f64,
+    /// Mean combined NL over usable pairs; filled in by the caller after
+    /// the rescale pass. 0 means "no rescale was applied".
+    pair_mean: f64,
+}
+
+impl NlNorm {
+    fn map(&self, weights: &NetworkWeights, lat_raw: f64, cbw_raw: f64) -> f64 {
+        if !lat_raw.is_finite() || !cbw_raw.is_finite() {
+            return f64::INFINITY;
+        }
+        let nl = weights.latency * lat_raw * self.lat_scale
+            + weights.bandwidth * cbw_raw * self.cbw_scale;
+        if self.pair_mean > 0.0 {
+            nl / self.pair_mean
+        } else {
+            nl
+        }
+    }
+}
+
 /// Eq. 2 over all usable pairs: normalized latency and normalized complement
 /// of available bandwidth, combined with `w_lt`/`w_bw`. Pairs whose backing
 /// rows have aged past `policy.max_pair_age` are blended toward the
 /// unmeasured penalty, so fresh < stale < unmeasured in each column.
+/// Also returns the [`NlNorm`] scales the normalization applied (with
+/// `pair_mean` left at 0 for the caller to fill in).
 fn derive_network_load(
     snap: &ClusterSnapshot,
     usable: &[NodeId],
     weights: &NetworkWeights,
     policy: &StalenessPolicy,
-) -> SymMatrix<f64> {
+) -> (SymMatrix<f64>, NlNorm) {
     let n = snap.latency.len();
     let mut out = SymMatrix::new(n, 0.0);
+    let mut norm = NlNorm {
+        lat_scale: 0.0,
+        cbw_scale: 0.0,
+        pair_mean: 0.0,
+    };
     let pairs: Vec<(NodeId, NodeId)> = usable
         .iter()
         .enumerate()
         .flat_map(|(i, &u)| usable[i + 1..].iter().map(move |&v| (u, v)))
         .collect();
     if pairs.is_empty() {
-        return out;
+        return (out, norm);
     }
 
     // Latency column: prefer the 1-minute mean, fall back to the instant.
@@ -531,6 +652,16 @@ fn derive_network_load(
 
     let lat_n = crate::saw::normalize_sum(&lat);
     let cbw_n = crate::saw::normalize_sum(&cbw);
+    let sum_scale = |raw: &[f64]| {
+        let s: f64 = raw.iter().sum();
+        if s > 0.0 && s.is_finite() {
+            1.0 / s
+        } else {
+            0.0
+        }
+    };
+    norm.lat_scale = sum_scale(&lat);
+    norm.cbw_scale = sum_scale(&cbw);
     for (k, &(u, v)) in pairs.iter().enumerate() {
         out.set(
             u,
@@ -538,7 +669,7 @@ fn derive_network_load(
             weights.latency * lat_n[k] + weights.bandwidth * cbw_n[k],
         );
     }
-    out
+    (out, norm)
 }
 
 #[cfg(test)]

@@ -249,6 +249,127 @@ impl TieredNl {
     }
 }
 
+/// A tiered network load whose inter-switch values are *estimates* with
+/// per-switch-pair error bounds (from the sharded monitor's landmark
+/// sampling, see `nlrm-monitor`'s `estimate` module).
+///
+/// Point queries delegate to the inner [`TieredNl`]; the extra `inter_lo`
+/// matrix gives a certified lower bound per switch pair, which
+/// [`EstimatedNl::min_incident`] uses so Alg. 2's pruning bound stays a
+/// true lower bound — an estimate-driven prune can never discard the exact
+/// optimum. Intra-switch pairs are directly measured, so their bounds are
+/// the value itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatedNl {
+    point: TieredNl,
+    /// `S×S` row-major lower bounds for inter-switch values.
+    inter_lo: Vec<f64>,
+    /// `S×S` row-major upper bounds.
+    inter_hi: Vec<f64>,
+}
+
+impl EstimatedNl {
+    /// Wrap a point estimate with inter-switch bound matrices (`S×S`
+    /// row-major, diagonal unused). Bounds are clamped so that
+    /// `lo ≤ point ≤ hi` always holds, even if normalization or staleness
+    /// blending nudged the point outside the raw measurement bands.
+    pub fn new(point: TieredNl, mut inter_lo: Vec<f64>, mut inter_hi: Vec<f64>) -> EstimatedNl {
+        let s_count = point.num_switches();
+        assert_eq!(inter_lo.len(), s_count * s_count, "lo matrix shape");
+        assert_eq!(inter_hi.len(), s_count * s_count, "hi matrix shape");
+        for s in 0..s_count {
+            for t in 0..s_count {
+                if s == t {
+                    continue;
+                }
+                let k = s * s_count + t;
+                let p = point.inter[k];
+                inter_lo[k] = inter_lo[k].min(p);
+                inter_hi[k] = inter_hi[k].max(p);
+            }
+        }
+        EstimatedNl {
+            point,
+            inter_lo,
+            inter_hi,
+        }
+    }
+
+    /// The point-estimate tiered structure.
+    pub fn point(&self) -> &TieredNl {
+        &self.point
+    }
+
+    /// `[lo, hi]` bounds for a distinct covered pair. Same-switch pairs
+    /// are measured, so both bounds equal the value.
+    pub fn bounds(&self, u: NodeId, v: NodeId) -> (f64, f64) {
+        let (su, sv) = (
+            self.point.switch_of_node(u) as usize,
+            self.point.switch_of_node(v) as usize,
+        );
+        if su == sv {
+            let p = self.point.get(u, v);
+            (p, p)
+        } else {
+            let s_count = self.point.num_switches();
+            (
+                self.inter_lo[su * s_count + sv],
+                self.inter_hi[su * s_count + sv],
+            )
+        }
+    }
+
+    /// Point value for a distinct pair.
+    pub fn get(&self, u: NodeId, v: NodeId) -> f64 {
+        self.point.get(u, v)
+    }
+
+    /// Σ point values over all unordered pairs of `usable`.
+    pub fn pair_sum(&self, usable: &[NodeId]) -> f64 {
+        self.point.pair_sum(usable)
+    }
+
+    /// Per-node minimum *lower-bound* NL to any other usable node: intra
+    /// pairs use their exact values, inter pairs the `inter_lo` bound. The
+    /// result underestimates the point-value answer, keeping the pruning
+    /// bound sound under estimation error.
+    pub fn min_incident(&self, usable: &[NodeId]) -> Vec<f64> {
+        let s_count = self.point.num_switches();
+        let mut counts = vec![0usize; s_count];
+        for &n in usable {
+            counts[self.point.switch_of_node(n) as usize] += 1;
+        }
+        let min_inter: Vec<f64> = (0..s_count)
+            .map(|s| {
+                let mut m = f64::INFINITY;
+                for (t, &ct) in counts.iter().enumerate() {
+                    if t != s && ct > 0 {
+                        m = m.min(self.inter_lo[s * s_count + t]);
+                    }
+                }
+                m
+            })
+            .collect();
+        let mut by_switch: Vec<Vec<NodeId>> = vec![Vec::new(); s_count];
+        for &n in usable {
+            by_switch[self.point.switch_of_node(n) as usize].push(n);
+        }
+        usable
+            .iter()
+            .map(|&u| {
+                let s = self.point.switch_of_node(u) as usize;
+                let mut m = min_inter[s];
+                for &v in &by_switch[s] {
+                    if v != u {
+                        m = m.min(self.point.get(u, v));
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+}
+
 /// The network-load representation carried by `Loads`, behind `nl_between`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NlRep {
@@ -256,6 +377,9 @@ pub enum NlRep {
     Dense(SymMatrix<f64>),
     /// Exact intra-switch, aggregated inter-switch.
     Tiered(TieredNl),
+    /// Tiered point estimate with inter-switch error bounds (sharded
+    /// monitoring); pruning consumes the lower bounds.
+    Estimated(EstimatedNl),
 }
 
 impl NlRep {
@@ -264,6 +388,7 @@ impl NlRep {
         match self {
             NlRep::Dense(m) => m.get(u, v),
             NlRep::Tiered(t) => t.get(u, v),
+            NlRep::Estimated(e) => e.get(u, v),
         }
     }
 
@@ -280,10 +405,14 @@ impl NlRep {
                 total
             }
             NlRep::Tiered(t) => t.pair_sum(usable),
+            NlRep::Estimated(e) => e.pair_sum(usable),
         }
     }
 
     /// Per-node minimum NL to any other usable node (∞ for singletons).
+    /// For the `Estimated` representation this is a certified *lower
+    /// bound* (inter pairs use their lower bands), so pruning bounds built
+    /// on it never exceed the true cost.
     pub fn min_incident(&self, usable: &[NodeId]) -> Vec<f64> {
         match self {
             NlRep::Dense(m) => usable
@@ -299,13 +428,16 @@ impl NlRep {
                 })
                 .collect(),
             NlRep::Tiered(t) => t.min_incident(usable),
+            NlRep::Estimated(e) => e.min_incident(usable),
         }
     }
 
-    /// The tiered structure, when this representation has one.
+    /// The tiered structure, when this representation has one (the
+    /// `Estimated` variant exposes its point estimate).
     pub fn as_tiered(&self) -> Option<&TieredNl> {
         match self {
             NlRep::Tiered(t) => Some(t),
+            NlRep::Estimated(e) => Some(e.point()),
             NlRep::Dense(_) => None,
         }
     }
@@ -461,5 +593,81 @@ mod tests {
         let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
         let t = NlRep::Tiered(TieredNl::from_dense(&dense, &nodes, &idx));
         assert_eq!(t.min_incident(&[NodeId(1)]), vec![f64::INFINITY]);
+    }
+
+    fn estimated_6(margin: f64) -> EstimatedNl {
+        let idx = index_2x3();
+        let dense = dense_6();
+        let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let t = TieredNl::from_dense(&dense, &nodes, &idx);
+        let s = t.num_switches();
+        let mut lo = vec![0.0; s * s];
+        let mut hi = vec![0.0; s * s];
+        for a in 0..s {
+            for b in 0..s {
+                if a != b {
+                    lo[a * s + b] = t.inter_value(a as u32, b as u32) - margin;
+                    hi[a * s + b] = t.inter_value(a as u32, b as u32) + margin;
+                }
+            }
+        }
+        EstimatedNl::new(t, lo, hi)
+    }
+
+    #[test]
+    fn estimated_point_queries_match_tiered() {
+        let e = estimated_6(3.0);
+        let t = e.point().clone();
+        let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let rep = NlRep::Estimated(e);
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                assert_eq!(rep.get(u, v), t.get(u, v));
+            }
+        }
+        assert_eq!(rep.pair_sum(&nodes), t.pair_sum(&nodes));
+        assert!(rep.as_tiered().is_some());
+    }
+
+    #[test]
+    fn estimated_bounds_bracket_the_point() {
+        let e = estimated_6(3.0);
+        let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                let (lo, hi) = e.bounds(u, v);
+                let p = e.get(u, v);
+                assert!(lo <= p && p <= hi, "bounds({u},{v}) = [{lo},{hi}] ∌ {p}");
+                if e.point().switch_of_node(u) == e.point().switch_of_node(v) {
+                    assert_eq!(lo, hi, "intra pairs are exact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_min_incident_is_a_lower_bound() {
+        let e = estimated_6(3.0);
+        let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let point_mins = NlRep::Tiered(e.point().clone()).min_incident(&nodes);
+        let est_mins = NlRep::Estimated(e).min_incident(&nodes);
+        for (lo, p) in est_mins.iter().zip(&point_mins) {
+            assert!(lo <= p, "estimated min_incident {lo} above point {p}");
+        }
+    }
+
+    #[test]
+    fn estimated_new_clamps_inverted_bounds() {
+        // hand the constructor bounds that exclude the point: they must be
+        // widened to contain it
+        let idx = index_2x3();
+        let dense = dense_6();
+        let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let t = TieredNl::from_dense(&dense, &nodes, &idx);
+        let s = t.num_switches();
+        let e = EstimatedNl::new(t, vec![1e9; s * s], vec![-1e9; s * s]);
+        let (lo, hi) = e.bounds(NodeId(0), NodeId(4));
+        let p = e.get(NodeId(0), NodeId(4));
+        assert!(lo <= p && p <= hi);
     }
 }

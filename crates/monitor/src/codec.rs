@@ -23,6 +23,46 @@ const TAG_SAMPLE: u8 = 2;
 const TAG_LATENCY_ROW: u8 = 3;
 const TAG_BANDWIDTH_ROW: u8 = 4;
 const TAG_HEARTBEAT: u8 = 5;
+const TAG_SHARD_NL: u8 = 6;
+const TAG_INTER_ESTIMATE: u8 = 7;
+
+/// One shard's uplink-contribution bands inside an
+/// [`MonitorRecord::InterEstimate`] record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchBandRec {
+    /// Shard (switch) id.
+    pub switch: u32,
+    /// Latency contribution lower bound, seconds.
+    pub lat_lo: f64,
+    /// Latency contribution point estimate, seconds.
+    pub lat: f64,
+    /// Latency contribution upper bound, seconds.
+    pub lat_hi: f64,
+    /// Bandwidth-complement contribution lower bound, bits/s.
+    pub cbw_lo: f64,
+    /// Bandwidth-complement contribution point estimate, bits/s.
+    pub cbw: f64,
+    /// Bandwidth-complement contribution upper bound, bits/s.
+    pub cbw_hi: f64,
+    /// Best observed peak bandwidth through this shard's uplink, bits/s.
+    pub peak_bps: f64,
+}
+
+/// One directly measured cross-shard pair inside an
+/// [`MonitorRecord::InterEstimate`] record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectPairRec {
+    /// Lower shard id of the pair.
+    pub s: u32,
+    /// Higher shard id of the pair.
+    pub t: u32,
+    /// Measured latency, seconds.
+    pub latency_s: f64,
+    /// Measured available bandwidth, bits/s.
+    pub avail_bps: f64,
+    /// Measured peak bandwidth, bits/s.
+    pub peak_bps: f64,
+}
 
 /// Everything the monitoring system persists.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +95,44 @@ pub enum MonitorRecord {
         incarnation: u32,
         /// When the beacon was written.
         at: SimTime,
+    },
+    /// One shard's complete intra-shard NL matrices (upper triangles over
+    /// `members`, pair `(i,j)` with `i<j` at index `i·(2m−i−1)/2 + j−i−1`).
+    ShardNl {
+        /// Shard (switch) id.
+        shard: u32,
+        /// Sweep epoch the shard aggregator stamped on this record.
+        epoch: u64,
+        /// When the sweep ran.
+        taken_at: SimTime,
+        /// Live members measured this sweep, ascending.
+        members: Vec<NodeId>,
+        /// Pairwise latency, seconds (`m·(m−1)/2` entries).
+        lat_s: Vec<f64>,
+        /// Pairwise available bandwidth, bits/s.
+        avail_bps: Vec<f64>,
+        /// Pairwise peak bandwidth, bits/s.
+        peak_bps: Vec<f64>,
+        /// Probe traffic this sweep cost, for per-shard attribution.
+        probe_bytes: u64,
+    },
+    /// The sampled inter-shard estimate (per-shard uplink bands plus the
+    /// directly measured pairs); see [`crate::estimate::InterEstimate`].
+    InterEstimate {
+        /// Estimation epoch.
+        epoch: u64,
+        /// When the sample was taken.
+        taken_at: SimTime,
+        /// Switch-id space bound.
+        num_switches: u32,
+        /// Probes issued to build the estimate.
+        probes: u64,
+        /// Probe traffic in bytes.
+        probe_bytes: u64,
+        /// Covered shards' uplink bands, ascending by switch id.
+        switches: Vec<SwitchBandRec>,
+        /// Directly measured pairs, ascending by `(s, t)`.
+        direct: Vec<DirectPairRec>,
     },
 }
 
@@ -144,6 +222,74 @@ pub fn encode(record: &MonitorRecord) -> Bytes {
             buf.put_u32_le(*incarnation);
             buf.put_u64_le(at.as_micros());
         }
+        MonitorRecord::ShardNl {
+            shard,
+            epoch,
+            taken_at,
+            members,
+            lat_s,
+            avail_bps,
+            peak_bps,
+            probe_bytes,
+        } => {
+            buf.put_u8(TAG_SHARD_NL);
+            buf.put_u32_le(*shard);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(taken_at.as_micros());
+            buf.put_u32_le(members.len() as u32);
+            for m in members {
+                buf.put_u32_le(m.0);
+            }
+            let pairs = members.len() * members.len().saturating_sub(1) / 2;
+            debug_assert_eq!(lat_s.len(), pairs);
+            debug_assert_eq!(avail_bps.len(), pairs);
+            debug_assert_eq!(peak_bps.len(), pairs);
+            for &v in lat_s {
+                buf.put_f64_le(v);
+            }
+            for &v in avail_bps {
+                buf.put_f64_le(v);
+            }
+            for &v in peak_bps {
+                buf.put_f64_le(v);
+            }
+            buf.put_u64_le(*probe_bytes);
+        }
+        MonitorRecord::InterEstimate {
+            epoch,
+            taken_at,
+            num_switches,
+            probes,
+            probe_bytes,
+            switches,
+            direct,
+        } => {
+            buf.put_u8(TAG_INTER_ESTIMATE);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(taken_at.as_micros());
+            buf.put_u32_le(*num_switches);
+            buf.put_u64_le(*probes);
+            buf.put_u64_le(*probe_bytes);
+            buf.put_u32_le(switches.len() as u32);
+            for s in switches {
+                buf.put_u32_le(s.switch);
+                buf.put_f64_le(s.lat_lo);
+                buf.put_f64_le(s.lat);
+                buf.put_f64_le(s.lat_hi);
+                buf.put_f64_le(s.cbw_lo);
+                buf.put_f64_le(s.cbw);
+                buf.put_f64_le(s.cbw_hi);
+                buf.put_f64_le(s.peak_bps);
+            }
+            buf.put_u32_le(direct.len() as u32);
+            for d in direct {
+                buf.put_u32_le(d.s);
+                buf.put_u32_le(d.t);
+                buf.put_f64_le(d.latency_s);
+                buf.put_f64_le(d.avail_bps);
+                buf.put_f64_le(d.peak_bps);
+            }
+        }
     }
     buf.freeze()
 }
@@ -229,6 +375,79 @@ pub fn decode(mut data: &[u8]) -> Result<MonitorRecord, CodecError> {
                 role,
                 incarnation,
                 at,
+            })
+        }
+        TAG_SHARD_NL => {
+            let shard = get_u32(&mut data)?;
+            let epoch = get_u64(&mut data)?;
+            let taken_at = SimTime::from_micros(get_u64(&mut data)?);
+            let m = get_u32(&mut data)? as usize;
+            let mut members = Vec::with_capacity(m);
+            for _ in 0..m {
+                members.push(NodeId(get_u32(&mut data)?));
+            }
+            let pairs = m * m.saturating_sub(1) / 2;
+            let tri = |data: &mut &[u8]| -> Result<Vec<f64>, CodecError> {
+                let mut v = Vec::with_capacity(pairs);
+                for _ in 0..pairs {
+                    v.push(get_f64(data)?);
+                }
+                Ok(v)
+            };
+            let lat_s = tri(&mut data)?;
+            let avail_bps = tri(&mut data)?;
+            let peak_bps = tri(&mut data)?;
+            let probe_bytes = get_u64(&mut data)?;
+            Ok(MonitorRecord::ShardNl {
+                shard,
+                epoch,
+                taken_at,
+                members,
+                lat_s,
+                avail_bps,
+                peak_bps,
+                probe_bytes,
+            })
+        }
+        TAG_INTER_ESTIMATE => {
+            let epoch = get_u64(&mut data)?;
+            let taken_at = SimTime::from_micros(get_u64(&mut data)?);
+            let num_switches = get_u32(&mut data)?;
+            let probes = get_u64(&mut data)?;
+            let probe_bytes = get_u64(&mut data)?;
+            let ns = get_u32(&mut data)? as usize;
+            let mut switches = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                switches.push(SwitchBandRec {
+                    switch: get_u32(&mut data)?,
+                    lat_lo: get_f64(&mut data)?,
+                    lat: get_f64(&mut data)?,
+                    lat_hi: get_f64(&mut data)?,
+                    cbw_lo: get_f64(&mut data)?,
+                    cbw: get_f64(&mut data)?,
+                    cbw_hi: get_f64(&mut data)?,
+                    peak_bps: get_f64(&mut data)?,
+                });
+            }
+            let nd = get_u32(&mut data)? as usize;
+            let mut direct = Vec::with_capacity(nd);
+            for _ in 0..nd {
+                direct.push(DirectPairRec {
+                    s: get_u32(&mut data)?,
+                    t: get_u32(&mut data)?,
+                    latency_s: get_f64(&mut data)?,
+                    avail_bps: get_f64(&mut data)?,
+                    peak_bps: get_f64(&mut data)?,
+                });
+            }
+            Ok(MonitorRecord::InterEstimate {
+                epoch,
+                taken_at,
+                num_switches,
+                probes,
+                probe_bytes,
+                switches,
+                direct,
             })
         }
         other => Err(CodecError::BadTag(other)),
@@ -368,6 +587,50 @@ mod tests {
             role: "master".into(),
             incarnation: 4,
             at: SimTime::from_secs(99),
+        };
+        assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn shard_nl_roundtrip() {
+        let r = MonitorRecord::ShardNl {
+            shard: 3,
+            epoch: 12,
+            taken_at: SimTime::from_secs(120),
+            members: vec![NodeId(45), NodeId(46), NodeId(48)],
+            lat_s: vec![1e-4, 2e-4, 3e-4],
+            avail_bps: vec![8e8, 7e8, 6e8],
+            peak_bps: vec![1e9, 1e9, 1e9],
+            probe_bytes: 3 * (1 << 20),
+        };
+        assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn inter_estimate_roundtrip() {
+        let r = MonitorRecord::InterEstimate {
+            epoch: 5,
+            taken_at: SimTime::from_secs(300),
+            num_switches: 21,
+            probes: 70,
+            probe_bytes: 70 * ((1 << 20) + 128),
+            switches: vec![SwitchBandRec {
+                switch: 1,
+                lat_lo: 4e-4,
+                lat: 5e-4,
+                lat_hi: 6e-4,
+                cbw_lo: 0.0,
+                cbw: 1e6,
+                cbw_hi: 2e6,
+                peak_bps: 1e9,
+            }],
+            direct: vec![DirectPairRec {
+                s: 1,
+                t: 2,
+                latency_s: 1e-3,
+                avail_bps: 9e8,
+                peak_bps: 1e9,
+            }],
         };
         assert_eq!(decode(&encode(&r)).unwrap(), r);
     }

@@ -28,6 +28,54 @@ pub const LATENCY_PROBE_BYTES: u64 = 128;
 /// Wire cost modeled for one bandwidth probe (a 1 MiB bulk transfer).
 pub const BANDWIDTH_PROBE_BYTES: u64 = 1 << 20;
 
+/// The analytic wire cost of one full central monitoring cycle (one
+/// latency + one bandwidth tournament plus the published rows) at `v`
+/// live nodes. This is exactly what [`LatencyD::tick`] and
+/// [`BandwidthD::tick`] spend per sweep — validated against the live
+/// counters in a regression test — and lets `monitor_sweep` price the
+/// central topology at 100k nodes without allocating `O(V²)` matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CentralCycleCost {
+    /// Pair measurements: `2 · v(v−1)/2` (both tournaments).
+    pub pairs: u64,
+    /// Probe traffic for both tournaments, bytes.
+    pub probe_bytes: u64,
+    /// Store-publish traffic for all `2v` rows, bytes.
+    pub publish_bytes: u64,
+}
+
+impl CentralCycleCost {
+    /// Probe + publish bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.probe_bytes + self.publish_bytes
+    }
+}
+
+/// Compute [`CentralCycleCost`] for a `v`-node cluster. Row sizes come
+/// from encoding one representative row of each kind, so the numbers stay
+/// exact if the codec changes.
+pub fn central_cycle_cost(v: usize) -> CentralCycleCost {
+    let pairs_per_sweep = (v as u64) * (v as u64).saturating_sub(1) / 2;
+    // representative rows: one v-entry latency row, one v-entry bandwidth
+    // row; every published row has exactly this size
+    let lat_row = encode(&MonitorRecord::LatencyRow {
+        node: NodeId(0),
+        stats: vec![LatencyStat::constant(0.0); v],
+    })
+    .len() as u64;
+    let bw_row = encode(&MonitorRecord::BandwidthRow {
+        node: NodeId(0),
+        avail_bps: vec![0.0; v],
+        peak_bps: vec![0.0; v],
+    })
+    .len() as u64;
+    CentralCycleCost {
+        pairs: 2 * pairs_per_sweep,
+        probe_bytes: pairs_per_sweep * (LATENCY_PROBE_BYTES + BANDWIDTH_PROBE_BYTES),
+        publish_bytes: (v as u64) * (lat_row + bw_row),
+    }
+}
+
 /// Identifies one supervised daemon (failure injection, supervision state).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DaemonKind {
@@ -721,6 +769,37 @@ mod tests {
                 obs.metrics.gauge_value("monitor_round_bytes")
                     >= (expect * BANDWIDTH_PROBE_BYTES) as f64
             );
+        }
+    }
+
+    #[test]
+    fn central_cycle_cost_matches_live_counters() {
+        for v in [3usize, 6, 10] {
+            let obs = nlrm_obs::Obs::new();
+            let _g = nlrm_obs::install(&obs);
+            let mut cluster = small_cluster(v, 7);
+            cluster.advance(Duration::from_secs(5));
+            let store = SharedStore::new();
+            LatencyD::new(v).tick(&mut cluster, &store);
+            BandwidthD::new(v).tick(&mut cluster, &store);
+            let cost = central_cycle_cost(v);
+            assert_eq!(
+                obs.metrics.counter_value("monitor_pair_measurements_total"),
+                cost.pairs,
+                "pair count at v={v}"
+            );
+            assert_eq!(
+                obs.metrics.counter_value("monitor_probe_bytes_total"),
+                cost.probe_bytes,
+                "probe bytes at v={v}"
+            );
+            let published: u64 = store
+                .list_prefix("latency/")
+                .iter()
+                .chain(store.list_prefix("bandwidth/").iter())
+                .map(|p| store.get(p).unwrap().data.len() as u64)
+                .sum();
+            assert_eq!(published, cost.publish_bytes, "publish bytes at v={v}");
         }
     }
 

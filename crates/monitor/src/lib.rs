@@ -16,6 +16,12 @@
 //! * [`daemons`] — `LivehostsD`, `NodeStateD`, `LatencyD`, `BandwidthD`.
 //! * [`central`] — the master/slave `CentralMonitor` that relaunches dead
 //!   daemons and fails over when the master dies.
+//! * [`shard`] — per-switch aggregators running the pair tournament
+//!   intra-shard only, publishing epoch-stamped shard NL records.
+//! * [`gossip`] — version-stamped anti-entropy dissemination of shard
+//!   aggregates, with convergence-round and byte accounting.
+//! * [`estimate`] — landmark-sampled inter-shard NL estimation with
+//!   per-pair error bounds (`O(V log V)` probes instead of `O(V²)`).
 //! * [`forecast`] — NWS-style projection of snapshots to job-start time.
 //! * [`runtime`] — drives everything in virtual time against a
 //!   [`ClusterSim`](nlrm_cluster::ClusterSim).
@@ -28,17 +34,25 @@
 pub mod central;
 pub mod codec;
 pub mod daemons;
+pub mod estimate;
 pub mod forecast;
+pub mod gossip;
 pub mod matrix;
 pub mod rounds;
 pub mod runtime;
 pub mod sample;
+pub mod shard;
 pub mod snapshot;
 pub mod store;
 pub mod threaded;
 
+pub use estimate::{Band, InterEstimate, NlEstimator, PairProbe};
+pub use gossip::GossipNet;
 pub use matrix::SymMatrix;
-pub use runtime::{DaemonKind, FaultTarget, MonitorFaultPlan, MonitorRuntime};
+pub use runtime::{
+    DaemonKind, FaultTarget, MonitorFaultPlan, MonitorRuntime, MonitorTopo, ShardConfig,
+};
 pub use sample::{LatencyStat, NodeSample};
+pub use shard::{ShardSummary, ShardSweepReport, ShardSweeper};
 pub use snapshot::{ClusterSnapshot, NodeInfo};
 pub use store::SharedStore;

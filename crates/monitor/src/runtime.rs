@@ -12,13 +12,17 @@
 use crate::central::{CentralMonitor, DaemonSet};
 use crate::daemons::DaemonConfig;
 pub use crate::daemons::DaemonKind;
+use crate::estimate::{InterEstimate, NlEstimator, PairProbe};
+use crate::gossip::GossipNet;
+use crate::shard::{ShardSummary, ShardSweeper};
 use crate::snapshot::{ClusterSnapshot, SnapshotError};
-use crate::store::SharedStore;
+use crate::store::{paths, SharedStore};
 use nlrm_cluster::ClusterSim;
 use nlrm_sim_core::event::EventQueue;
 use nlrm_sim_core::fault::{FaultAction, FaultEvent, FaultPlan};
-use nlrm_sim_core::time::SimTime;
-use nlrm_topology::NodeId;
+use nlrm_sim_core::time::{Duration, SimTime};
+use nlrm_topology::tier::SwitchIndex;
+use nlrm_topology::{NodeId, SwitchId};
 
 /// Histogram bucket bounds (µs wall clock) for monitor tick latency.
 const TICK_WALL_BOUNDS: &[f64] = &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0];
@@ -31,6 +35,10 @@ enum Tick {
     Latency,
     Bandwidth,
     Central,
+    /// Sharded topology: intra-shard tournaments + inter-shard estimation.
+    Shard,
+    /// Sharded topology: one anti-entropy gossip round.
+    Gossip,
     /// Drain due events from the attached fault plan.
     Fault,
 }
@@ -53,6 +61,55 @@ pub enum FaultTarget {
 /// A fault schedule against the monitoring stack.
 pub type MonitorFaultPlan = FaultPlan<FaultTarget>;
 
+/// Configuration for the sharded monitoring topology.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Node→shard assignment (usually `Topology::switch_index()`).
+    pub index: SwitchIndex,
+    /// How often each shard reruns its intra-shard tournament and the
+    /// inter-shard estimator resamples.
+    pub shard_period: Duration,
+    /// How often the gossip layer runs one anti-entropy round.
+    pub gossip_period: Duration,
+    /// Gossip targets contacted per peer per round.
+    pub fanout: usize,
+    /// Seed for the deterministic gossip target selection.
+    pub gossip_seed: u64,
+}
+
+impl ShardConfig {
+    /// Defaults: sweep every 60 s (the central latency cadence), gossip
+    /// every 10 s with fanout 2.
+    pub fn new(index: SwitchIndex) -> ShardConfig {
+        ShardConfig {
+            index,
+            shard_period: Duration::from_secs(60),
+            gossip_period: Duration::from_secs(10),
+            fanout: 2,
+            gossip_seed: 0x5ea1_ab1e,
+        }
+    }
+}
+
+/// Which monitoring topology a [`MonitorRuntime`] runs.
+#[derive(Debug, Clone)]
+pub enum MonitorTopo {
+    /// The paper's topology: central daemons probing all `O(V²)` pairs.
+    Central,
+    /// Sharded: intra-shard tournaments + sampled inter-shard estimation
+    /// + gossip dissemination of shard aggregates.
+    Sharded(ShardConfig),
+}
+
+/// Live state of the sharded topology.
+#[derive(Debug, Clone)]
+struct ShardedState {
+    cfg: ShardConfig,
+    sweeper: ShardSweeper,
+    estimator: NlEstimator,
+    gossip: GossipNet<ShardSummary>,
+}
+
 /// The full monitoring stack bound to one cluster, run in virtual time.
 #[derive(Debug, Clone)]
 pub struct MonitorRuntime {
@@ -63,6 +120,7 @@ pub struct MonitorRuntime {
     queue: EventQueue<Tick>,
     faults: MonitorFaultPlan,
     n: usize,
+    sharded: Option<Box<ShardedState>>,
 }
 
 impl MonitorRuntime {
@@ -74,6 +132,15 @@ impl MonitorRuntime {
 
     /// Build with custom daemon periods.
     pub fn with_config(cluster: &ClusterSim, config: DaemonConfig) -> Self {
+        Self::with_topo(cluster, config, MonitorTopo::Central)
+    }
+
+    /// Build with an explicit monitoring topology. `Central` probes all
+    /// pairs through the latency/bandwidth daemons; `Sharded` replaces
+    /// those two with per-shard sweeps, sampled estimation, and gossip.
+    /// Livehosts, node state, and central supervision run in both modes,
+    /// and [`MonitorRuntime::snapshot`] serves the allocator either way.
+    pub fn with_topo(cluster: &ClusterSim, config: DaemonConfig, topo: MonitorTopo) -> Self {
         let n = cluster.num_nodes();
         assert!(n >= 2, "monitoring needs at least two nodes");
         let mut queue = EventQueue::new();
@@ -81,9 +148,43 @@ impl MonitorRuntime {
         // First ticks fire one period in, so the cluster has state to report.
         queue.push(t0 + config.nodestate_period, Tick::NodeState);
         queue.push(t0 + config.livehosts_period, Tick::Livehosts);
-        queue.push(t0 + config.latency_period, Tick::Latency);
-        queue.push(t0 + config.bandwidth_period, Tick::Bandwidth);
         queue.push(t0 + config.central_period, Tick::Central);
+        let sharded = match topo {
+            MonitorTopo::Central => {
+                queue.push(t0 + config.latency_period, Tick::Latency);
+                queue.push(t0 + config.bandwidth_period, Tick::Bandwidth);
+                None
+            }
+            MonitorTopo::Sharded(cfg) => {
+                assert_eq!(
+                    cfg.index.num_nodes(),
+                    n,
+                    "shard index must cover the whole cluster"
+                );
+                queue.push(t0 + cfg.shard_period, Tick::Shard);
+                queue.push(t0 + cfg.gossip_period, Tick::Gossip);
+                let num_shards = cfg.index.num_switches();
+                let mut gossip = GossipNet::new(
+                    num_shards,
+                    cfg.fanout,
+                    cfg.gossip_seed,
+                    ShardSummary::WIRE_BYTES,
+                );
+                for s in 0..num_shards {
+                    // empty shards (e.g. a campus router switch) never
+                    // gossip; marking them dead keeps convergence honest
+                    if cfg.index.members(SwitchId(s as u32)).is_empty() {
+                        gossip.set_alive(s, false);
+                    }
+                }
+                Some(Box::new(ShardedState {
+                    sweeper: ShardSweeper::new(&cfg.index),
+                    estimator: NlEstimator::new(num_shards),
+                    gossip,
+                    cfg,
+                }))
+            }
+        };
         MonitorRuntime {
             config,
             store: SharedStore::new(),
@@ -92,6 +193,7 @@ impl MonitorRuntime {
             queue,
             faults: MonitorFaultPlan::new(),
             n,
+            sharded,
         }
     }
 
@@ -149,7 +251,53 @@ impl MonitorRuntime {
             Tick::Latency => "latency",
             Tick::Bandwidth => "bandwidth",
             Tick::Central => "central",
+            Tick::Shard => "shard",
+            Tick::Gossip => "gossip",
             Tick::Fault => "fault",
+        }
+    }
+
+    /// One sharded sweep: intra-shard tournaments, inter-shard sampling,
+    /// record publication, and gossip seeding.
+    fn shard_tick(&mut self, cluster: &mut ClusterSim, t: SimTime) {
+        let state = self.sharded.as_mut().expect("shard tick in central mode");
+        let up: Vec<bool> = (0..self.n)
+            .map(|i| cluster.is_up(NodeId(i as u32)))
+            .collect();
+        let mut alive = |n: NodeId| up[n.index()];
+        let mut probe = |u: NodeId, v: NodeId| PairProbe {
+            latency_s: cluster.measure_latency_s(u, v),
+            avail_bps: cluster.measure_bandwidth_bps(u, v),
+            peak_bps: cluster.peak_bandwidth_bps(u, v),
+        };
+        let report = state.sweeper.sweep(t, &self.store, &mut alive, &mut probe);
+        // inter-shard sampling: probe between each shard's live members
+        let reps: Vec<Vec<NodeId>> = (0..state.cfg.index.num_switches())
+            .map(|s| {
+                state
+                    .cfg
+                    .index
+                    .members(SwitchId(s as u32))
+                    .iter()
+                    .copied()
+                    .filter(|&n| up[n.index()])
+                    .collect()
+            })
+            .collect();
+        let est = state.estimator.estimate(&reps, &mut probe);
+        let est_probe_bytes = est.probe_bytes;
+        let est_record = est.to_record(report.epoch, t);
+        let est_publish_bytes = est_record.len() as u64;
+        self.store.put(paths::INTER_ESTIMATE, t, est_record);
+        for summary in &report.summaries {
+            state.gossip.publish(summary.shard, report.epoch, *summary);
+        }
+        if nlrm_obs::ctx::is_active() {
+            let pairs = report.pairs + est.probes;
+            let bytes =
+                report.probe_bytes + report.publish_bytes + est_probe_bytes + est_publish_bytes;
+            nlrm_obs::ctx::set_gauge("monitor_round_pairs", pairs as f64);
+            nlrm_obs::ctx::set_gauge("monitor_round_bytes", bytes as f64);
         }
     }
 
@@ -185,6 +333,27 @@ impl MonitorRuntime {
                 Tick::Central => {
                     self.central.tick(cluster, &self.store, &mut self.daemons);
                     self.queue.push(t + self.config.central_period, tick);
+                }
+                Tick::Shard => {
+                    self.shard_tick(cluster, t);
+                    let period = self.sharded.as_ref().expect("sharded").cfg.shard_period;
+                    self.queue.push(t + period, tick);
+                }
+                Tick::Gossip => {
+                    let state = self.sharded.as_mut().expect("sharded");
+                    // mirror node liveness into gossip: a shard gossips
+                    // while it has at least one live member
+                    for s in 0..state.cfg.index.num_switches() {
+                        let members = state.cfg.index.members(SwitchId(s as u32));
+                        if members.is_empty() {
+                            continue;
+                        }
+                        let up = members.iter().any(|&n| cluster.is_up(n));
+                        state.gossip.set_alive(s, up);
+                    }
+                    state.gossip.round();
+                    let period = state.cfg.gossip_period;
+                    self.queue.push(t + period, tick);
                 }
                 Tick::Fault => {
                     for ev in self.faults.due(t) {
@@ -267,9 +436,33 @@ impl MonitorRuntime {
         }
     }
 
-    /// Assemble the allocator's snapshot from the store.
+    /// Whether this runtime runs the sharded topology.
+    pub fn is_sharded(&self) -> bool {
+        self.sharded.is_some()
+    }
+
+    /// The gossip network state (sharded topology only).
+    pub fn gossip(&self) -> Option<&GossipNet<ShardSummary>> {
+        self.sharded.as_ref().map(|s| &s.gossip)
+    }
+
+    /// The latest published inter-shard estimate, decoded from the store
+    /// (sharded topology only; `None` before the first shard sweep).
+    pub fn inter_estimate(&self) -> Option<InterEstimate> {
+        let rec = self.store.get(paths::INTER_ESTIMATE)?;
+        let record = crate::codec::decode(&rec.data).ok()?;
+        InterEstimate::from_record(&record)
+    }
+
+    /// Assemble the allocator's snapshot from the store. Central and
+    /// sharded stores produce the same snapshot shape, so consumers never
+    /// know which topology ran.
     pub fn snapshot(&self, now: SimTime) -> Result<ClusterSnapshot, SnapshotError> {
-        ClusterSnapshot::assemble(&self.store, self.n, now)
+        if self.sharded.is_some() {
+            ClusterSnapshot::assemble_sharded(&self.store, self.n, now)
+        } else {
+            ClusterSnapshot::assemble(&self.store, self.n, now)
+        }
     }
 
     /// Convenience: warm the monitor for `warmup` then return a snapshot.
@@ -406,6 +599,89 @@ mod tests {
             during.unwrap().written_at,
             "muted daemon should not publish"
         );
+    }
+
+    #[test]
+    fn sharded_runtime_produces_complete_snapshot() {
+        let mut cluster = nlrm_cluster::iitk::iitk_cluster(11);
+        let idx = cluster.topology().switch_index();
+        let mut rt = MonitorRuntime::with_topo(
+            &cluster,
+            DaemonConfig::default(),
+            MonitorTopo::Sharded(ShardConfig::new(idx)),
+        );
+        assert!(rt.is_sharded());
+        let snap = rt
+            .warm_snapshot(&mut cluster, Duration::from_secs(360))
+            .unwrap();
+        assert_eq!(snap.usable_nodes().len(), 60);
+        for (u, v, bw) in snap.bandwidth_bps.pairs() {
+            assert!(bw > 0.0, "bw({u},{v}) = {bw}");
+        }
+        for (u, v, lat) in snap.latency.pairs() {
+            assert!(
+                lat.instant > 0.0 && lat.instant.is_finite(),
+                "lat({u},{v}) = {}",
+                lat.instant
+            );
+        }
+        assert!(rt.inter_estimate().is_some());
+    }
+
+    #[test]
+    fn sharded_gossip_converges_between_sweeps() {
+        let mut cluster = nlrm_cluster::iitk::iitk_cluster(11);
+        let idx = cluster.topology().switch_index();
+        let mut rt = MonitorRuntime::with_topo(
+            &cluster,
+            DaemonConfig::default(),
+            MonitorTopo::Sharded(ShardConfig::new(idx)),
+        );
+        // sweeps run at 60 s cadence; stop between the 6-minute sweep and
+        // the next one so gossip had rounds to spread the newest epochs
+        rt.run_until(&mut cluster, SimTime::from_secs(415));
+        let gossip = rt.gossip().unwrap();
+        assert!(gossip.converged(), "live shards should agree");
+        assert!(gossip.total_bytes() > 0);
+    }
+
+    #[test]
+    fn sharded_deterministic_replay() {
+        let run = || {
+            let mut cluster = nlrm_cluster::iitk::iitk_cluster(42);
+            let idx = cluster.topology().switch_index();
+            let mut rt = MonitorRuntime::with_topo(
+                &cluster,
+                DaemonConfig::default(),
+                MonitorTopo::Sharded(ShardConfig::new(idx)),
+            );
+            let snap = rt
+                .warm_snapshot(&mut cluster, Duration::from_secs(400))
+                .unwrap();
+            snap.bandwidth_bps
+                .pairs()
+                .map(|(_, _, b)| b)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_survives_node_failures() {
+        let mut cluster = nlrm_cluster::iitk::iitk_cluster(11);
+        let idx = cluster.topology().switch_index();
+        let mut rt = MonitorRuntime::with_topo(
+            &cluster,
+            DaemonConfig::default(),
+            MonitorTopo::Sharded(ShardConfig::new(idx)),
+        );
+        rt.run_until(&mut cluster, SimTime::from_secs(120));
+        cluster.schedule_failure(SimTime::from_secs(130), NodeId(7));
+        rt.run_until(&mut cluster, SimTime::from_secs(360));
+        let snap = rt.snapshot(cluster.now()).unwrap();
+        let usable = snap.usable_nodes();
+        assert_eq!(usable.len(), 59);
+        assert!(!usable.contains(&NodeId(7)));
     }
 
     #[test]

@@ -66,42 +66,67 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+/// The parts of a snapshot shared by the central and sharded assemblers:
+/// node infos from livehosts + nodestate records, plus matrices initialised
+/// to the unmeasured-pair conventions.
+struct BaseParts {
+    nodes: Vec<NodeInfo>,
+    latency: SymMatrix<LatencyStat>,
+    bandwidth: SymMatrix<f64>,
+    peak: SymMatrix<f64>,
+}
+
+fn base_parts(store: &SharedStore, n: usize) -> Result<BaseParts, SnapshotError> {
+    let live = read_livehosts(store)?;
+    let mut nodes = Vec::new();
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        let path = paths::node_state(node);
+        let Some(rec) = store.get(&path) else {
+            continue;
+        };
+        match decode(&rec.data) {
+            Ok(MonitorRecord::Sample(sample)) => nodes.push(NodeInfo {
+                node,
+                sample,
+                live: live.contains(&node),
+            }),
+            Ok(_) => return Err(SnapshotError::Corrupt(path, CodecError::BadTag(0))),
+            Err(e) => return Err(SnapshotError::Corrupt(path, e)),
+        }
+    }
+
+    let mut latency = SymMatrix::new(n, LatencyStat::constant(f64::INFINITY));
+    for i in 0..n {
+        latency.set(
+            NodeId(i as u32),
+            NodeId(i as u32),
+            LatencyStat::constant(0.0),
+        );
+    }
+    let mut bandwidth = SymMatrix::new(n, 0.0f64);
+    let mut peak = SymMatrix::new(n, 0.0f64);
+    for i in 0..n {
+        bandwidth.set(NodeId(i as u32), NodeId(i as u32), f64::INFINITY);
+        peak.set(NodeId(i as u32), NodeId(i as u32), f64::INFINITY);
+    }
+    Ok(BaseParts {
+        nodes,
+        latency,
+        bandwidth,
+        peak,
+    })
+}
+
 impl ClusterSnapshot {
     /// Assemble a snapshot for an `n`-node cluster from the store.
     pub fn assemble(store: &SharedStore, n: usize, now: SimTime) -> Result<Self, SnapshotError> {
-        let live = read_livehosts(store)?;
-        let mut nodes = Vec::new();
-        for i in 0..n {
-            let node = NodeId(i as u32);
-            let path = paths::node_state(node);
-            let Some(rec) = store.get(&path) else {
-                continue;
-            };
-            match decode(&rec.data) {
-                Ok(MonitorRecord::Sample(sample)) => nodes.push(NodeInfo {
-                    node,
-                    sample,
-                    live: live.contains(&node),
-                }),
-                Ok(_) => return Err(SnapshotError::Corrupt(path, CodecError::BadTag(0))),
-                Err(e) => return Err(SnapshotError::Corrupt(path, e)),
-            }
-        }
-
-        let mut latency = SymMatrix::new(n, LatencyStat::constant(f64::INFINITY));
-        for i in 0..n {
-            latency.set(
-                NodeId(i as u32),
-                NodeId(i as u32),
-                LatencyStat::constant(0.0),
-            );
-        }
-        let mut bandwidth = SymMatrix::new(n, 0.0f64);
-        let mut peak = SymMatrix::new(n, 0.0f64);
-        for i in 0..n {
-            bandwidth.set(NodeId(i as u32), NodeId(i as u32), f64::INFINITY);
-            peak.set(NodeId(i as u32), NodeId(i as u32), f64::INFINITY);
-        }
+        let BaseParts {
+            nodes,
+            mut latency,
+            mut bandwidth,
+            mut peak,
+        } = base_parts(store, n)?;
 
         let mut latency_row_age = vec![None; n];
         let mut bandwidth_row_age = vec![None; n];
@@ -149,6 +174,133 @@ impl ClusterSnapshot {
                     }
                     Err(e) => return Err(SnapshotError::Corrupt(paths::bandwidth_row(node), e)),
                 }
+            }
+        }
+
+        Ok(ClusterSnapshot {
+            taken_at: now,
+            nodes,
+            latency,
+            bandwidth_bps: bandwidth,
+            peak_bandwidth_bps: peak,
+            latency_row_age,
+            bandwidth_row_age,
+        })
+    }
+
+    /// Assemble a snapshot from *sharded* monitor records: intra-shard
+    /// pairs come exact from the per-shard `ShardNl` matrices, cross-shard
+    /// pairs from the sampled [`InterEstimate`](crate::estimate::InterEstimate)
+    /// point values. Livehosts/nodestate handling and the matrix
+    /// conventions are identical to [`ClusterSnapshot::assemble`], so the
+    /// allocator consumes either transparently.
+    ///
+    /// Row ages are conservative: a member's rows are as old as the *older*
+    /// of its shard record and the estimate record, so the staleness policy
+    /// never treats inferred data as fresher than its inputs.
+    pub fn assemble_sharded(
+        store: &SharedStore,
+        n: usize,
+        now: SimTime,
+    ) -> Result<Self, SnapshotError> {
+        let BaseParts {
+            nodes,
+            mut latency,
+            mut bandwidth,
+            mut peak,
+        } = base_parts(store, n)?;
+
+        let mut latency_row_age = vec![None; n];
+        let mut bandwidth_row_age = vec![None; n];
+
+        // intra-shard: exact pair matrices per shard
+        let mut shards: Vec<(u32, Vec<NodeId>, Duration)> = Vec::new();
+        for path in store.list_prefix("shard/") {
+            let Some(rec) = store.get(&path) else {
+                continue;
+            };
+            let age = now.since(rec.written_at);
+            match decode(&rec.data) {
+                Ok(MonitorRecord::ShardNl {
+                    shard,
+                    members,
+                    lat_s,
+                    avail_bps,
+                    peak_bps,
+                    ..
+                }) => {
+                    let m = members.len();
+                    let tri = |i: usize, j: usize| i * (2 * m - i - 1) / 2 + j - i - 1;
+                    for i in 0..m {
+                        for j in (i + 1)..m {
+                            let (u, v) = (members[i], members[j]);
+                            if u.index() >= n || v.index() >= n {
+                                continue;
+                            }
+                            let k = tri(i, j);
+                            latency.set(u, v, LatencyStat::constant(lat_s[k]));
+                            bandwidth.set(u, v, avail_bps[k]);
+                            peak.set(u, v, peak_bps[k]);
+                        }
+                    }
+                    shards.push((shard, members, age));
+                }
+                Ok(_) => return Err(SnapshotError::Corrupt(path, CodecError::BadTag(0))),
+                Err(e) => return Err(SnapshotError::Corrupt(path, e)),
+            }
+        }
+
+        // cross-shard: point values from the sampled estimate
+        let mut est = None;
+        let mut est_age = None;
+        if let Some(rec) = store.get(paths::INTER_ESTIMATE) {
+            est_age = Some(now.since(rec.written_at));
+            match decode(&rec.data) {
+                Ok(r @ MonitorRecord::InterEstimate { .. }) => {
+                    est = crate::estimate::InterEstimate::from_record(&r);
+                }
+                Ok(_) => {
+                    return Err(SnapshotError::Corrupt(
+                        paths::INTER_ESTIMATE.into(),
+                        CodecError::BadTag(0),
+                    ))
+                }
+                Err(e) => return Err(SnapshotError::Corrupt(paths::INTER_ESTIMATE.into(), e)),
+            }
+        }
+        if let Some(est) = &est {
+            for (i, (s, ms, _)) in shards.iter().enumerate() {
+                for (t, mt, _) in &shards[i + 1..] {
+                    let Some(lat) = est.latency_s(*s, *t) else {
+                        continue;
+                    };
+                    let avail = est.avail_bps(*s, *t).unwrap_or(0.0);
+                    let pk = est.peak_bps(*s, *t).unwrap_or(0.0);
+                    for &u in ms {
+                        for &v in mt {
+                            if u.index() >= n || v.index() >= n {
+                                continue;
+                            }
+                            latency.set(u, v, LatencyStat::constant(lat.point));
+                            bandwidth.set(u, v, avail);
+                            peak.set(u, v, pk);
+                        }
+                    }
+                }
+            }
+        }
+
+        for (_, members, age) in &shards {
+            let worst = match est_age {
+                Some(e) => (*age).max(e),
+                None => *age,
+            };
+            for &u in members {
+                if u.index() >= n {
+                    continue;
+                }
+                latency_row_age[u.index()] = Some(worst);
+                bandwidth_row_age[u.index()] = Some(worst);
             }
         }
 

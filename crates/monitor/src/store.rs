@@ -104,6 +104,8 @@ fn daemon_of(path: &str) -> &'static str {
         "latency" => "latency",
         "bandwidth" => "bandwidth",
         "central" => "central",
+        "shard" => "shard",
+        "estimate" => "estimate",
         _ => "other",
     }
 }
@@ -135,6 +137,14 @@ pub mod paths {
     pub fn heartbeat(role_name: &str) -> String {
         format!("central/{role_name}")
     }
+
+    /// Per-shard intra-NL record (sharded topology).
+    pub fn shard_nl(shard: u32) -> String {
+        format!("shard/{shard}/nl")
+    }
+
+    /// The sampled inter-shard estimate (sharded topology).
+    pub const INTER_ESTIMATE: &str = "estimate/inter";
 }
 
 #[cfg(test)]

@@ -1,16 +1,17 @@
 //! Property-based tests for the monitoring layer: the store codec, the
-//! tournament scheduler, and the symmetric matrices.
+//! tournament scheduler, the symmetric matrices, gossip anti-entropy, and
+//! the landmark estimator's error bounds.
 
 use nlrm_cluster::NodeSpec;
 use nlrm_monitor::codec::{decode, encode, MonitorRecord};
 use nlrm_monitor::rounds::round_robin_rounds;
 use nlrm_monitor::sample::{LatencyStat, NodeSample};
-use nlrm_monitor::SymMatrix;
+use nlrm_monitor::{GossipNet, NlEstimator, PairProbe, SymMatrix};
 use nlrm_sim_core::time::SimTime;
 use nlrm_sim_core::window::WindowedValue;
 use nlrm_topology::NodeId;
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 fn arb_windowed() -> impl Strategy<Value = WindowedValue> {
     (0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6).prop_map(|(instant, m1, m5, m15)| {
@@ -129,6 +130,138 @@ proptest! {
             }
         }
         prop_assert_eq!(all.len(), n.saturating_sub(1) * n / 2);
+    }
+
+    /// Gossip anti-entropy converges within a bounded round budget for
+    /// random overlay sizes, fanouts, seeds, and fault plans: every live
+    /// peer ends up holding every live origin's record at its published
+    /// epoch, even after killing peers mid-run and reviving them.
+    #[test]
+    fn gossip_converges_within_bounded_rounds(
+        peers in 2usize..32,
+        fanout in 1usize..4,
+        seed in any::<u64>(),
+        dead in proptest::collection::vec(0usize..32, 0..6),
+        epochs in proptest::collection::vec(1u64..100, 32),
+    ) {
+        let mut net: GossipNet<u32> = GossipNet::new(peers, fanout, seed, 64);
+        let dead: HashSet<usize> = dead.into_iter().map(|d| d % peers).collect();
+        // keep at least two peers live so convergence is non-vacuous
+        let live: Vec<usize> = (0..peers).filter(|p| !dead.contains(p) || peers - dead.len() < 2).collect();
+        for p in 0..peers {
+            if !live.contains(&p) {
+                net.set_alive(p, false);
+            }
+        }
+        for &p in &live {
+            prop_assert!(net.publish(p as u32, epochs[p], p as u32 * 7));
+        }
+        let c = net.run_to_convergence(64);
+        prop_assert!(c.converged, "no convergence in 64 rounds ({} live peers)", live.len());
+        for &p in &live {
+            for &origin in &live {
+                let rec = net.get(p, origin as u32).expect("disseminated");
+                prop_assert_eq!(rec.epoch, epochs[origin]);
+                prop_assert_eq!(rec.payload, origin as u32 * 7);
+            }
+        }
+        // revive the dead: anti-entropy catches them up too
+        for p in 0..peers {
+            net.set_alive(p, true);
+        }
+        let c = net.run_to_convergence(64);
+        prop_assert!(c.converged, "revived peers failed to catch up");
+    }
+
+    /// Version stamps never regress: under an arbitrary interleaving of
+    /// publishes (with arbitrary, possibly stale epochs) and gossip rounds,
+    /// the epoch each peer holds for each origin is monotonically
+    /// non-decreasing over time.
+    #[test]
+    fn gossip_version_stamps_never_regress(
+        peers in 2usize..16,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0usize..16, 1u64..20, 0u8..2), 1..60),
+    ) {
+        let mut net: GossipNet<u64> = GossipNet::new(peers, 2, seed, 32);
+        let mut seen: HashMap<(usize, u32), u64> = HashMap::new();
+        let check = |net: &GossipNet<u64>, seen: &mut HashMap<(usize, u32), u64>| {
+            for p in 0..peers {
+                for (&origin, &epoch) in net.digest(p).iter() {
+                    let prev = seen.entry((p, origin)).or_insert(epoch);
+                    assert!(epoch >= *prev, "peer {p} origin {origin} regressed {prev} -> {epoch}");
+                    *prev = epoch;
+                }
+            }
+        };
+        for (origin, epoch, do_round) in ops {
+            let origin = origin % peers;
+            net.publish(origin as u32, epoch, epoch * 1000);
+            if do_round == 1 {
+                net.round();
+            }
+            check(&net, &mut seen);
+        }
+        // a publish only lands when it strictly advances the origin's epoch
+        for p in 0..peers as u32 {
+            if let Some(rec) = net.get(p as usize, p) {
+                prop_assert_eq!(rec.payload, rec.epoch * 1000);
+            }
+        }
+    }
+
+    /// On an additive tree metric (cross-shard cost = sum of the two
+    /// shards' uplink contributions) the landmark estimator's bands always
+    /// contain the exact value, for any shard count, uplink profile, and
+    /// coverage pattern: `lo ≤ exact ≤ hi` with `lo ≤ point ≤ hi`.
+    #[test]
+    fn estimate_bands_contain_exact_on_tree_models(
+        s in 2usize..48,
+        lat_seed in proptest::collection::vec(1u32..10_000, 48),
+        cbw_seed in proptest::collection::vec(0u32..10_000, 48),
+        holes in proptest::collection::vec(0usize..48, 0..8),
+    ) {
+        let lat: Vec<f64> = lat_seed[..s].iter().map(|&x| x as f64 * 1e-7).collect();
+        let cbw: Vec<f64> = cbw_seed[..s].iter().map(|&x| x as f64 * 1e4).collect();
+        let peak = 1e9f64;
+        let mut reps: Vec<Vec<NodeId>> = (0..s).map(|i| vec![NodeId(i as u32 * 100)]).collect();
+        for h in holes {
+            reps[h % s] = vec![];
+        }
+        let shard_of = |n: NodeId| (n.0 / 100) as usize;
+        let mut probe = |u: NodeId, v: NodeId| {
+            let (a, b) = (shard_of(u), shard_of(v));
+            let c = cbw[a] + cbw[b];
+            PairProbe {
+                latency_s: lat[a] + lat[b],
+                avail_bps: (peak - c).max(0.0),
+                peak_bps: peak,
+            }
+        };
+        let est = NlEstimator::new(s).estimate(&reps, &mut probe);
+        for a in 0..s as u32 {
+            for b in (a + 1)..s as u32 {
+                let covered = !reps[a as usize].is_empty() && !reps[b as usize].is_empty();
+                let Some(band) = est.latency_s(a, b) else {
+                    prop_assert!(!covered, "covered pair ({a},{b}) had no band");
+                    continue;
+                };
+                prop_assert!(covered);
+                prop_assert!(band.lo <= band.point && band.point <= band.hi);
+                let exact = lat[a as usize] + lat[b as usize];
+                prop_assert!(
+                    band.contains(exact),
+                    "lat({a},{b}) [{}, {}] misses exact {exact}", band.lo, band.hi
+                );
+                let band = est.cbw_bps(a, b).unwrap();
+                prop_assert!(band.lo <= band.point && band.point <= band.hi);
+                let exact = cbw[a as usize] + cbw[b as usize];
+                prop_assert!(
+                    band.contains(exact),
+                    "cbw({a},{b}) [{}, {}] misses exact {exact}", band.lo, band.hi
+                );
+            }
+        }
     }
 
     /// SymMatrix stays symmetric under arbitrary write sequences.

@@ -292,6 +292,7 @@ mod tests {
             mean_cpu_load: 1.0,
             round_pairs: 28,
             round_bytes: 1 << 20,
+            gossip_round_bytes: 0,
         }
     }
 

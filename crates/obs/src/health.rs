@@ -42,6 +42,11 @@ pub struct HealthSnapshot {
     pub round_pairs: u64,
     /// Bytes moved (probes + published rows) by the last monitor sweep.
     pub round_bytes: u64,
+    /// Bytes moved by the last gossip dissemination round (0 under central
+    /// monitoring, which has no gossip layer). Kept separate from
+    /// `round_bytes` so relayed summaries are never double-counted as
+    /// sweep traffic.
+    pub gossip_round_bytes: u64,
 }
 
 impl HealthSnapshot {
@@ -67,6 +72,7 @@ impl HealthSnapshot {
             ("mean_cpu_load", json::num(self.mean_cpu_load)),
             ("round_pairs", self.round_pairs.to_string()),
             ("round_bytes", self.round_bytes.to_string()),
+            ("gossip_round_bytes", self.gossip_round_bytes.to_string()),
         ])
     }
 }
@@ -119,6 +125,7 @@ impl HealthTracker {
             mean_cpu_load: metrics.gauge_value("cluster_mean_cpu_load"),
             round_pairs: metrics.gauge_value("monitor_round_pairs") as u64,
             round_bytes: metrics.gauge_value("monitor_round_bytes") as u64,
+            gossip_round_bytes: metrics.gauge_value("monitor_gossip_round_bytes") as u64,
         };
         metrics.set("health_utilization", snap.utilization);
         metrics.set("health_fragmentation", snap.fragmentation);
@@ -169,6 +176,17 @@ mod tests {
         assert_eq!(s.fragmentation, 0.0);
         assert_eq!(s.wait_p99_secs, None);
         assert!(json::validate(&s.to_json()).is_ok());
+    }
+
+    #[test]
+    fn gossip_round_bytes_is_carried_separately_from_sweep_bytes() {
+        let m = Metrics::new();
+        m.set("monitor_round_bytes", 4096.0);
+        m.set("monitor_gossip_round_bytes", 512.0);
+        let s = HealthTracker::new().observe(SimTime::ZERO, &m);
+        assert_eq!(s.round_bytes, 4096);
+        assert_eq!(s.gossip_round_bytes, 512);
+        assert!(s.to_json().contains("\"gossip_round_bytes\":512"));
     }
 
     #[test]

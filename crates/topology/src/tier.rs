@@ -35,6 +35,18 @@ impl SwitchIndex {
         SwitchIndex { switch_of, members }
     }
 
+    /// A uniform assignment: `num_nodes` nodes packed `per_switch` to a
+    /// switch in node-id order (the last switch may be partial). Handy for
+    /// synthetic sharding at bench scale without building a full topology.
+    pub fn uniform(num_nodes: usize, per_switch: usize) -> SwitchIndex {
+        assert!(per_switch > 0, "per_switch must be positive");
+        let num_switches = num_nodes.div_ceil(per_switch).max(1);
+        let switch_of = (0..num_nodes)
+            .map(|i| SwitchId((i / per_switch) as u32))
+            .collect();
+        SwitchIndex::from_assignment(switch_of, num_switches)
+    }
+
     /// Number of nodes indexed.
     pub fn num_nodes(&self) -> usize {
         self.switch_of.len()
@@ -127,5 +139,15 @@ mod tests {
     #[should_panic(expected = "out-of-range switch")]
     fn out_of_range_assignment_rejected() {
         SwitchIndex::from_assignment(vec![SwitchId(5)], 2);
+    }
+
+    #[test]
+    fn uniform_packs_in_order_with_partial_tail() {
+        let idx = SwitchIndex::uniform(10, 4);
+        assert_eq!(idx.num_nodes(), 10);
+        assert_eq!(idx.num_switches(), 3);
+        assert_eq!(idx.members(SwitchId(0)).len(), 4);
+        assert_eq!(idx.members(SwitchId(2)).len(), 2);
+        assert_eq!(idx.switch_of(NodeId(7)), SwitchId(1));
     }
 }
