@@ -136,6 +136,30 @@ assert bench["worst_eps"] <= 0.05, f"epsilon gate: {bench['worst_eps']}"
 assert bench["gates"]["ratio_ge_10"] and bench["gates"]["eps_le_0_05"]
 PY
 
+# incident smoke: every seeded storyline must replay bit-identically
+# from its flight record, RCA must rank the injected cause first on at
+# least the floor (4 of 5), and the recorder's always-on overhead must
+# stay within its 5% budget (the bin computes the same gate in "pass")
+NLRM_RESULTS_DIR="$OBS_DIR" NLRM_QUICK=1 NLRM_QUIET=1 \
+    cargo run --release -q -p nlrm-bench --bin incident_report
+python3 - "$OBS_DIR/incident_report.json" "$OBS_DIR/BENCH_incident.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+with open(sys.argv[2]) as f:
+    bench = json.load(f)
+stories = report["storylines"]
+assert len(stories) == 5, f"expected 5 storylines, got {len(stories)}"
+bad = [s["name"] for s in stories if not s["replay"]["identical"]]
+assert not bad, f"replays diverged: {bad}"
+hits = sum(s["cause_hit"] for s in stories)
+assert hits >= 4, f"RCA ranked the injected cause first on only {hits}/5"
+assert bench["all_replays_identical"], bench
+assert bench["max_overhead_frac"] <= 0.05, bench["max_overhead_frac"]
+assert bench["pass"], f"incident gate failed: {bench}"
+PY
+test -s "$OBS_DIR/incident_report.md"
+
 # rustdoc for the observability and monitoring crates is part of their
 # API contract
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p nlrm-obs -p nlrm-monitor

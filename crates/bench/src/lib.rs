@@ -26,6 +26,7 @@ pub mod obs_scenario;
 pub mod plot;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod trace_scenario;
 
 pub use gains::{GainTable, PolicyStats};

@@ -7,18 +7,14 @@
 //! node-state daemons stay dead and their samples age into staleness.
 //! A broker schedules jobs through that degradation, so granted
 //! allocations carry explain traces shaped by the stale exclusions.
+//!
+//! The machinery itself — observer install, warm-up, fault plan, broker,
+//! checkpoint loop — lives in [`crate::scenario`]; this module keeps the
+//! classic option set and result shape the reports were written against.
 
-use nlrm_cluster::iitk::small_cluster;
-use nlrm_core::broker::{Broker, BrokerConfig, BrokerEvent, SchedMode};
-use nlrm_core::AllocationRequest;
-use nlrm_monitor::{DaemonKind, FaultTarget, MonitorFaultPlan};
-use nlrm_obs::{install, ExplainTrace, Obs, Severity, TelemetryConfig, TraceId};
-use nlrm_sim_core::fault::FaultAction;
-use nlrm_sim_core::time::{Duration, SimTime};
-use nlrm_topology::NodeId;
-use std::collections::BTreeMap;
-
-use crate::runner::Experiment;
+use crate::scenario::{self, ScenarioSpec};
+pub use crate::scenario::{standard_fault_storyline as fault_storyline, Decision};
+use nlrm_obs::Obs;
 
 /// Knobs for [`run_broker_scenario`]. The original fully-faulted shape
 /// lives on as [`run_faulted_broker_scenario`]; the health report runs
@@ -67,24 +63,6 @@ impl ScenarioOptions {
     }
 }
 
-/// One granted allocation with its decision context.
-#[derive(Debug, Clone)]
-pub struct Decision {
-    /// Job display name.
-    pub job: String,
-    /// The job's trace id: every journal line and span recorded on the
-    /// job's behalf carries it, so a timeline can be grepped per job.
-    pub trace: TraceId,
-    /// Virtual time the broker granted it.
-    pub granted_at: SimTime,
-    /// The nodes actually placed on.
-    pub nodes: Vec<NodeId>,
-    /// Eq. 4 cost of the winning group.
-    pub cost: f64,
-    /// The ranking that produced the grant.
-    pub explain: ExplainTrace,
-}
-
 /// Everything the scenario produced.
 #[derive(Debug, Clone)]
 pub struct ObsScenarioResult {
@@ -123,34 +101,6 @@ pub const QUICK_CHECKPOINTS: &[u64] = &[1100, 1300];
 /// submits a fresh 16-process job, and reschedules; an oversized
 /// 64-process job submitted up front stays queued forever, producing an
 /// `alloc_deferred` at every pass.
-/// The shared fault storyline (see the table above), also reused by the
-/// traced scenario behind `trace_report`.
-pub fn fault_storyline() -> MonitorFaultPlan {
-    let mut plan = MonitorFaultPlan::new();
-    let kill = FaultAction::Kill;
-    plan.schedule(
-        SimTime::from_secs(400),
-        FaultTarget::Daemon(DaemonKind::Bandwidth),
-        kill,
-    );
-    plan.schedule(
-        SimTime::from_secs(450),
-        FaultTarget::Daemon(DaemonKind::NodeState(NodeId(3))),
-        kill,
-    );
-    plan.schedule(SimTime::from_secs(700), FaultTarget::Master, kill);
-    plan.schedule(SimTime::from_secs(900), FaultTarget::Master, kill);
-    plan.schedule(SimTime::from_secs(900), FaultTarget::Slave, kill);
-    for node in [NodeId(5), NodeId(6)] {
-        plan.schedule(
-            SimTime::from_secs(950),
-            FaultTarget::Daemon(DaemonKind::NodeState(node)),
-            kill,
-        );
-    }
-    plan
-}
-
 pub fn run_faulted_broker_scenario(seed: u64, checkpoints: &[u64]) -> ObsScenarioResult {
     run_broker_scenario(seed, checkpoints, ScenarioOptions::faulted())
 }
@@ -163,86 +113,17 @@ pub fn run_broker_scenario(
     checkpoints: &[u64],
     opts: ScenarioOptions,
 ) -> ObsScenarioResult {
-    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
-    let obs = Obs::with_capacity(16 * 1024);
-    // Debug-level ticks and publishes would dominate the ring over a
-    // 1500 s run; the report keeps the decision-relevant layer.
-    obs.journal.set_min_severity(Severity::Info);
-    if opts.telemetry {
-        obs.telemetry.enable(TelemetryConfig::standard());
-    }
-    let guard = install(&obs);
-
-    let mut env = Experiment::new(small_cluster(8, seed));
-    env.advance(Duration::from_secs(360));
-    if opts.faulted {
-        env.monitor.set_fault_plan(fault_storyline());
-    }
-
-    let mut broker = Broker::new(BrokerConfig {
-        backfill: true,
-        max_load_per_core: None,
-        mode: SchedMode::PerJob,
-        ..BrokerConfig::default()
-    });
-    let mut names: BTreeMap<nlrm_core::broker::JobId, String> = BTreeMap::new();
-    if opts.submit_huge {
-        let huge = broker
-            .submit_at("huge-64", AllocationRequest::minimd(64), env.cluster.now())
-            .expect("valid request");
-        names.insert(huge, "huge-64".to_string());
-    }
-
-    let mut decisions = Vec::new();
-    let mut deferred = Vec::new();
-    let mut last_started: Option<nlrm_core::broker::JobId> = None;
-    for (i, &cp) in checkpoints.iter().enumerate() {
-        let target = SimTime::from_secs(cp);
-        env.advance(target.since(env.cluster.now()));
-        let snap = env.snapshot();
-        if let Some(prev) = last_started.take() {
-            broker.complete(prev);
-        }
-        let name = format!("md16-{i}");
-        let id = broker
-            .submit_at(&name, AllocationRequest::minimd(16), snap.taken_at)
-            .expect("valid request");
-        names.insert(id, name);
-        for event in broker.tick(&snap) {
-            match event {
-                BrokerEvent::Started(lease) => {
-                    last_started = Some(lease.id);
-                    decisions.push(Decision {
-                        job: lease.name.clone(),
-                        trace: lease.trace,
-                        granted_at: snap.taken_at,
-                        nodes: lease.allocation.node_list(),
-                        cost: lease.allocation.diagnostics.total_cost,
-                        explain: lease
-                            .allocation
-                            .diagnostics
-                            .explain
-                            .clone()
-                            .expect("broker grants carry explain traces"),
-                    });
-                }
-                BrokerEvent::Deferred { id, reason } => {
-                    let job = names.get(&id).cloned().unwrap_or_else(|| format!("{id:?}"));
-                    deferred.push((job, reason));
-                }
-            }
-        }
-    }
-
-    let relaunches = env.monitor.central().relaunch_count;
-    let failovers = env.monitor.central().failover_count;
-    drop(guard);
+    let mut spec = ScenarioSpec::new("obs-report", seed, checkpoints);
+    spec.faulted = opts.faulted;
+    spec.submit_huge = opts.submit_huge;
+    spec.telemetry = opts.telemetry;
+    let run = scenario::run(&spec.standard_arrivals(16));
     ObsScenarioResult {
-        obs,
-        decisions,
-        deferred,
-        relaunches,
-        failovers,
+        obs: run.obs,
+        decisions: run.decisions,
+        deferred: run.deferred,
+        relaunches: run.relaunches,
+        failovers: run.failovers,
     }
 }
 

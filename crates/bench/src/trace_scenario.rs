@@ -18,14 +18,11 @@
 //! per-job record, enough to build critical paths and a Chrome trace
 //! for every job.
 
-use crate::obs_scenario::fault_storyline;
-use crate::runner::Experiment;
+use crate::scenario::{self, ScenarioSpec};
 use nlrm_apps::MiniMd;
-use nlrm_cluster::iitk::small_cluster;
-use nlrm_core::broker::{Broker, BrokerConfig, BrokerEvent, JobId, SchedMode};
-use nlrm_core::AllocationRequest;
+use nlrm_core::broker::{BrokerEvent, JobId};
 use nlrm_mpi::{execute_traced, Communicator, JobTiming, TraceCtx};
-use nlrm_obs::{install, Obs, Severity, TraceId};
+use nlrm_obs::{Obs, TraceId};
 use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_topology::NodeId;
 use std::collections::BTreeMap;
@@ -87,25 +84,16 @@ const JOB_STEPS: usize = 10;
 /// up front stays queued forever, producing `defer` spans every pass.
 pub fn run_traced_broker_scenario(seed: u64, checkpoints: &[u64]) -> TraceScenarioResult {
     assert!(!checkpoints.is_empty(), "need at least one checkpoint");
-    let obs = Obs::with_capacity(64 * 1024);
-    obs.journal.set_min_severity(Severity::Info);
-    let guard = install(&obs);
-
-    let mut env = Experiment::new(small_cluster(8, seed));
-    env.advance(Duration::from_secs(360));
-    env.monitor.set_fault_plan(fault_storyline());
-
-    let mut broker = Broker::new(BrokerConfig {
-        backfill: true,
-        max_load_per_core: None,
-        mode: SchedMode::PerJob,
-        ..BrokerConfig::default()
-    });
-    let mut names: BTreeMap<JobId, String> = BTreeMap::new();
-    let huge = broker
-        .submit_at("huge-64", AllocationRequest::minimd(64), env.cluster.now())
-        .expect("valid request");
-    names.insert(huge, "huge-64".to_string());
+    let mut spec = ScenarioSpec::new("trace-report", seed, checkpoints);
+    spec.faulted = true;
+    spec.submit_huge = true;
+    spec.journal_capacity = 64 * 1024;
+    let mut scen = scenario::setup(&spec);
+    let huge = *scen
+        .names
+        .keys()
+        .next()
+        .expect("setup submits the oversized starver");
 
     let mut jobs = Vec::new();
     let mut deferred = Vec::new();
@@ -113,18 +101,14 @@ pub fn run_traced_broker_scenario(seed: u64, checkpoints: &[u64]) -> TraceScenar
     for (i, &cp) in checkpoints.iter().enumerate() {
         // Submit now, schedule at the checkpoint: the job queues across
         // the gap and its trace gets a real queue_wait segment.
-        let name = format!("md16-{i}");
-        let submitted_at = env.cluster.now();
-        let id = broker
-            .submit_at(&name, AllocationRequest::minimd(16), submitted_at)
-            .expect("valid request");
-        names.insert(id, name);
+        let submitted_at = scen.env.cluster.now();
+        let id = scen.submit(&format!("md16-{i}"), 16);
         submit_times.insert(id, submitted_at);
 
         let target = SimTime::from_secs(cp);
-        env.advance(target - env.cluster.now());
-        let snap = env.snapshot();
-        for event in broker.tick(&snap) {
+        scen.env.advance(target - scen.env.cluster.now());
+        let snap = scen.env.snapshot();
+        for event in scen.broker.tick(&snap) {
             match event {
                 BrokerEvent::Started(lease) => {
                     let granted_at = snap.taken_at;
@@ -134,8 +118,8 @@ pub fn run_traced_broker_scenario(seed: u64, checkpoints: &[u64]) -> TraceScenar
                         trace: lease.trace,
                         parent: lease.root_span,
                     };
-                    let timing = execute_traced(&mut env.cluster, &comm, &workload, Some(&tc));
-                    let completed_at = env.cluster.now();
+                    let timing = execute_traced(&mut scen.env.cluster, &comm, &workload, Some(&tc));
+                    let completed_at = scen.env.cluster.now();
                     jobs.push(TracedJob {
                         name: lease.name.clone(),
                         trace: lease.trace,
@@ -145,11 +129,10 @@ pub fn run_traced_broker_scenario(seed: u64, checkpoints: &[u64]) -> TraceScenar
                         nodes: lease.allocation.node_list(),
                         timing,
                     });
-                    broker.complete_at(lease.id, completed_at);
+                    scen.broker.complete_at(lease.id, completed_at);
                 }
                 BrokerEvent::Deferred { id, reason } => {
-                    let job = names.get(&id).cloned().unwrap_or_else(|| format!("{id:?}"));
-                    deferred.push((job, reason));
+                    deferred.push((scen.job_name(id), reason));
                 }
             }
         }
@@ -158,11 +141,12 @@ pub fn run_traced_broker_scenario(seed: u64, checkpoints: &[u64]) -> TraceScenar
     // The oversized job will never fit; withdraw it so its trace closes
     // (its root span covers the whole queued lifetime, annotated
     // `cancelled`).
-    broker.cancel_at(huge, env.cluster.now());
+    let now = scen.env.cluster.now();
+    scen.broker.cancel_at(huge, now);
 
-    drop(guard);
+    let fin = scen.finish();
     TraceScenarioResult {
-        obs,
+        obs: fin.obs,
         jobs,
         deferred,
     }

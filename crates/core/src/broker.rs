@@ -302,8 +302,10 @@ fn effective_priority(job: &QueuedJob, now: SimTime, aging_rate: f64) -> f64 {
 }
 
 /// Journal the job's arrival and open its root trace span (first
-/// examination only; call only with an observer installed).
-fn announce(job: &mut QueuedJob, now: SimTime) {
+/// examination only; call only with an observer installed). `cycle` is the
+/// scheduling cycle that first examined the job, so incident analysis can
+/// tie the arrival to a concrete broker pass.
+fn announce(job: &mut QueuedJob, now: SimTime, cycle: u64) {
     use nlrm_obs::{EventKind, Severity};
     job.announced = true;
     let at = job.submitted_at.unwrap_or(now);
@@ -325,14 +327,25 @@ fn announce(job: &mut QueuedJob, now: SimTime) {
             job: job.name.clone(),
             procs: job.request.procs,
         },
-        vec![("trace".into(), job.id.trace().to_string())],
+        vec![
+            ("trace".into(), job.id.trace().to_string()),
+            ("cycle".into(), cycle.to_string()),
+        ],
     );
 }
 
 /// Journal a grant, close the queue-wait span, and feed the wait histogram
 /// (call only with an observer installed).
-fn observe_start(job: &QueuedJob, lease: &Lease, now: SimTime) {
+fn observe_start(job: &QueuedJob, lease: &Lease, now: SimTime, cycle: u64) {
     use nlrm_obs::{EventKind, Severity};
+    // the exact placement travels with the grant, so a root-cause walk can
+    // correlate a later load spike with the lease that landed on the node
+    let placed: Vec<String> = lease
+        .allocation
+        .node_list()
+        .iter()
+        .map(|n| n.index().to_string())
+        .collect();
     nlrm_obs::ctx::emit_kv(
         Severity::Info,
         now,
@@ -341,7 +354,11 @@ fn observe_start(job: &QueuedJob, lease: &Lease, now: SimTime) {
             nodes: lease.allocation.node_list().len(),
             cost: lease.allocation.diagnostics.total_cost,
         },
-        vec![("trace".into(), job.id.trace().to_string())],
+        vec![
+            ("trace".into(), job.id.trace().to_string()),
+            ("cycle".into(), cycle.to_string()),
+            ("placed".into(), placed.join(",")),
+        ],
     );
     // the queue-wait span covers exactly the interval the wait histogram
     // observes
@@ -365,7 +382,7 @@ fn observe_start(job: &QueuedJob, lease: &Lease, now: SimTime) {
 
 /// Journal a deferral and drop an instant mark on the trace (call only
 /// with an observer installed).
-fn observe_defer(job: &QueuedJob, reason: &str, now: SimTime) {
+fn observe_defer(job: &QueuedJob, reason: &str, now: SimTime, cycle: u64) {
     use nlrm_obs::{EventKind, Severity};
     nlrm_obs::ctx::emit_kv(
         Severity::Warn,
@@ -374,7 +391,10 @@ fn observe_defer(job: &QueuedJob, reason: &str, now: SimTime) {
             job: job.name.clone(),
             reason: reason.to_string(),
         },
-        vec![("trace".into(), job.id.trace().to_string())],
+        vec![
+            ("trace".into(), job.id.trace().to_string()),
+            ("cycle".into(), cycle.to_string()),
+        ],
     );
     // instant mark on the trace; zero-width, so it never perturbs the
     // critical path
@@ -399,6 +419,9 @@ pub struct Broker {
     /// Processes reserved per node by running jobs.
     reserved: BTreeMap<NodeId, u32>,
     next_id: u64,
+    /// Completed scheduling passes; stamped onto every allocation event so
+    /// incident analysis can line decisions up with concrete broker cycles.
+    cycles: u64,
 }
 
 impl Broker {
@@ -408,6 +431,12 @@ impl Broker {
             config,
             ..Broker::default()
         }
+    }
+
+    /// Scheduling passes completed so far (the `cycle` stamped onto
+    /// allocation journal events).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
     }
 
     /// Enqueue a job; returns its id. The request is validated on submit.
@@ -686,6 +715,8 @@ impl Broker {
     ) -> Vec<BrokerEvent> {
         let observed = nlrm_obs::ctx::is_active();
         let now = snap.taken_at;
+        self.cycles += 1;
+        let cycle = self.cycles;
         let mut events = Vec::new();
 
         // stamp walk-in submissions so aging and the wait histogram see a
@@ -715,7 +746,7 @@ impl Broker {
 
         'jobs: for idx in 0..batch {
             if observed && !jobs[idx].announced {
-                announce(&mut jobs[idx], now);
+                announce(&mut jobs[idx], now, cycle);
             }
 
             // EASY gate: while a head reservation is armed, a later job may
@@ -740,7 +771,7 @@ impl Broker {
                         }
                     );
                     if observed {
-                        observe_defer(job, &reason, now);
+                        observe_defer(job, &reason, now, cycle);
                     }
                     events.push(BrokerEvent::Deferred { id: job.id, reason });
                     continue 'jobs;
@@ -770,7 +801,7 @@ impl Broker {
                             let reason = e.clone();
                             let job = &jobs[idx];
                             if observed {
-                                observe_defer(job, &reason, now);
+                                observe_defer(job, &reason, now, cycle);
                             }
                             events.push(BrokerEvent::Deferred { id: job.id, reason });
                             if !self.config.backfill {
@@ -795,7 +826,7 @@ impl Broker {
             match outcome {
                 Ok(lease) => {
                     if observed {
-                        observe_start(&jobs[idx], &lease, now);
+                        observe_start(&jobs[idx], &lease, now, cycle);
                         if head_res.is_some() {
                             nlrm_obs::ctx::inc("broker_backfill_started_total");
                         }
@@ -815,7 +846,7 @@ impl Broker {
                     let reason = fail.into_message();
                     let job = &jobs[idx];
                     if observed {
-                        observe_defer(job, &reason, now);
+                        observe_defer(job, &reason, now, cycle);
                     }
                     events.push(BrokerEvent::Deferred { id: job.id, reason });
                     // the first capacity-blocked job arms the head
@@ -864,6 +895,8 @@ impl Broker {
     fn tick_per_job(&mut self, snap: &ClusterSnapshot) -> Vec<BrokerEvent> {
         let observed = nlrm_obs::ctx::is_active();
         let now = snap.taken_at;
+        self.cycles += 1;
+        let cycle = self.cycles;
         let mut events = Vec::new();
         let mut still_queued: VecDeque<QueuedJob> = VecDeque::new();
         let mut head_blocked = false;
@@ -874,7 +907,7 @@ impl Broker {
                 continue;
             }
             if observed && !job.announced {
-                announce(&mut job, now);
+                announce(&mut job, now, cycle);
             }
             let (base, outcome) = self.try_start(&job, snap);
             if base.is_some() {
@@ -883,14 +916,14 @@ impl Broker {
             match outcome {
                 Ok(lease) => {
                     if observed {
-                        observe_start(&job, &lease, now);
+                        observe_start(&job, &lease, now, cycle);
                     }
                     events.push(BrokerEvent::Started(Box::new(lease.clone())));
                     self.commit_start(&job, lease, now);
                 }
                 Err(reason) => {
                     if observed {
-                        observe_defer(&job, &reason, now);
+                        observe_defer(&job, &reason, now, cycle);
                     }
                     events.push(BrokerEvent::Deferred { id: job.id, reason });
                     head_blocked = true;

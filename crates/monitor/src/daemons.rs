@@ -407,11 +407,16 @@ impl LatencyD {
             .node_ids()
             .filter(|&n| cluster.is_up(n))
             .collect();
+        let recording = nlrm_obs::ctx::recording();
+        let mut fold = nlrm_obs::DigestFold::new();
         let mut pairs = 0u64;
         for round in round_robin_rounds(live.len()) {
             for (a, b) in round {
                 let (u, v) = (live[a], live[b]);
                 let lat = cluster.measure_latency_s(u, v);
+                if recording {
+                    fold.u64(u.index() as u64).u64(v.index() as u64).f64(lat);
+                }
                 self.latest.set(u, v, lat);
                 let idx = u.index() * self.n + v.index();
                 self.windows[idx].0.push(t, lat);
@@ -421,6 +426,9 @@ impl LatencyD {
                 self.windows[mirror].1.push(t, lat);
                 pairs += 1;
             }
+        }
+        if recording {
+            nlrm_obs::ctx::record_stream(t, "probe:latency", pairs, fold.value());
         }
         // the O(V²) measurement traffic happens whether or not the rows can
         // be published (a mute only withholds the store writes)
@@ -517,15 +525,27 @@ impl BandwidthD {
             .node_ids()
             .filter(|&n| cluster.is_up(n))
             .collect();
+        let recording = nlrm_obs::ctx::recording();
+        let mut fold = nlrm_obs::DigestFold::new();
         let mut pairs = 0u64;
         for round in round_robin_rounds(live.len()) {
             for (a, b) in round {
                 let (u, v) = (live[a], live[b]);
                 let bw = cluster.measure_bandwidth_bps(u, v);
+                let peak = cluster.peak_bandwidth_bps(u, v);
+                if recording {
+                    fold.u64(u.index() as u64)
+                        .u64(v.index() as u64)
+                        .f64(bw)
+                        .f64(peak);
+                }
                 self.latest.set(u, v, bw);
-                self.peak.set(u, v, cluster.peak_bandwidth_bps(u, v));
+                self.peak.set(u, v, peak);
                 pairs += 1;
             }
+        }
+        if recording {
+            nlrm_obs::ctx::record_stream(t, "probe:bandwidth", pairs, fold.value());
         }
         let mut round_bytes = pairs * BANDWIDTH_PROBE_BYTES;
         nlrm_obs::ctx::add("monitor_pair_measurements_total", pairs);

@@ -265,10 +265,24 @@ impl MonitorRuntime {
             .map(|i| cluster.is_up(NodeId(i as u32)))
             .collect();
         let mut alive = |n: NodeId| up[n.index()];
-        let mut probe = |u: NodeId, v: NodeId| PairProbe {
-            latency_s: cluster.measure_latency_s(u, v),
-            avail_bps: cluster.measure_bandwidth_bps(u, v),
-            peak_bps: cluster.peak_bandwidth_bps(u, v),
+        let recording = nlrm_obs::ctx::recording();
+        let mut probed = 0u64;
+        let mut fold = nlrm_obs::DigestFold::new();
+        let mut probe = |u: NodeId, v: NodeId| {
+            let p = PairProbe {
+                latency_s: cluster.measure_latency_s(u, v),
+                avail_bps: cluster.measure_bandwidth_bps(u, v),
+                peak_bps: cluster.peak_bandwidth_bps(u, v),
+            };
+            if recording {
+                probed += 1;
+                fold.u64(u.index() as u64)
+                    .u64(v.index() as u64)
+                    .f64(p.latency_s)
+                    .f64(p.avail_bps)
+                    .f64(p.peak_bps);
+            }
+            p
         };
         let report = state.sweeper.sweep(t, &self.store, &mut alive, &mut probe);
         // inter-shard sampling: probe between each shard's live members
@@ -291,6 +305,9 @@ impl MonitorRuntime {
         self.store.put(paths::INTER_ESTIMATE, t, est_record);
         for summary in &report.summaries {
             state.gossip.publish(summary.shard, report.epoch, *summary);
+        }
+        if recording {
+            nlrm_obs::ctx::record_stream(t, "probe:shard", probed, fold.value());
         }
         if nlrm_obs::ctx::is_active() {
             let pairs = report.pairs + est.probes;
@@ -351,7 +368,14 @@ impl MonitorRuntime {
                         let up = members.iter().any(|&n| cluster.is_up(n));
                         state.gossip.set_alive(s, up);
                     }
-                    state.gossip.round();
+                    let round = state.gossip.round();
+                    if nlrm_obs::ctx::recording() {
+                        let mut fold = nlrm_obs::DigestFold::new();
+                        fold.u64(round.bytes)
+                            .u64(round.updates)
+                            .u64(state.gossip.rounds_run());
+                        nlrm_obs::ctx::record_stream(t, "gossip", round.exchanges, fold.value());
+                    }
                     let period = state.cfg.gossip_period;
                     self.queue.push(t + period, tick);
                 }

@@ -40,6 +40,19 @@ impl AnomalyKind {
             AnomalyKind::TrafficBlowup => "traffic_blowup",
         }
     }
+
+    /// The registry metric the detector's health-snapshot signal is derived
+    /// from — carried on `anomaly_detected` events so incidents can be
+    /// joined against the time-series sampler without heuristics.
+    pub fn metric_key(&self) -> &'static str {
+        match self {
+            AnomalyKind::LoadSpike => "cluster_mean_cpu_load",
+            AnomalyKind::StalenessSurge => "loads_stale_fraction",
+            AnomalyKind::Starvation => "broker_oldest_wait_secs",
+            AnomalyKind::UtilizationCollapse => "health_utilization",
+            AnomalyKind::TrafficBlowup => "monitor_round_pairs",
+        }
+    }
 }
 
 /// One fired anomaly: what, when, observed value, and the threshold it beat.

@@ -14,14 +14,15 @@
 
 use crate::journal::{EventKind, Journal, Severity};
 use crate::metrics::Metrics;
+use crate::recorder::Recorder;
 use crate::span::{SpanId, SpanStore, TraceId};
 use crate::telemetry::Telemetry;
 use nlrm_sim_core::time::SimTime;
 use std::cell::RefCell;
 
-/// A journal + metrics + span-store + telemetry quadruple: the unit of
-/// observation for one scenario.
-#[derive(Debug, Clone, Default)]
+/// A journal + metrics + span-store + telemetry + flight-recorder bundle:
+/// the unit of observation for one scenario.
+#[derive(Debug, Clone)]
 pub struct Obs {
     /// The event journal.
     pub journal: Journal,
@@ -32,6 +33,15 @@ pub struct Obs {
     /// The continuous-telemetry loop (disabled until
     /// [`Telemetry::enable`]).
     pub telemetry: Telemetry,
+    /// The incident flight recorder (disabled until
+    /// [`Recorder::enable`]).
+    pub recorder: Recorder,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::with_capacity_journal(Journal::default())
+    }
 }
 
 impl Obs {
@@ -42,11 +52,23 @@ impl Obs {
 
     /// A fresh observer whose journal retains at most `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
+        Obs::with_capacity_journal(Journal::new(capacity))
+    }
+
+    /// Assemble the bundle around `journal`, wiring the cross-component
+    /// taps: ring evictions bump `journal_evicted_total`, and every
+    /// accepted event is digested by the (initially disabled) recorder.
+    fn with_capacity_journal(journal: Journal) -> Self {
+        let metrics = Metrics::new();
+        let recorder = Recorder::new();
+        journal.attach_eviction_counter(metrics.counter("journal_evicted_total"));
+        journal.attach_recorder(recorder.clone());
         Obs {
-            journal: Journal::new(capacity),
-            metrics: Metrics::new(),
+            journal,
+            metrics,
             spans: SpanStore::default(),
             telemetry: Telemetry::new(),
+            recorder,
         }
     }
 }
@@ -137,7 +159,22 @@ pub fn observe(name: &str, bounds: &[f64], v: f64) {
 /// when inactive or telemetry is disabled; cadence-gated internally, so
 /// callers may invoke this on every event-loop iteration).
 pub fn telemetry_tick(now: SimTime) {
-    with(|obs| obs.telemetry.tick(now, &obs.metrics, &obs.journal));
+    with(|obs| {
+        obs.telemetry
+            .tick(now, &obs.metrics, &obs.journal, &obs.spans, &obs.recorder)
+    });
+}
+
+/// Is an observer installed *and* its flight recorder enabled? Input taps
+/// (probe/gossip digest folds) check this before doing any work.
+pub fn recording() -> bool {
+    with_value(|obs| obs.recorder.is_enabled()).unwrap_or(false)
+}
+
+/// Capture one consumed input-stream round into the installed flight
+/// recorder (no-op when inactive or the recorder is disabled).
+pub fn record_stream(at: SimTime, kind: &str, count: u64, digest: u64) {
+    with(|obs| obs.recorder.note_stream(at, kind, count, digest));
 }
 
 /// Open a span in the installed span store (`None` when inactive, the

@@ -14,6 +14,9 @@
 
 use crate::json;
 use crate::lock;
+use crate::metrics::Counter;
+use crate::recorder::Recorder;
+use crate::span::TraceId;
 use nlrm_sim_core::time::{Duration, SimTime};
 use nlrm_topology::NodeId;
 use std::collections::VecDeque;
@@ -170,6 +173,10 @@ pub enum EventKind {
         value: f64,
         /// The threshold it exceeded.
         threshold: f64,
+        /// The registry metric the detector derives its signal from.
+        metric: String,
+        /// Traces with open spans at detection time (jobs in flight).
+        traces: Vec<TraceId>,
     },
     /// A service-level objective's attainment dropped below target.
     SloBreached {
@@ -179,7 +186,32 @@ pub enum EventKind {
         attainment: f64,
         /// The declared target attainment.
         target: f64,
+        /// The registry metric the objective measures.
+        metric: String,
+        /// Traces with open spans at breach time (jobs in flight).
+        traces: Vec<TraceId>,
     },
+}
+
+/// Encode a trace list as a JSON array of `"t<n>"` strings.
+fn traces_json(traces: &[TraceId]) -> String {
+    let items: Vec<String> = traces
+        .iter()
+        .map(|t| json::string(&t.to_string()))
+        .collect();
+    json::array(&items)
+}
+
+/// Render a trace list as `t1+t2+…` (or `-` when empty) for timelines.
+fn traces_label(traces: &[TraceId]) -> String {
+    if traces.is_empty() {
+        return "-".to_string();
+    }
+    traces
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join("+")
 }
 
 impl EventKind {
@@ -269,19 +301,27 @@ impl EventKind {
                 detector,
                 value,
                 threshold,
+                metric,
+                traces,
             } => vec![
                 ("detector", json::string(detector)),
                 ("value", json::num(*value)),
                 ("threshold", json::num(*threshold)),
+                ("metric", json::string(metric)),
+                ("traces", traces_json(traces)),
             ],
             EventKind::SloBreached {
                 slo,
                 attainment,
                 target,
+                metric,
+                traces,
             } => vec![
                 ("slo", json::string(slo)),
                 ("attainment", json::num(*attainment)),
                 ("target", json::num(*target)),
+                ("metric", json::string(metric)),
+                ("traces", traces_json(traces)),
             ],
         }
     }
@@ -319,12 +359,24 @@ impl EventKind {
                 detector,
                 value,
                 threshold,
-            } => format!("detector={detector} value={value:.4} threshold={threshold:.4}"),
+                metric,
+                traces,
+            } => format!(
+                "detector={detector} value={value:.4} threshold={threshold:.4} \
+                 metric={metric} traces={}",
+                traces_label(traces)
+            ),
             EventKind::SloBreached {
                 slo,
                 attainment,
                 target,
-            } => format!("slo={slo} attainment={attainment:.4} target={target:.4}"),
+                metric,
+                traces,
+            } => format!(
+                "slo={slo} attainment={attainment:.4} target={target:.4} \
+                 metric={metric} traces={}",
+                traces_label(traces)
+            ),
         }
     }
 }
@@ -390,6 +442,10 @@ struct Inner {
     /// Events rejected by the severity filter (never recorded).
     filtered: u64,
     events: VecDeque<Event>,
+    /// Bumped once per eviction when attached (`journal_evicted_total`).
+    evicted_counter: Option<Counter>,
+    /// Fed every accepted event's digest when attached and enabled.
+    recorder: Option<Recorder>,
 }
 
 /// Bounded-memory structured event journal (cheap clonable handle).
@@ -410,8 +466,22 @@ impl Journal {
                 dropped: 0,
                 filtered: 0,
                 events: VecDeque::new(),
+                evicted_counter: None,
+                recorder: None,
             })),
         }
+    }
+
+    /// Bump `counter` once per future ring eviction, so dashboards (and
+    /// RCA's "evidence truncated" verdict) can see silent evidence loss.
+    pub fn attach_eviction_counter(&self, counter: Counter) {
+        lock::lock(&self.inner).evicted_counter = Some(counter);
+    }
+
+    /// Feed every future accepted event to `recorder` (which digests it
+    /// for replay comparison; a no-op while the recorder is disabled).
+    pub fn attach_recorder(&self, recorder: Recorder) {
+        lock::lock(&self.inner).recorder = Some(recorder);
     }
 
     /// Drop future events below `min` (already-recorded events stay).
@@ -449,16 +519,23 @@ impl Journal {
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.events.push_back(Event {
+        let event = Event {
             seq,
             at,
             severity,
             kind,
             fields,
-        });
+        };
+        if let Some(recorder) = &inner.recorder {
+            recorder.note_journal_event(&event);
+        }
+        inner.events.push_back(event);
         while inner.events.len() > inner.capacity {
             inner.events.pop_front();
             inner.dropped += 1;
+            if let Some(counter) = &inner.evicted_counter {
+                counter.inc();
+            }
         }
         true
     }
@@ -487,6 +564,28 @@ impl Journal {
     /// Events evicted by the ring.
     pub fn dropped(&self) -> u64 {
         lock::lock(&self.inner).dropped
+    }
+
+    /// Eviction watermark: the sequence number of the oldest *retained*
+    /// event. Seqs are dense (filtered events never get one) and the ring
+    /// evicts oldest-first, so everything below this seq is gone. Zero
+    /// means nothing has been evicted.
+    pub fn evicted_watermark(&self) -> u64 {
+        lock::lock(&self.inner).dropped
+    }
+
+    /// Virtual timestamp of the oldest retained event, if any. Evidence
+    /// older than this has been evicted by the ring.
+    pub fn oldest_retained_at(&self) -> Option<SimTime> {
+        lock::lock(&self.inner).events.front().map(|e| e.at)
+    }
+
+    /// The newest `n` retained events, in emission order (cheaper than
+    /// cloning the whole ring via [`Journal::events`]).
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let inner = lock::lock(&self.inner);
+        let skip = inner.events.len().saturating_sub(n);
+        inner.events.iter().skip(skip).cloned().collect()
     }
 
     /// Events rejected by the severity filter.
@@ -648,5 +747,73 @@ mod tests {
         assert_eq!(j.count_of("stale_node_excluded"), 1);
         assert_eq!(j.events_of("stale_node_excluded").len(), 1);
         assert_eq!(j.count_of("failover"), 0);
+    }
+
+    #[test]
+    fn eviction_counter_and_watermark_track_the_ring() {
+        let j = Journal::new(4);
+        let counter = crate::metrics::Metrics::new().counter("journal_evicted_total");
+        j.attach_eviction_counter(counter.clone());
+        for i in 0..10u64 {
+            j.record(Severity::Info, SimTime::from_secs(i), tick(&i.to_string()));
+        }
+        assert_eq!(counter.get(), 6);
+        assert_eq!(j.evicted_watermark(), 6);
+        // the watermark is exactly the first retained seq
+        assert_eq!(j.events()[0].seq, 6);
+        assert_eq!(j.oldest_retained_at(), Some(SimTime::from_secs(6)));
+        assert_eq!(j.tail(2).iter().map(|e| e.seq).collect::<Vec<_>>(), [8, 9]);
+    }
+
+    #[test]
+    fn nothing_evicted_means_zero_watermark() {
+        let j = Journal::new(8);
+        j.record(Severity::Info, SimTime::from_secs(3), tick("a"));
+        assert_eq!(j.evicted_watermark(), 0);
+        assert_eq!(j.oldest_retained_at(), Some(SimTime::from_secs(3)));
+        assert!(Journal::new(8).oldest_retained_at().is_none());
+    }
+
+    #[test]
+    fn anomaly_event_carries_metric_and_traces() {
+        let j = Journal::new(8);
+        j.record(
+            Severity::Warn,
+            SimTime::from_secs(60),
+            EventKind::AnomalyDetected {
+                detector: "staleness_surge".into(),
+                value: 0.25,
+                threshold: 0.125,
+                metric: "loads_stale_fraction".into(),
+                traces: vec![TraceId::for_job(3), TraceId::for_job(7)],
+            },
+        );
+        let json = j.to_json_lines();
+        assert!(json.contains("\"metric\":\"loads_stale_fraction\""));
+        assert!(json.contains("\"traces\":[\"t4\",\"t8\"]"));
+        assert!(crate::json::validate(j.events()[0].to_json().as_str()).is_ok());
+        let line = j.render_timeline();
+        assert!(line.contains("metric=loads_stale_fraction"));
+        assert!(line.contains("traces=t4+t8"));
+    }
+
+    #[test]
+    fn slo_event_carries_metric_and_traces() {
+        let j = Journal::new(8);
+        j.record(
+            Severity::Warn,
+            SimTime::from_secs(90),
+            EventKind::SloBreached {
+                slo: "queue_wait_p99".into(),
+                attainment: 0.9,
+                target: 0.95,
+                metric: "broker_job_wait_secs".into(),
+                traces: vec![],
+            },
+        );
+        let json = j.to_json_lines();
+        assert!(json.contains("\"metric\":\"broker_job_wait_secs\""));
+        assert!(json.contains("\"traces\":[]"));
+        assert!(j.render_timeline().contains("traces=-"));
     }
 }

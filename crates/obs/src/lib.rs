@@ -54,6 +54,9 @@ pub mod json;
 pub mod lock;
 pub mod metrics;
 pub mod progress;
+pub mod rca;
+pub mod recorder;
+pub mod replay;
 pub mod slo;
 pub mod span;
 pub mod telemetry;
@@ -66,6 +69,12 @@ pub use health::{HealthSnapshot, HealthTracker};
 pub use journal::{Event, EventKind, Journal, Severity};
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use progress::Progress;
+pub use rca::{Cause, CauseKind, EvidenceRef, RcaReport};
+pub use recorder::{
+    ArrivalRecord, DigestFold, EvidenceSnapshot, FaultRecord, JournalDigest, Record, RecordHeader,
+    Recorder, StreamRecord, RECORD_VERSION,
+};
+pub use replay::{Divergence, DivergenceKind, ReplayReport};
 pub use slo::{Objective, Slo, SloStatus, SloTracker};
 pub use span::{CriticalPath, PathSegment, Span, SpanId, SpanStore, TraceId};
 pub use telemetry::{Telemetry, TelemetryConfig};

@@ -365,20 +365,33 @@ impl Metrics {
     /// Export the whole registry as one JSON object with `counters`,
     /// `gauges`, and `histograms` sections.
     pub fn to_json(&self) -> String {
+        self.to_json_excluding(&[])
+    }
+
+    /// [`Metrics::to_json`], omitting every metric whose name contains one
+    /// of `excluded`. The flight recorder digests the registry through
+    /// this with the wall-clock families excluded: real-time measurements
+    /// (tick/decision latencies) legitimately differ between a recording
+    /// and its replay, while everything else must be bit-identical.
+    pub fn to_json_excluding(&self, excluded: &[&str]) -> String {
+        let keep = |name: &str| !excluded.iter().any(|e| name.contains(e));
         let inner = lock::lock(&self.inner);
         let counters: Vec<(&str, String)> = inner
             .counters
             .iter()
+            .filter(|(k, _)| keep(k))
             .map(|(k, c)| (k.as_str(), c.get().to_string()))
             .collect();
         let gauges: Vec<(&str, String)> = inner
             .gauges
             .iter()
+            .filter(|(k, _)| keep(k))
             .map(|(k, g)| (k.as_str(), json::num(g.get())))
             .collect();
         let histograms: Vec<(&str, String)> = inner
             .histograms
             .iter()
+            .filter(|(k, _)| keep(k))
             .map(|(k, h)| (k.as_str(), lock::lock(h).to_json()))
             .collect();
         json::object(&[

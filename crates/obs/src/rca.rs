@@ -1,0 +1,712 @@
+//! Causal root-cause analysis for anomalies and SLO breaches.
+//!
+//! Given the journal seq of an `anomaly_detected` or `slo_breached` event,
+//! [`analyze`] walks **backward** through the journal (and the trigger's
+//! attached trace ids) within a bounded evidence window, classifies every
+//! event it finds into a [`CauseKind`], and scores each candidate cause by
+//! how well it explains the triggering detector:
+//!
+//! * staleness surges point at the monitoring plane — injected faults on
+//!   daemons/master/slave, supervision churn, stale-data exclusions;
+//! * queue-wait spikes and starvation point at the scheduling plane — the
+//!   batch cycle whose head reservation held capacity, capacity-blocked
+//!   deferrals, admission sheds;
+//! * load spikes point at placement — the leases granted onto the affected
+//!   nodes just before the spike;
+//! * utilization collapses point at dying capacity — node kills with work
+//!   still queued.
+//!
+//! The result is a ranked cause chain ([`RcaReport::causes`], best first),
+//! each cause carrying the journal evidence (seq/time/detail) that backs
+//! it. When the journal ring has evicted part of the window the report
+//! says so ([`RcaReport::truncated`]) instead of passing silence off as
+//! absence of cause.
+
+use crate::ctx::Obs;
+use crate::journal::{Event, EventKind};
+use crate::json;
+use crate::span::TraceId;
+use nlrm_sim_core::time::{Duration, SimTime};
+
+/// Evidence kept per cause (the newest; older corroboration is counted,
+/// not stored).
+const MAX_EVIDENCE_REFS: usize = 8;
+
+/// The taxonomy of root causes the engine can identify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CauseKind {
+    /// A scheduled fault (kill/hang/delay) was injected.
+    FaultInjection,
+    /// The supervision plane churned: relaunches, failovers, spawned
+    /// slaves — monitoring capability was lost or degraded.
+    SupervisionLoss,
+    /// Load derivation consumed stale data: node exclusions, pair blends.
+    StaleData,
+    /// A large job's head reservation (or raw capacity shortfall) held the
+    /// queue back.
+    OversizedReservation,
+    /// Queue pressure: load-based deferrals, admission rejections, sheds.
+    QueuePressure,
+    /// Leases placed just before the trigger loaded the affected nodes.
+    LeasePlacement,
+}
+
+impl CauseKind {
+    /// Stable snake_case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CauseKind::FaultInjection => "fault_injection",
+            CauseKind::SupervisionLoss => "supervision_loss",
+            CauseKind::StaleData => "stale_data",
+            CauseKind::OversizedReservation => "oversized_reservation",
+            CauseKind::QueuePressure => "queue_pressure",
+            CauseKind::LeasePlacement => "lease_placement",
+        }
+    }
+
+    /// Prior weight: how strong a root cause this kind is when present at
+    /// all, before detector-specific relevance.
+    fn base_weight(self) -> f64 {
+        match self {
+            CauseKind::FaultInjection => 3.0,
+            CauseKind::OversizedReservation => 2.5,
+            CauseKind::LeasePlacement => 2.2,
+            CauseKind::SupervisionLoss => 2.0,
+            CauseKind::StaleData => 1.5,
+            CauseKind::QueuePressure => 1.2,
+        }
+    }
+}
+
+/// How well `kind` explains the named detector/SLO, as a multiplier.
+fn relevance(detector: &str, kind: CauseKind) -> f64 {
+    use CauseKind::*;
+    match detector {
+        "staleness_surge" => match kind {
+            StaleData => 1.5,
+            FaultInjection | SupervisionLoss => 1.2,
+            QueuePressure => 0.4,
+            OversizedReservation | LeasePlacement => 0.3,
+        },
+        "starvation" | "queue_wait_p99" => match kind {
+            OversizedReservation => 1.5,
+            QueuePressure => 1.2,
+            LeasePlacement => 0.8,
+            FaultInjection => 0.7,
+            SupervisionLoss | StaleData => 0.5,
+        },
+        "utilization_collapse" => match kind {
+            FaultInjection => 1.4,
+            SupervisionLoss | QueuePressure => 1.0,
+            StaleData | OversizedReservation => 0.8,
+            LeasePlacement => 0.5,
+        },
+        "load_spike" => match kind {
+            LeasePlacement => 1.6,
+            FaultInjection | QueuePressure => 0.8,
+            OversizedReservation => 0.5,
+            StaleData | SupervisionLoss => 0.4,
+        },
+        "traffic_blowup" => match kind {
+            SupervisionLoss => 1.2,
+            FaultInjection => 1.0,
+            _ => 0.5,
+        },
+        "shed_rate" => match kind {
+            QueuePressure => 1.5,
+            OversizedReservation => 1.2,
+            _ => 0.7,
+        },
+        "decision_latency_p99" => match kind {
+            LeasePlacement => 1.3,
+            QueuePressure => 1.0,
+            _ => 0.7,
+        },
+        _ => 1.0,
+    }
+}
+
+/// Per-evidence factor for fault injections: a fault on the monitoring
+/// plane explains a staleness/traffic anomaly better than one on a
+/// compute node, and vice versa for capacity collapses.
+fn fault_target_factor(detector: &str, target: &str) -> f64 {
+    let monitoring_plane = target.starts_with("daemon:") || target == "master" || target == "slave";
+    match detector {
+        "staleness_surge" | "traffic_blowup" => {
+            if monitoring_plane {
+                1.2
+            } else {
+                0.6
+            }
+        }
+        "utilization_collapse" | "load_spike" => {
+            if monitoring_plane {
+                0.8
+            } else {
+                1.3
+            }
+        }
+        _ => 1.0,
+    }
+}
+
+/// One journal event backing a cause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceRef {
+    /// Journal sequence number.
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Event kind name.
+    pub kind: String,
+    /// One-line payload detail.
+    pub detail: String,
+}
+
+impl EvidenceRef {
+    /// Export as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::object(&[
+            ("seq", self.seq.to_string()),
+            ("t_s", json::num(self.at.as_secs_f64())),
+            ("kind", json::string(&self.kind)),
+            ("detail", json::string(&self.detail)),
+        ])
+    }
+}
+
+/// One ranked candidate cause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cause {
+    /// The cause classification.
+    pub kind: CauseKind,
+    /// Ranking score (higher = more likely the root).
+    pub score: f64,
+    /// One-line human summary.
+    pub summary: String,
+    /// Total corroborating events found in the window.
+    pub evidence_total: usize,
+    /// The newest few of them (bounded per cause), in emission order.
+    pub evidence: Vec<EvidenceRef>,
+}
+
+impl Cause {
+    /// Export as a JSON object.
+    pub fn to_json(&self) -> String {
+        let refs: Vec<String> = self.evidence.iter().map(EvidenceRef::to_json).collect();
+        json::object(&[
+            ("kind", json::string(self.kind.label())),
+            ("score", json::num(self.score)),
+            ("summary", json::string(&self.summary)),
+            ("evidence_total", self.evidence_total.to_string()),
+            ("evidence", json::array(&refs)),
+        ])
+    }
+}
+
+/// The full root-cause report for one trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcaReport {
+    /// Journal seq of the trigger event.
+    pub trigger_seq: u64,
+    /// Trigger label (`anomaly:staleness_surge`, `slo:queue_wait_p99`).
+    pub trigger: String,
+    /// The detector or SLO name driving cause relevance.
+    pub detector: String,
+    /// The registry metric the trigger carries.
+    pub metric: String,
+    /// Start of the evidence window walked.
+    pub window_start: SimTime,
+    /// End of the window (the trigger's timestamp).
+    pub window_end: SimTime,
+    /// True when the journal ring evicted part of the window, so absent
+    /// evidence is *unknown*, not exonerating.
+    pub truncated: bool,
+    /// Traces the trigger carried (jobs in flight at detection).
+    pub traces: Vec<TraceId>,
+    /// Candidate causes, best first (deterministic order).
+    pub causes: Vec<Cause>,
+}
+
+impl RcaReport {
+    /// The top-ranked cause, if any evidence was found.
+    pub fn top_cause(&self) -> Option<&Cause> {
+        self.causes.first()
+    }
+
+    /// Export as a JSON object.
+    pub fn to_json(&self) -> String {
+        let causes: Vec<String> = self.causes.iter().map(Cause::to_json).collect();
+        let traces: Vec<String> = self
+            .traces
+            .iter()
+            .map(|t| json::string(&t.to_string()))
+            .collect();
+        json::object(&[
+            ("trigger_seq", self.trigger_seq.to_string()),
+            ("trigger", json::string(&self.trigger)),
+            ("detector", json::string(&self.detector)),
+            ("metric", json::string(&self.metric)),
+            ("window_start_s", json::num(self.window_start.as_secs_f64())),
+            ("window_end_s", json::num(self.window_end.as_secs_f64())),
+            ("truncated", self.truncated.to_string()),
+            ("traces", json::array(&traces)),
+            ("causes", json::array(&causes)),
+        ])
+    }
+
+    /// Multi-line human rendering of the ranked chain.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "root-cause analysis for {} (seq {}, metric {}) over [{} .. {}]{}:\n",
+            self.trigger,
+            self.trigger_seq,
+            self.metric,
+            self.window_start,
+            self.window_end,
+            if self.truncated {
+                " [EVIDENCE TRUNCATED by journal eviction]"
+            } else {
+                ""
+            }
+        );
+        if self.causes.is_empty() {
+            out.push_str("  no candidate causes in the window\n");
+        }
+        for (i, cause) in self.causes.iter().enumerate() {
+            out.push_str(&format!(
+                "  #{} {} (score {:.2}): {}\n",
+                i + 1,
+                cause.kind.label(),
+                cause.score,
+                cause.summary
+            ));
+            for e in &cause.evidence {
+                out.push_str(&format!(
+                    "       seq={} t={} {}: {}\n",
+                    e.seq, e.at, e.kind, e.detail
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Classify one journal event into a cause kind with a one-line detail;
+/// `None` for events that are not causal evidence.
+fn classify(event: &Event) -> Option<(CauseKind, String)> {
+    let detail = |s: String| s;
+    match &event.kind {
+        EventKind::FaultApplied { target, action } => Some((
+            CauseKind::FaultInjection,
+            detail(format!("{action} on {target}")),
+        )),
+        EventKind::DaemonRelaunched { daemon, strikes } => Some((
+            CauseKind::SupervisionLoss,
+            detail(format!("relaunched {daemon} (strikes {strikes})")),
+        )),
+        EventKind::RelaunchSuppressed { daemon, until } => Some((
+            CauseKind::SupervisionLoss,
+            detail(format!("backoff holds {daemon} until {until}")),
+        )),
+        EventKind::Failover { from, to } => Some((
+            CauseKind::SupervisionLoss,
+            detail(format!("master failover {from} -> {to}")),
+        )),
+        EventKind::SlaveSpawned { host } => Some((
+            CauseKind::SupervisionLoss,
+            detail(format!("slave respawned on {host}")),
+        )),
+        EventKind::StaleNodeExcluded { node, age } => Some((
+            CauseKind::StaleData,
+            detail(format!("{node} excluded at age {age}")),
+        )),
+        EventKind::StalePairsBlended { count } => Some((
+            CauseKind::StaleData,
+            detail(format!("{count} stale pairs blended")),
+        )),
+        EventKind::AllocDeferred { job, reason } => {
+            let kind = if reason.contains("head reservation")
+                || reason.contains("insufficient free capacity")
+                || reason.contains("fully reserved")
+            {
+                CauseKind::OversizedReservation
+            } else {
+                CauseKind::QueuePressure
+            };
+            Some((kind, detail(format!("{job} deferred: {reason}"))))
+        }
+        EventKind::JobRejected { job, depth } => Some((
+            CauseKind::QueuePressure,
+            detail(format!("{job} rejected at depth {depth}")),
+        )),
+        EventKind::JobShed { job, depth } => Some((
+            CauseKind::QueuePressure,
+            detail(format!("{job} shed at depth {depth}")),
+        )),
+        EventKind::AllocGranted { job, nodes, cost } => Some((
+            CauseKind::LeasePlacement,
+            detail(format!("{job} placed on {nodes} nodes (cost {cost:.3})")),
+        )),
+        _ => None,
+    }
+}
+
+struct Bucket {
+    total: usize,
+    refs: Vec<EvidenceRef>,
+    latest_at: SimTime,
+    fault_factor: f64,
+}
+
+/// Analyze the trigger at `trigger_seq` over a backward-looking `window`.
+/// Returns `None` when the seq is not a retained anomaly/breach event.
+pub fn analyze(obs: &Obs, trigger_seq: u64, window: Duration) -> Option<RcaReport> {
+    let events = obs.journal.events();
+    let trigger = events.iter().find(|e| e.seq == trigger_seq)?;
+    let (label, detector, metric, traces) = match &trigger.kind {
+        EventKind::AnomalyDetected {
+            detector,
+            metric,
+            traces,
+            ..
+        } => (
+            format!("anomaly:{detector}"),
+            detector.clone(),
+            metric.clone(),
+            traces.clone(),
+        ),
+        EventKind::SloBreached {
+            slo,
+            metric,
+            traces,
+            ..
+        } => (
+            format!("slo:{slo}"),
+            slo.clone(),
+            metric.clone(),
+            traces.clone(),
+        ),
+        _ => return None,
+    };
+    let window_end = trigger.at;
+    let window_start =
+        SimTime::from_micros(window_end.as_micros().saturating_sub(window.as_micros()));
+    // evidence is truncated when the ring evicted events that would have
+    // fallen inside the window
+    let truncated = obs.journal.evicted_watermark() > 0
+        && obs
+            .journal
+            .oldest_retained_at()
+            .is_none_or(|oldest| oldest > window_start);
+
+    let mut buckets: Vec<(CauseKind, Bucket)> = Vec::new();
+    for event in &events {
+        if event.seq >= trigger_seq || event.at < window_start || event.at > window_end {
+            continue;
+        }
+        let Some((kind, det)) = classify(event) else {
+            continue;
+        };
+        let factor = match &event.kind {
+            EventKind::FaultApplied { target, .. } => fault_target_factor(&detector, target),
+            _ => 1.0,
+        };
+        let bucket = match buckets.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, b)) => b,
+            None => {
+                buckets.push((
+                    kind,
+                    Bucket {
+                        total: 0,
+                        refs: Vec::new(),
+                        latest_at: event.at,
+                        fault_factor: 1.0,
+                    },
+                ));
+                &mut buckets.last_mut().expect("just pushed").1
+            }
+        };
+        bucket.total += 1;
+        bucket.latest_at = bucket.latest_at.max(event.at);
+        bucket.fault_factor = bucket.fault_factor.max(factor);
+        bucket.refs.push(EvidenceRef {
+            seq: event.seq,
+            at: event.at,
+            kind: event.kind.name().to_string(),
+            detail: det,
+        });
+        if bucket.refs.len() > MAX_EVIDENCE_REFS {
+            bucket.refs.remove(0);
+        }
+    }
+
+    let window_span = window_end.since(window_start).as_secs_f64().max(1e-9);
+    let mut causes: Vec<Cause> = buckets
+        .into_iter()
+        .map(|(kind, b)| {
+            // corroboration: more independent evidence raises confidence
+            let corroboration = 1.0 + 0.05 * ((b.total - 1).min(8) as f64);
+            // recency: evidence right before the trigger beats stale echoes
+            let gap = window_end.since(b.latest_at).as_secs_f64();
+            let recency = 1.0 + 0.2 * (1.0 - (gap / window_span).clamp(0.0, 1.0));
+            let score = kind.base_weight()
+                * relevance(&detector, kind)
+                * b.fault_factor
+                * corroboration
+                * recency;
+            let summary = format!(
+                "{} event(s) in the window, latest at {} ({}s before the trigger)",
+                b.total,
+                b.latest_at,
+                gap.round()
+            );
+            Cause {
+                kind,
+                score,
+                summary,
+                evidence_total: b.total,
+                evidence: b.refs,
+            }
+        })
+        .collect();
+    causes.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.kind.cmp(&b.kind)));
+
+    Some(RcaReport {
+        trigger_seq,
+        trigger: label,
+        detector,
+        metric,
+        window_start,
+        window_end,
+        truncated,
+        traces,
+        causes,
+    })
+}
+
+/// Analyze the most recent retained anomaly/breach event, if any.
+pub fn analyze_latest(obs: &Obs, window: Duration) -> Option<RcaReport> {
+    let seq = obs
+        .journal
+        .events()
+        .iter()
+        .rev()
+        .find(|e| {
+            matches!(
+                e.kind,
+                EventKind::AnomalyDetected { .. } | EventKind::SloBreached { .. }
+            )
+        })
+        .map(|e| e.seq)?;
+    analyze(obs, seq, window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Severity;
+
+    fn obs() -> Obs {
+        Obs::new()
+    }
+
+    fn emit(obs: &Obs, at_s: u64, kind: EventKind) {
+        obs.journal
+            .record(Severity::Warn, SimTime::from_secs(at_s), kind);
+    }
+
+    fn trigger_surge(obs: &Obs, at_s: u64) -> u64 {
+        emit(
+            obs,
+            at_s,
+            EventKind::AnomalyDetected {
+                detector: "staleness_surge".into(),
+                value: 0.25,
+                threshold: 0.125,
+                metric: "loads_stale_fraction".into(),
+                traces: vec![TraceId::for_job(3)],
+            },
+        );
+        obs.journal.total_recorded() - 1
+    }
+
+    #[test]
+    fn fault_injection_tops_a_staleness_surge() {
+        let o = obs();
+        emit(
+            &o,
+            400,
+            EventKind::FaultApplied {
+                target: "daemon:bandwidth".into(),
+                action: "kill".into(),
+            },
+        );
+        emit(
+            &o,
+            430,
+            EventKind::StaleNodeExcluded {
+                node: nlrm_topology::NodeId(3),
+                age: Duration::from_secs(90),
+            },
+        );
+        let seq = trigger_surge(&o, 460);
+        let report = analyze(&o, seq, Duration::from_secs(300)).expect("report");
+        assert_eq!(report.detector, "staleness_surge");
+        assert_eq!(report.metric, "loads_stale_fraction");
+        assert_eq!(report.traces, vec![TraceId::for_job(3)]);
+        assert!(!report.truncated);
+        let top = report.top_cause().expect("causes found");
+        assert_eq!(top.kind, CauseKind::FaultInjection);
+        assert!(report.causes.iter().any(|c| c.kind == CauseKind::StaleData));
+        assert!(crate::json::validate(&report.to_json()).is_ok());
+        assert!(report.render().contains("#1 fault_injection"));
+    }
+
+    #[test]
+    fn reservation_tops_a_starvation_with_no_faults() {
+        let o = obs();
+        for i in 0..3 {
+            emit(
+                &o,
+                500 + i * 30,
+                EventKind::AllocDeferred {
+                    job: format!("md16-{i}"),
+                    reason: "head reservation: job 0 holds 64 procs until t=900s; backfill could delay it".into(),
+                },
+            );
+        }
+        emit(
+            &o,
+            520,
+            EventKind::AllocGranted {
+                job: "small".into(),
+                nodes: 2,
+                cost: 0.5,
+            },
+        );
+        emit(
+            &o,
+            600,
+            EventKind::AnomalyDetected {
+                detector: "starvation".into(),
+                value: 700.0,
+                threshold: 600.0,
+                metric: "broker_oldest_wait_secs".into(),
+                traces: vec![],
+            },
+        );
+        let seq = o.journal.total_recorded() - 1;
+        let report = analyze(&o, seq, Duration::from_secs(600)).expect("report");
+        assert_eq!(
+            report.top_cause().unwrap().kind,
+            CauseKind::OversizedReservation
+        );
+        assert_eq!(report.top_cause().unwrap().evidence_total, 3);
+    }
+
+    #[test]
+    fn lease_placement_tops_a_load_spike() {
+        let o = obs();
+        emit(
+            &o,
+            800,
+            EventKind::AllocGranted {
+                job: "big-32".into(),
+                nodes: 8,
+                cost: 1.2,
+            },
+        );
+        emit(
+            &o,
+            830,
+            EventKind::AnomalyDetected {
+                detector: "load_spike".into(),
+                value: 9.0,
+                threshold: 2.0,
+                metric: "cluster_mean_cpu_load".into(),
+                traces: vec![],
+            },
+        );
+        let seq = o.journal.total_recorded() - 1;
+        let report = analyze(&o, seq, Duration::from_secs(300)).expect("report");
+        assert_eq!(report.top_cause().unwrap().kind, CauseKind::LeasePlacement);
+    }
+
+    #[test]
+    fn events_outside_the_window_are_ignored() {
+        let o = obs();
+        emit(
+            &o,
+            10,
+            EventKind::FaultApplied {
+                target: "master".into(),
+                action: "kill".into(),
+            },
+        );
+        let seq = trigger_surge(&o, 1000);
+        let report = analyze(&o, seq, Duration::from_secs(300)).expect("report");
+        assert!(
+            report.causes.is_empty(),
+            "t=10 fault is outside [700,1000]: {report:?}"
+        );
+        assert!(report.top_cause().is_none());
+    }
+
+    #[test]
+    fn truncation_is_reported_when_the_ring_evicted_the_window() {
+        let o = Obs::with_capacity(4);
+        emit(
+            &o,
+            100,
+            EventKind::FaultApplied {
+                target: "master".into(),
+                action: "kill".into(),
+            },
+        );
+        for i in 0..6 {
+            emit(
+                &o,
+                110 + i,
+                EventKind::DaemonTick {
+                    daemon: "livehosts".into(),
+                },
+            );
+        }
+        let seq = trigger_surge(&o, 130);
+        let report = analyze(&o, seq, Duration::from_secs(100)).expect("report");
+        assert!(report.truncated, "fault at t=100 was evicted");
+    }
+
+    #[test]
+    fn non_trigger_seq_yields_none() {
+        let o = obs();
+        emit(
+            &o,
+            5,
+            EventKind::DaemonTick {
+                daemon: "livehosts".into(),
+            },
+        );
+        assert!(analyze(&o, 0, Duration::from_secs(60)).is_none());
+        assert!(analyze(&o, 99, Duration::from_secs(60)).is_none());
+        assert!(analyze_latest(&o, Duration::from_secs(60)).is_none());
+    }
+
+    #[test]
+    fn analyze_latest_finds_the_newest_trigger() {
+        let o = obs();
+        trigger_surge(&o, 100);
+        emit(
+            &o,
+            150,
+            EventKind::FaultApplied {
+                target: "node:n2".into(),
+                action: "kill".into(),
+            },
+        );
+        let last = trigger_surge(&o, 200);
+        let report = analyze_latest(&o, Duration::from_secs(300)).expect("report");
+        assert_eq!(report.trigger_seq, last);
+    }
+}

@@ -52,6 +52,17 @@ impl Objective {
             Objective::RateAtMost { max_per_sec, .. } => *max_per_sec,
         }
     }
+
+    /// The registry metric the objective measures — carried on
+    /// `slo_breached` events so incidents can be joined against the
+    /// sampler and histograms without heuristics.
+    pub fn metric(&self) -> &str {
+        match self {
+            Objective::QuantileAtMost { histogram, .. } => histogram,
+            Objective::GaugeAtMost { gauge, .. } => gauge,
+            Objective::RateAtMost { counter, .. } => counter,
+        }
+    }
 }
 
 /// One declared objective: name, measurement, target attainment, window.
@@ -159,6 +170,8 @@ pub struct Breach {
     pub attainment: f64,
     /// The declared target.
     pub target: f64,
+    /// The registry metric the objective measures.
+    pub metric: String,
 }
 
 impl SloTracker {
@@ -242,6 +255,7 @@ impl SloTracker {
                     slo: st.slo.name.clone(),
                     attainment,
                     target: st.slo.target,
+                    metric: st.slo.objective.metric().to_string(),
                 });
             }
             st.breach_active = breached;

@@ -350,6 +350,22 @@ impl SpanStore {
         ids
     }
 
+    /// Distinct non-system traces with at least one *open* span, ascending:
+    /// the jobs in flight right now. Anomaly and SLO-breach events carry
+    /// this set so incidents can be grepped against spans directly.
+    pub fn active_traces(&self) -> Vec<TraceId> {
+        let inner = lock::lock(&self.inner);
+        let mut ids: Vec<TraceId> = inner
+            .spans
+            .values()
+            .filter(|s| s.is_open() && s.trace != TraceId::SYSTEM)
+            .map(|s| s.trace)
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
     /// The trace's root: its earliest-started parentless finished span.
     pub fn root_of(&self, trace: TraceId) -> Option<Span> {
         let spans = self.trace_spans(trace);
@@ -952,5 +968,23 @@ mod tests {
         assert!(auto.0 >= TRACE_AUTO_BASE);
         assert!(TraceId::for_job(u32::MAX as u64 - 1).0 < TRACE_AUTO_BASE);
         assert_ne!(store.new_trace(), auto);
+    }
+
+    #[test]
+    fn active_traces_are_open_non_system_traces() {
+        let store = SpanStore::new(64);
+        // system activity never counts as an active incident trace
+        store
+            .start(TraceId::SYSTEM, None, "tick", "monitor", t(0))
+            .unwrap();
+        let open = TraceId::for_job(5);
+        let closed = TraceId::for_job(2);
+        store.start(open, None, "job", "broker", t(1)).unwrap();
+        let done = store.start(closed, None, "job", "broker", t(1)).unwrap();
+        store.end(done, t(3));
+        assert_eq!(store.active_traces(), vec![open]);
+        // duplicates collapse: a second open span on the same trace
+        store.start(open, None, "exec", "mpi", t(2)).unwrap();
+        assert_eq!(store.active_traces(), vec![open]);
     }
 }

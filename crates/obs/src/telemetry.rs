@@ -25,7 +25,9 @@ use crate::journal::{EventKind, Journal, Severity};
 use crate::json;
 use crate::lock;
 use crate::metrics::Metrics;
+use crate::recorder::{EvidenceSnapshot, Recorder, EVIDENCE_TAIL};
 use crate::slo::{Objective, Slo, SloTracker};
+use crate::span::{SpanStore, TraceId};
 use crate::timeseries::Sampler;
 use nlrm_sim_core::time::{Duration, SimTime};
 use std::sync::{Arc, Mutex};
@@ -180,7 +182,18 @@ impl Telemetry {
 
     /// Run one telemetry tick at `now` if the cadence has elapsed; no-op
     /// while disabled. Safe to call on every event-loop iteration.
-    pub fn tick(&self, now: SimTime, metrics: &Metrics, journal: &Journal) {
+    ///
+    /// `spans` supplies the active traces stamped onto breach/anomaly
+    /// events; `recorder` (when enabled) gets an [`EvidenceSnapshot`]
+    /// frozen at each rising edge.
+    pub fn tick(
+        &self,
+        now: SimTime,
+        metrics: &Metrics,
+        journal: &Journal,
+        spans: &SpanStore,
+        recorder: &Recorder,
+    ) {
         let mut guard = lock::lock(&self.inner);
         let Some(inner) = guard.as_mut() else {
             return;
@@ -194,7 +207,12 @@ impl Telemetry {
         inner.last_tick = Some(now);
         inner.ticks += 1;
         let snap = inner.health.observe(now, metrics);
+        // active traces are only needed on edges; compute at most once
+        let mut active: Option<Vec<TraceId>> = None;
+        let mut edges: Vec<String> = Vec::new();
         for breach in inner.slo.evaluate(now, metrics) {
+            let traces = active.get_or_insert_with(|| spans.active_traces()).clone();
+            edges.push(format!("slo:{}", breach.slo));
             journal.record(
                 Severity::Warn,
                 now,
@@ -202,11 +220,15 @@ impl Telemetry {
                     slo: breach.slo,
                     attainment: breach.attainment,
                     target: breach.target,
+                    metric: breach.metric,
+                    traces,
                 },
             );
             metrics.inc("slo_breach_total");
         }
         for anomaly in inner.detectors.observe(&snap) {
+            let traces = active.get_or_insert_with(|| spans.active_traces()).clone();
+            edges.push(format!("anomaly:{}", anomaly.kind.label()));
             journal.record(
                 Severity::Warn,
                 now,
@@ -214,6 +236,8 @@ impl Telemetry {
                     detector: anomaly.kind.label().to_string(),
                     value: anomaly.value,
                     threshold: anomaly.threshold,
+                    metric: anomaly.kind.metric_key().to_string(),
+                    traces,
                 },
             );
             metrics.inc("anomaly_total");
@@ -222,6 +246,36 @@ impl Telemetry {
                 inner.anomalies.push(anomaly);
             } else {
                 inner.anomalies_dropped += 1;
+            }
+        }
+        // each rising edge freezes the evidence the RCA walk (and a human
+        // postmortem) will want, before the ring can evict it (the accepts
+        // guard keeps trigger seqs honest if a severity floor filtered the
+        // edge events out of the journal entirely)
+        if !edges.is_empty() && recorder.is_enabled() && journal.accepts(Severity::Warn) {
+            let tail: Vec<String> = journal
+                .tail(EVIDENCE_TAIL)
+                .iter()
+                .map(crate::journal::Event::render)
+                .collect();
+            let health_json = inner
+                .health
+                .latest()
+                .map_or("null".into(), HealthSnapshot::to_json);
+            let active_traces: Vec<u64> = active.unwrap_or_default().iter().map(|t| t.0).collect();
+            // the edge events were just recorded, in `edges` order, as the
+            // newest journal entries
+            let last_seq = journal.total_recorded();
+            let first_seq = last_seq - edges.len() as u64;
+            for (i, trigger) in edges.into_iter().enumerate() {
+                recorder.snapshot_evidence(EvidenceSnapshot {
+                    at: now,
+                    trigger,
+                    trigger_seq: first_seq + i as u64,
+                    tail: tail.clone(),
+                    active_traces: active_traces.clone(),
+                    health_json: health_json.clone(),
+                });
             }
         }
         inner.sampler.sample(now, metrics);
@@ -292,13 +346,19 @@ impl Telemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recorder::RecordHeader;
+
+    fn quiet() -> (SpanStore, Recorder) {
+        (SpanStore::default(), Recorder::new())
+    }
 
     #[test]
     fn disabled_telemetry_is_a_no_op() {
         let t = Telemetry::new();
         let m = Metrics::new();
         let j = Journal::new(16);
-        t.tick(SimTime::from_secs(1), &m, &j);
+        let (s, r) = quiet();
+        t.tick(SimTime::from_secs(1), &m, &j, &s, &r);
         assert!(!t.is_enabled());
         assert_eq!(t.ticks(), 0);
         assert!(json::validate(&t.to_json()).is_ok());
@@ -310,9 +370,10 @@ mod tests {
         t.enable(TelemetryConfig::standard());
         let m = Metrics::new();
         let j = Journal::new(16);
+        let (s, r) = quiet();
         // 10 calls over 100 s at a 30 s cadence → ticks at 10, 40, 70, 100
         for i in 1..=10 {
-            t.tick(SimTime::from_secs(i * 10), &m, &j);
+            t.tick(SimTime::from_secs(i * 10), &m, &j, &s, &r);
         }
         assert_eq!(t.ticks(), 4);
     }
@@ -323,8 +384,9 @@ mod tests {
         t.enable(TelemetryConfig::standard());
         let m = Metrics::new();
         let j = Journal::new(64);
+        let (s, r) = quiet();
         m.set("loads_stale_fraction", 0.25);
-        t.tick(SimTime::from_secs(30), &m, &j);
+        t.tick(SimTime::from_secs(30), &m, &j, &s, &r);
         assert_eq!(j.count_of("anomaly_detected"), 1);
         assert_eq!(m.counter_value("anomaly_total"), 1);
         assert_eq!(m.counter_value("anomaly_total_staleness_surge"), 1);
@@ -337,12 +399,13 @@ mod tests {
         t.enable(TelemetryConfig::standard());
         let m = Metrics::new();
         let j = Journal::new(64);
+        let (s, r) = quiet();
         m.set("broker_total_capacity", 64.0);
         m.set("broker_free_procs", 32.0);
         m.set("cluster_mean_cpu_load", 1.0);
         m.set("monitor_round_pairs", 28.0);
         for i in 1..=200u64 {
-            t.tick(SimTime::from_secs(i * 30), &m, &j);
+            t.tick(SimTime::from_secs(i * 30), &m, &j, &s, &r);
         }
         assert_eq!(t.anomalies().len(), 0, "{:?}", t.anomalies());
         assert_eq!(j.count_of("anomaly_detected"), 0);
@@ -355,14 +418,75 @@ mod tests {
         t.enable(TelemetryConfig::standard());
         let m = Metrics::new();
         let j = Journal::new(16);
+        let (s, r) = quiet();
         m.set("broker_total_capacity", 64.0);
         m.set("broker_free_procs", 16.0);
-        t.tick(SimTime::from_secs(30), &m, &j);
+        t.tick(SimTime::from_secs(30), &m, &j, &s, &r);
         let js = t.to_json();
         assert!(json::validate(&js).is_ok());
         // health_utilization was derived this tick and sampled this tick
         assert!(js.contains("\"health_utilization\""));
         let health = t.latest_health().unwrap();
         assert!((health.utilization - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anomaly_events_carry_metric_and_active_traces() {
+        let t = Telemetry::new();
+        t.enable(TelemetryConfig::standard());
+        let m = Metrics::new();
+        let j = Journal::new(64);
+        let spans = SpanStore::default();
+        let r = Recorder::new();
+        // one job in flight, plus system activity that must not leak in
+        spans
+            .start(TraceId::for_job(9), None, "job", "broker", SimTime::ZERO)
+            .unwrap();
+        spans
+            .start(TraceId::SYSTEM, None, "tick", "monitor", SimTime::ZERO)
+            .unwrap();
+        m.set("loads_stale_fraction", 0.25);
+        t.tick(SimTime::from_secs(30), &m, &j, &spans, &r);
+        let events = j.events_of("anomaly_detected");
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            EventKind::AnomalyDetected { metric, traces, .. } => {
+                assert_eq!(metric, "loads_stale_fraction");
+                assert_eq!(traces, &vec![TraceId::for_job(9)]);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rising_edges_freeze_evidence_in_the_recorder() {
+        let t = Telemetry::new();
+        t.enable(TelemetryConfig::standard());
+        let m = Metrics::new();
+        let j = Journal::new(64);
+        let spans = SpanStore::default();
+        let r = Recorder::new();
+        r.enable(RecordHeader::default());
+        m.set("broker_total_capacity", 64.0);
+        m.set("broker_free_procs", 32.0);
+        // a clean tick leaves no evidence…
+        t.tick(SimTime::from_secs(30), &m, &j, &spans, &r);
+        assert!(r.evidence().is_empty());
+        // …then a staleness edge freezes one snapshot
+        m.set("loads_stale_fraction", 0.25);
+        t.tick(SimTime::from_secs(60), &m, &j, &spans, &r);
+        let evidence = r.evidence();
+        assert_eq!(evidence.len(), 1);
+        let snap = &evidence[0];
+        assert_eq!(snap.trigger, "anomaly:staleness_surge");
+        assert_eq!(snap.at, SimTime::from_secs(60));
+        // the trigger_seq points exactly at the journaled edge event
+        let edge = &j.events_of("anomaly_detected")[0];
+        assert_eq!(snap.trigger_seq, edge.seq);
+        assert!(snap.tail.iter().any(|l| l.contains("anomaly_detected")));
+        assert!(snap.health_json.contains("utilization"));
+        // sustained condition: no new edge, no new evidence
+        t.tick(SimTime::from_secs(90), &m, &j, &spans, &r);
+        assert_eq!(r.evidence().len(), 1);
     }
 }

@@ -1,0 +1,214 @@
+//! Integration tests for the incident pipeline: the flight recorder's
+//! record → replay contract and the divergence detector's sensitivity.
+//!
+//! The property tests re-drive whole recorded scenarios (randomized
+//! seeds, fault storylines, arrival shapes) and require bit-identical
+//! replays; the mutation tests corrupt one section of a record at a time
+//! and require [`nlrm::obs::replay::compare`] to localize the first
+//! divergence to exactly that section.
+
+use nlrm::bench::scenario::{self, ArrivalSpec, ScenarioSpec};
+use nlrm::obs::replay::{self, DivergenceKind};
+use nlrm::obs::{rca, Record};
+use nlrm_sim_core::time::Duration;
+use proptest::prelude::*;
+
+/// Run one recorded scenario; small checkpoint sets keep debug-mode
+/// proptest cases fast.
+fn record_scenario(
+    seed: u64,
+    faulted: bool,
+    submit_huge: bool,
+    telemetry: bool,
+    extra_checkpoint: bool,
+) -> Record {
+    let cps: &[u64] = if extra_checkpoint {
+        &[1100, 1300]
+    } else {
+        &[1100]
+    };
+    let mut spec = ScenarioSpec::new("incident-prop", seed, cps);
+    spec.faulted = faulted;
+    spec.submit_huge = submit_huge;
+    spec.telemetry = telemetry;
+    spec.record = true;
+    let run = scenario::run(&spec.standard_arrivals(16));
+    run.record.expect("recording enabled")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any recorded scenario replays bit-identically: header, arrival
+    /// stream, fault plan, every input-stream digest, every journal
+    /// event digest, and the final metrics digest.
+    #[test]
+    fn any_recorded_scenario_replays_bit_identically(
+        seed in 0u64..500,
+        // the vendored proptest shim has no `Arbitrary for bool`; the
+        // low four bits pick faulted/huge/telemetry/extra-checkpoint
+        flags in 0u32..16,
+    ) {
+        let record = record_scenario(
+            seed,
+            flags & 1 != 0,
+            flags & 2 != 0,
+            flags & 4 != 0,
+            flags & 8 != 0,
+        );
+        let replayed = scenario::rerun_from(&record);
+        let report = replay::compare(&record, replayed.record.as_ref().expect("replay records"));
+        prop_assert!(
+            report.is_identical(),
+            "replay diverged: {:?}",
+            report.divergence
+        );
+        // the record codec round-trips the whole record byte-for-byte
+        let decoded = Record::decode(&record.encode()).expect("codec round-trip");
+        prop_assert_eq!(decoded.digest(), record.digest());
+    }
+}
+
+/// One faulted, telemetry-on record shared by the mutation tests.
+fn faulted_record() -> Record {
+    record_scenario(7, true, true, true, true)
+}
+
+#[test]
+fn journal_mutation_is_localized_to_the_event_seq() {
+    let record = faulted_record();
+    let mut mutated = record.clone();
+    let k = mutated.journal.len() / 2;
+    mutated.journal[k].digest ^= 1;
+    let seq = mutated.journal[k].seq;
+    let report = replay::compare(&record, &mutated);
+    let d = report.divergence.expect("mutation must be caught");
+    assert_eq!(d.kind, DivergenceKind::JournalEvent);
+    assert_eq!(d.index, seq, "divergence reports the mutated event's seq");
+}
+
+#[test]
+fn arrival_mutation_is_caught_before_anything_else() {
+    let record = faulted_record();
+    let mut mutated = record.clone();
+    mutated.arrivals[0].procs += 1;
+    // corrupt a later section too: the earlier section must win
+    let last = mutated.journal.len() - 1;
+    mutated.journal[last].digest ^= 1;
+    let report = replay::compare(&record, &mutated);
+    let d = report.divergence.expect("mutation must be caught");
+    assert_eq!(d.kind, DivergenceKind::Arrival);
+    assert_eq!(d.index, 0);
+}
+
+#[test]
+fn stream_and_fault_mutations_name_their_sections() {
+    let record = faulted_record();
+
+    let mut mutated = record.clone();
+    mutated.streams[3].digest ^= 1;
+    let d = replay::compare(&record, &mutated)
+        .divergence
+        .expect("stream mutation caught");
+    assert_eq!(d.kind, DivergenceKind::Stream);
+    assert_eq!(d.index, 3);
+
+    let mut mutated = record.clone();
+    mutated.faults[1].action = "hang:1".into();
+    let d = replay::compare(&record, &mutated)
+        .divergence
+        .expect("fault mutation caught");
+    assert_eq!(d.kind, DivergenceKind::Fault);
+    assert_eq!(d.index, 1);
+}
+
+#[test]
+fn header_mutation_makes_runs_incomparable() {
+    let record = faulted_record();
+    let mut mutated = record.clone();
+    mutated.header.seed += 1;
+    let d = replay::compare(&record, &mutated)
+        .divergence
+        .expect("header mutation caught");
+    assert_eq!(d.kind, DivergenceKind::Header);
+}
+
+#[test]
+fn metrics_mutation_is_the_last_check() {
+    let record = faulted_record();
+    let mut mutated = record.clone();
+    mutated.metrics_digest ^= 1;
+    let report = replay::compare(&record, &mutated);
+    let d = report.divergence.expect("metrics mutation caught");
+    assert_eq!(d.kind, DivergenceKind::Metrics);
+    // every earlier section was fully checked first
+    assert_eq!(report.checked_arrivals, record.arrivals.len() as u64);
+    assert_eq!(report.checked_streams, record.streams.len() as u64);
+    assert_eq!(report.checked_events, record.journal.len() as u64);
+}
+
+/// Replaying a run reproduces not just the journal but the *diagnosis*:
+/// RCA over the replayed observer ranks the same cause chain.
+#[test]
+fn rca_is_identical_across_replay() {
+    let mut spec = ScenarioSpec::new("incident-rca", 2025, &[1100, 1300]);
+    spec.faulted = true;
+    spec.telemetry = true;
+    spec.record = true;
+    let spec = spec.standard_arrivals(16);
+    let original = scenario::run(&spec);
+    let record = original.record.as_ref().expect("recording enabled");
+    let replayed = scenario::rerun_from(record);
+
+    let window = Duration::from_secs(600);
+    let a = rca::analyze_latest(&original.obs, window).expect("anomaly fired");
+    let b = rca::analyze_latest(&replayed.obs, window).expect("anomaly fired on replay");
+    assert_eq!(a, b, "replayed diagnosis must match the original");
+    assert_eq!(
+        a.top_cause().expect("causes found").kind.label(),
+        "fault_injection"
+    );
+}
+
+/// The spike storyline end to end: a resident 32-proc lease trips the
+/// load-spike detector and RCA pins the lease placement, with the
+/// trigger carrying the metric that spiked.
+#[test]
+fn load_spike_rca_blames_the_lease() {
+    let mut spec = ScenarioSpec::new("incident-spike", 2025, &[400, 500, 600, 700, 1000, 1030]);
+    spec.submit_huge = true;
+    spec.telemetry = true;
+    spec.record = true;
+    spec.lease_load = true;
+    spec.complete_prev = false;
+    spec.arrivals = vec![ArrivalSpec {
+        at_secs: 700,
+        name: "spike-32".into(),
+        procs: 32,
+    }];
+    let run = scenario::run(&spec);
+    // the starving huge job also trips its detector on this long run, so
+    // target the load-spike trigger rather than whichever fired last
+    let seq = run
+        .obs
+        .journal
+        .events_of("anomaly_detected")
+        .into_iter()
+        .rev()
+        .find(|e| {
+            matches!(&e.kind,
+                nlrm::obs::EventKind::AnomalyDetected { detector, .. } if detector == "load_spike")
+        })
+        .map(|e| e.seq)
+        .expect("spike detected");
+    let report = rca::analyze(&run.obs, seq, Duration::from_secs(600)).expect("trigger analyzed");
+    assert_eq!(report.detector, "load_spike");
+    assert_eq!(report.metric, "cluster_mean_cpu_load");
+    let top = report.top_cause().expect("causes found");
+    assert_eq!(top.kind.label(), "lease_placement");
+    assert!(
+        top.evidence.iter().any(|e| e.detail.contains("spike-32")),
+        "the spiking lease is in the evidence: {:?}",
+        top.evidence
+    );
+}
